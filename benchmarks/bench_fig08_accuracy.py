@@ -1,0 +1,91 @@
+"""Fig. 8/9 (elided pages) — baseline accuracy of the core algorithm.
+
+The figure pages describing the noise-free/low-noise baseline are
+missing from the available text; DESIGN.md reconstructs the experiment
+as: sweep the true beacon period over the range the paper observes in
+the wild (seconds to hours), with mild jitter, and verify that the
+detector recovers every period with delta_d < 5% and no misses, while
+Poisson controls at the matching event rates stay silent.
+"""
+
+import pytest
+
+from benchmarks.common import ExperimentReport, check
+from repro.analysis.synthetic_eval import (
+    evaluate_noise_level,
+    false_alarm_rate,
+)
+from repro.synthetic.noise import NoiseModel
+
+DAY = 86_400.0
+PERIODS = [7.5, 30.0, 63.0, 180.0, 387.0, 901.0, 1242.0, 3600.0, 7200.0]
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    results = {}
+    for period in PERIODS:
+        duration = max(DAY, 30 * period)
+        noise = NoiseModel(jitter_sigma=0.02 * period)
+        results[period] = evaluate_noise_level(
+            period=period,
+            duration=duration,
+            noise=noise,
+            trials=5,
+            seed=int(period),
+        )
+    return results
+
+
+def test_fig08_period_sweep(benchmark, sweep_results):
+    # Benchmark one representative detection (the 387 s case).
+    benchmark(
+        lambda: evaluate_noise_level(
+            period=387.0,
+            duration=DAY,
+            noise=NoiseModel(jitter_sigma=7.7),
+            trials=1,
+        )
+    )
+    fa = false_alarm_rate(rate=1 / 300.0, duration=DAY, trials=10)
+
+    report = ExperimentReport(
+        "fig08", "Baseline accuracy across the wild period range"
+    )
+    report.table(
+        ("true period (s)", "delta_d", "gamma_d", "detection rate"),
+        [
+            (
+                f"{period:.1f}",
+                f"{r.delta_d:.4f}",
+                f"{r.gamma_d:.2f}",
+                f"{r.detection_rate:.2f}",
+            )
+            for period, r in sweep_results.items()
+        ],
+    )
+    worst_delta = max(r.delta_d for r in sweep_results.values())
+    worst_gamma = max(r.gamma_d for r in sweep_results.values())
+    report.paper_vs_measured(
+        [
+            (
+                "delta_d < 5% at low noise, all periods",
+                f"worst {worst_delta:.4f}",
+                check(worst_delta < 0.05),
+            ),
+            (
+                "no misses at low noise",
+                f"worst gamma_d {worst_gamma:.2f}",
+                check(worst_gamma == 0.0),
+            ),
+            (
+                "Poisson controls stay silent",
+                f"false-alarm rate {fa:.2f}",
+                check(fa <= 0.1),
+            ),
+        ]
+    )
+    text = report.finish()
+    assert worst_delta < 0.05
+    assert worst_gamma == 0.0
+    assert "NO" not in text

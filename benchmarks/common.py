@@ -1,0 +1,95 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper's evaluation
+(see DESIGN.md section 4).  Results are printed to the terminal and
+appended to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md
+can be cross-checked against a fresh run.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class ExperimentReport:
+    """Collects printable result rows for one experiment."""
+
+    def __init__(self, experiment_id: str, title: str) -> None:
+        self.experiment_id = experiment_id
+        self.title = title
+        self._buffer = io.StringIO()
+        self.line("=" * 72)
+        self.line(f"{experiment_id}: {title}")
+        self.line("=" * 72)
+
+    def line(self, text: str = "") -> None:
+        """Append one output line."""
+        self._buffer.write(text + "\n")
+
+    def table(self, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+        """Append an aligned text table."""
+        rows = [tuple(str(cell) for cell in row) for row in rows]
+        widths = [len(h) for h in header]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        fmt = "  ".join(f"{{:>{w}s}}" for w in widths)
+        self.line(fmt.format(*header))
+        self.line("  ".join("-" * w for w in widths))
+        for row in rows:
+            self.line(fmt.format(*row))
+
+    def paper_vs_measured(self, claims: Iterable[Sequence]) -> None:
+        """Append the paper-claim vs measured-value comparison block."""
+        self.line()
+        self.table(("paper claim", "measured", "holds?"), claims)
+
+    def finish(self) -> str:
+        """Print the report, persist it, and return the text."""
+        text = self._buffer.getvalue()
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / f"{self.experiment_id}.txt"
+        out.write_text(text, encoding="utf-8")
+        print()
+        print(text)
+        return text
+
+
+def check(condition: bool) -> str:
+    """Render a reproduction check mark."""
+    return "yes" if condition else "NO"
+
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def ascii_series(values: Sequence[float], *, width: int = 1) -> str:
+    """Render a numeric series as a one-line ASCII intensity strip.
+
+    The paper's figures are line plots; in a terminal report, a strip
+    like ``@%#=:. `` conveys the same monotone-decay shape at a glance.
+    Values are min-max normalized; NaNs render as ``?``.
+    """
+    vals = [float(v) for v in values]
+    finite = [v for v in vals if v == v]
+    if not finite:
+        return "?" * len(vals)
+    low, high = min(finite), max(finite)
+    span = (high - low) or 1.0
+    out = []
+    for value in vals:
+        if value != value:
+            out.append("?" * width)
+            continue
+        level = int(round((value - low) / span * (len(_BLOCKS) - 1)))
+        out.append(_BLOCKS[level] * width)
+    return "".join(out)
+
+
+def relative_error(measured: float, expected: float) -> float:
+    """|measured - expected| / expected."""
+    return abs(measured - expected) / expected

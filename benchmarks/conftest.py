@@ -1,0 +1,26 @@
+"""Session-scoped fixtures shared by the evaluation benches."""
+
+import pytest
+
+from benchmarks.workloads import build_case_corpus
+
+
+#: Windows whose cases form the "manually investigated" training month.
+#: Three windows cover most — not all — of the implant-mix rotation,
+#: so, as in any real deployment, the training sample does not span
+#: every malware family the evaluation months contain; the resulting
+#: gray zone produces the modest false-negative tail of the paper's
+#: Table IV / Fig. 11 while keeping the false-positive rate at zero.
+TRAIN_WINDOWS = 3
+
+
+@pytest.fixture(scope="session")
+def case_corpus():
+    """A multi-window case corpus for Table IV and Fig. 11.
+
+    The first TRAIN_WINDOWS windows play the paper's manually
+    investigated training month; the rest are the five-month evaluation
+    body.
+    """
+    per_window, labeler, truths = build_case_corpus(12, seed0=1000)
+    return per_window, labeler, truths

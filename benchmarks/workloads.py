@@ -1,0 +1,134 @@
+"""Shared workloads for the evaluation benches.
+
+The paper's 5-month, 130 K-host corpus is proprietary; the benches run
+the same experiments on scaled-down synthetic windows.  A *window* is
+one simulated slice of enterprise traffic (hours of a few dozen hosts)
+with its own implant mix; the multi-window corpus drives the Table IV /
+Fig. 11 classification experiments the way the paper's months do.
+
+Implant mixes intentionally include *hard* cases — word-composition DGA
+domains (benign-looking to the LM) and heavily jittered slow beacons —
+so the classifier faces the same gray zone that produced the paper's 41
+false negatives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from dataclasses import replace
+
+from repro.analysis.intel import IntelOracle
+from repro.filtering.case import BeaconingCase
+from repro.filtering.pipeline import BaywatchPipeline, PipelineConfig
+from repro.synthetic.background import DEFAULT_SERVICES
+from repro.synthetic.enterprise import (
+    EnterpriseConfig,
+    EnterpriseSimulator,
+    GroundTruth,
+    ImplantSpec,
+)
+
+DAY = 86_400.0
+
+#: The default service catalogue, with the niche periodic services
+#: (playlist/sports tickers — the paper's confirmed false-positive
+#: class) adopted by enough hosts that the *training* month contains
+#: examples of them.  With 35-host windows the default 1%-adoption
+#: services appear in almost no window, so the classifier would meet
+#: them for the first time at evaluation — a sampling artifact of the
+#: small population, not a property of the method.
+BENCH_SERVICES = tuple(
+    replace(service, adoption=max(service.adoption, 0.08))
+    for service in DEFAULT_SERVICES
+)
+
+#: Rotating implant mixes; window i uses mix i % len(MIXES).
+IMPLANT_MIXES: Tuple[Tuple[ImplantSpec, ...], ...] = (
+    (
+        ImplantSpec("zbot-fast", "zeus", n_infected=2, period=63.0),
+        ImplantSpec("tdss", "tdss", n_infected=1),
+    ),
+    (
+        ImplantSpec("zbot-slow", "zeus", n_infected=1, period=180.0),
+        ImplantSpec("zeroaccess", "zeroaccess", n_infected=1),
+        ImplantSpec("worddga", "zeus", n_infected=1, period=240.0,
+                    dga_family="words", url_path="/api/v1/data"),
+    ),
+    (
+        ImplantSpec("tdss", "tdss", n_infected=2),
+        ImplantSpec("hexdga", "zeus", n_infected=1, period=901.0,
+                    dga_family="hex"),
+    ),
+    (
+        ImplantSpec("zbot", "zeus", n_infected=3, period=120.0),
+        ImplantSpec("wordslow", "zeroaccess", n_infected=1,
+                    dga_family="words", url_path="/content/sync"),
+    ),
+)
+
+
+def pipeline_config(percentile: float = 0.0) -> PipelineConfig:
+    """The standard bench pipeline configuration (small population)."""
+    return PipelineConfig(
+        local_whitelist_threshold=0.15,
+        ranking_percentile=percentile,
+    )
+
+
+def simulate_window(
+    seed: int,
+    *,
+    n_hosts: int = 35,
+    duration: float = DAY / 4,
+    implants: Sequence[ImplantSpec] = IMPLANT_MIXES[0],
+):
+    """One enterprise traffic window with ground truth."""
+    config = EnterpriseConfig(
+        n_hosts=n_hosts,
+        n_sites=70,
+        duration=duration,
+        services=BENCH_SERVICES,
+        implants=tuple(implants),
+        seed=seed,
+    )
+    return EnterpriseSimulator(config).generate()
+
+
+def build_case_corpus(
+    n_windows: int,
+    *,
+    seed0: int = 1000,
+    n_hosts: int = 35,
+    duration: float = DAY / 4,
+) -> Tuple[List[List[BeaconingCase]], Callable[[str], int], List[GroundTruth]]:
+    """Run the pipeline over several windows; return per-window cases
+    and a merged intel labeler.
+
+    Each window gets a fresh pipeline (the paper's per-month analysis);
+    the labeler answers like VirusTotal over the union of all windows'
+    ground truths.
+    """
+    per_window: List[List[BeaconingCase]] = []
+    truths: List[GroundTruth] = []
+    oracles: List[IntelOracle] = []
+    for index in range(n_windows):
+        implants = IMPLANT_MIXES[index % len(IMPLANT_MIXES)]
+        records, truth = simulate_window(
+            seed0 + index, n_hosts=n_hosts, duration=duration,
+            implants=implants,
+        )
+        pipeline = BaywatchPipeline(pipeline_config())
+        report = pipeline.run_records(records)
+        per_window.append(report.detected_cases)
+        truths.append(truth)
+        oracles.append(IntelOracle(truth))
+
+    cache: Dict[str, int] = {}
+
+    def labeler(destination: str) -> int:
+        if destination not in cache:
+            cache[destination] = max(o.label(destination) for o in oracles)
+        return cache[destination]
+
+    return per_window, labeler, truths

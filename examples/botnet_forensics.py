@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Botnet forensics: walk the algorithm through real-world behaviours.
+
+Reproduces the paper's worked examples step by step:
+
+- Fig. 5 — the permutation filter separating a TDSS bot's spectral
+  peak from shuffled-noise maxima,
+- Fig. 6 — interval-statistics pruning: of five spectral candidates,
+  only the true ~387 s period survives the min-interval and t-test
+  filters,
+- Fig. 7 — GMM interval analysis recovering Conficker's two time
+  scales (7-8 s bursts + ~3 h sleeps) with BIC model selection.
+
+Run:  python examples/botnet_forensics.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    DetectorConfig,
+    PeriodicityDetector,
+    bin_series,
+    candidate_peaks,
+    intervals_from_timestamps,
+    permutation_threshold,
+    prune_candidates,
+    select_gmm,
+)
+from repro.synthetic import conficker_spec, tdss_spec
+
+DAY = 86_400.0
+
+
+def tdss_walkthrough(rng: np.random.Generator) -> None:
+    print("=== TDSS (Figs. 5 & 6): permutation filter + pruning ===")
+    trace = tdss_spec(DAY).generate(rng)
+    intervals = intervals_from_timestamps(trace)
+    print(f"trace: {trace.size} beacons; min interval "
+          f"{intervals[intervals > 0].min():.0f} s")
+
+    scale = 16.0
+    signal = bin_series(trace, scale, binary=True)
+    perm = permutation_threshold(signal, rng=np.random.default_rng(0))
+    print(f"\npermutation filter (m=20, C=95%): threshold "
+          f"p_T = {perm.threshold:.3f}")
+    print(f"  shuffled maxima range: "
+          f"{min(perm.max_powers):.3f} .. {max(perm.max_powers):.3f}")
+
+    peaks = candidate_peaks(signal, perm.threshold, max_candidates=8)
+    periods = [peak.period * scale for peak in peaks]
+    print(f"  candidate periods above p_T: "
+          f"{[f'{p:.1f}' for p in periods]}")
+
+    print("\npruning (paper Fig. 6):")
+    decisions = prune_candidates(periods, intervals,
+                                 duration=float(trace[-1] - trace[0]))
+    for decision in decisions:
+        verdict = "KEEP " if decision.kept else "prune"
+        p = f"p={decision.p_value:.4f}" if decision.p_value is not None else ""
+        print(f"  {verdict} {decision.period:9.1f} s  {decision.reason} {p}")
+
+
+def conficker_walkthrough(rng: np.random.Generator) -> None:
+    print("\n=== Conficker (Fig. 7): GMM multi-period analysis ===")
+    trace = conficker_spec(DAY).generate(rng)
+    intervals = intervals_from_timestamps(trace)
+    positive = intervals[intervals > 0]
+    print(f"trace: {trace.size} events; interval list sample: "
+          f"{[f'{i:.1f}' for i in positive[:8]]} ...")
+
+    mixture = select_gmm(positive, max_components=4,
+                         rng=np.random.default_rng(0))
+    print(f"\nBIC-selected mixture: {mixture.n_components} components "
+          f"(BIC {mixture.bic:.0f})")
+    print(f"{'mean':>12s} {'std':>8s} {'weight':>8s}")
+    for component in mixture.components:
+        print(f"{component.mean:>10.1f} s {component.std:>8.2f} "
+              f"{component.weight:>8.3f}")
+
+    print("\nfull detector on the same trace:")
+    detector = PeriodicityDetector(DetectorConfig(seed=0))
+    result = detector.detect(trace)
+    for candidate in result.candidates:
+        print(f"  verified period {candidate.period:9.1f} s "
+              f"(ACF {candidate.acf_score:.2f}, origin {candidate.origin})")
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    tdss_walkthrough(rng)
+    conficker_walkthrough(rng)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""DGA campaign analysis: the language-model filter in isolation.
+
+Botnets rendezvous on algorithmically generated domains (paper
+Section V-C).  This example scores four DGA families against the
+popular-domain 3-gram model and shows how the ranking filter uses the
+scores — including the hard case (word-composition DGAs) that the LM
+alone cannot separate, which is why BAYWATCH combines indicators.
+
+Run:  python examples/dga_campaign.py
+"""
+
+from repro.lm import POPULAR_DOMAINS, default_scorer
+from repro.synthetic import dga_families, generate_pool
+
+
+def main() -> None:
+    scorer = default_scorer()
+
+    print("=== the paper's worked example ===")
+    for domain in ("google.com", "skmnikrzhrrzcjcxwfprgt.com"):
+        print(f"  S({domain}) = {scorer.score(domain):8.3f}   "
+              f"normalized {scorer.normalized_score(domain):7.3f}")
+
+    print("\n=== per-family separation (normalized log10 P per char) ===")
+    benign_sample = POPULAR_DOMAINS[:100]
+    benign_scores = [scorer.normalized_score(d) for d in benign_sample]
+    print(f"  {'benign (popular domains)':28s} "
+          f"mean {sum(benign_scores) / len(benign_scores):7.3f}")
+
+    for family in dga_families():
+        pool = generate_pool(100, family=family, seed=1)
+        scores = [scorer.normalized_score(d) for d in pool]
+        flagged = sum(scorer.is_suspicious(d) for d in pool)
+        print(f"  {family:28s} mean {sum(scores) / len(scores):7.3f}   "
+              f"flagged {flagged}/100")
+
+    print("\nNote: 'words' DGAs score close to benign names — the LM is")
+    print("one indicator among several; periodicity strength, rarity and")
+    print("the classifier pick up what the LM misses.")
+
+    print("\n=== triaging a mixed batch, most suspicious first ===")
+    batch = list(POPULAR_DOMAINS[:5]) + generate_pool(5, family="hex", seed=3)
+    for domain, score in scorer.score_many(batch):
+        marker = "<- DGA-like" if scorer.is_suspicious(domain) else ""
+        print(f"  {score:7.3f}  {domain:40s} {marker}")
+
+
+if __name__ == "__main__":
+    main()

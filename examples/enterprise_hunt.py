@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Enterprise hunt: the full 8-step methodology plus investigation.
+
+Simulates an enterprise day — browsing, benign periodic services, and
+implanted malware — then runs the complete BAYWATCH pipeline and the
+bootstrap investigation phase:
+
+- phase (a) whitelist analysis (global + popularity),
+- phase (b) time-series analysis (the core detector),
+- phase (c) token filter, novelty, weighted ranking,
+- phase (d) random-forest classification with uncertainty-ordered
+  review, using a VirusTotal-like intel oracle for labels.
+
+Run:  python examples/enterprise_hunt.py
+"""
+
+from repro.analysis import (
+    IntelOracle,
+    Investigator,
+    correlate_campaigns,
+    render_case,
+)
+from repro.filtering import BaywatchPipeline, PipelineConfig
+from repro.ml.features import FEATURE_NAMES
+from repro.synthetic import EnterpriseConfig, EnterpriseSimulator, ImplantSpec
+
+DAY = 86_400.0
+
+
+def simulate(seed: int):
+    """One enterprise window with a mixed implant population."""
+    config = EnterpriseConfig(
+        n_hosts=40,
+        n_sites=80,
+        duration=DAY / 2,
+        implants=(
+            ImplantSpec("zbot-fast", "zeus", n_infected=2, period=63.0),
+            ImplantSpec("zbot-slow", "zeus", n_infected=1, period=180.0),
+            ImplantSpec("tdss", "tdss", n_infected=2),
+            ImplantSpec("zeroaccess", "zeroaccess", n_infected=1),
+        ),
+        seed=seed,
+    )
+    return EnterpriseSimulator(config).generate()
+
+
+def main() -> None:
+    print("=== simulating enterprise traffic ===")
+    records, truth = simulate(seed=100)
+    print(f"{len(records)} proxy-log events, "
+          f"{len(truth.malicious_destinations)} malicious destinations, "
+          f"{len(truth.infected_hosts)} infected hosts")
+
+    print("\n=== phases (a)-(c): the 8-step pipeline ===")
+    # tau_p = 0.15 for this 40-host population (the paper's 0.01 assumes
+    # 130,000 hosts); report everything above the median score.
+    pipeline = BaywatchPipeline(
+        PipelineConfig(local_whitelist_threshold=0.15, ranking_percentile=0.5)
+    )
+    report = pipeline.run_records(records)
+    print(report.funnel.as_text())
+
+    print("\nranked cases (paper Table V format):")
+    print(f"{'rank':>4s}  {'domain':42s} {'smallest period':>15s} {'clients':>7s}")
+    for rank, case in enumerate(report.ranked_cases, 1):
+        verdict = "<- implant" if case.destination in truth.malicious_destinations else ""
+        print(
+            f"{rank:>4d}  {case.destination:42s}"
+            f" {case.smallest_period:>13.1f} s"
+            f" {case.similar_sources:>7d} {verdict}"
+        )
+
+    print("\n=== phase (d): bootstrap investigation ===")
+    # Train on a second, independently-seeded window ("January"), then
+    # classify this window's cases automatically.
+    train_records, train_truth = simulate(seed=200)
+    train_pipeline = BaywatchPipeline(
+        PipelineConfig(local_whitelist_threshold=0.15, ranking_percentile=0.0)
+    )
+    train_cases = train_pipeline.run_records(train_records).detected_cases
+
+    oracle_train = IntelOracle(train_truth)
+    oracle_eval = IntelOracle(truth)
+
+    def labeler(destination: str) -> int:
+        return max(oracle_train.label(destination), oracle_eval.label(destination))
+
+    investigator = Investigator(labeler, n_trees=100, seed=0)
+    result = investigator.bootstrap(train_cases, report.detected_cases)
+    print(result.confusion.as_table())
+    print(f"\nfalse positive rate: {result.confusion.false_positive_rate:.3f}")
+    print(f"recall:              {result.confusion.recall:.3f}")
+    print(f"reviews (in uncertainty order) to clear all FNs: "
+          f"{result.cases_to_clear_fn} of {result.n_eval}")
+
+    print("\nwhat the classifier looks at (top features):")
+    for name, importance in investigator.classifier.top_features(
+        FEATURE_NAMES, k=5
+    ):
+        print(f"  {importance:.3f}  {name}")
+
+    print("\n=== campaign correlation ===")
+    confirmed = [
+        case
+        for case in report.detected_cases
+        if labeler(case.destination) == 1
+    ]
+    for campaign in correlate_campaigns(confirmed):
+        print("  " + campaign.describe())
+
+    print("\n=== analyst hand-off (top case) ===")
+    print(render_case(report.ranked_cases[0], rank=1))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: detect beaconing in a list of request timestamps.
+
+This is the 60-second tour of the core API:
+
+1. generate a noisy beacon trace (a Zeus-like bot checking in every
+   3 minutes, with jitter, dropped check-ins, and unrelated traffic),
+2. run :class:`repro.core.PeriodicityDetector` on the raw timestamps,
+3. inspect the verified periods and their evidence.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import DetectorConfig, PeriodicityDetector
+from repro.synthetic import BeaconSpec, NoiseModel, poisson_trace
+
+DAY = 86_400.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # A malicious implant beacons every 180 s for a day.  The channel is
+    # messy: +-10 s jitter, 20% of beacons missing (laptop offline),
+    # and an extra random request every ~30 minutes on the same pair.
+    spec = BeaconSpec(
+        period=180.0,
+        duration=DAY,
+        noise=NoiseModel(
+            jitter_sigma=10.0,
+            drop_probability=0.2,
+            add_rate=1.0 / 1800.0,
+        ),
+    )
+    timestamps = spec.generate(rng)
+    print(f"trace: {timestamps.size} requests over {DAY / 3600:.0f} hours")
+
+    # Detection: DFT + permutation threshold, pruning, ACF verification.
+    detector = PeriodicityDetector(DetectorConfig(seed=0))
+    result = detector.detect(timestamps)
+
+    print(f"\nperiodic: {result.periodic}")
+    for candidate in result.candidates:
+        print(
+            f"  period {candidate.period:8.1f} s"
+            f"   ACF {candidate.acf_score:.2f}"
+            f"   power {candidate.power:9.1f}"
+            f"   p-value {candidate.p_value:.3f}"
+            f"   found at scale {candidate.time_scale:.0f} s ({candidate.origin})"
+        )
+
+    # Negative control: Poisson traffic at the same average rate must
+    # not be reported as periodic.
+    control = poisson_trace(timestamps.size / DAY, DAY, rng)
+    control_result = detector.detect(control)
+    print(f"\nPoisson control periodic: {control_result.periodic} "
+          f"({control_result.rejection_reason})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: legacy editable installs on environments without `wheel`."""
+
+from setuptools import setup
+
+setup()

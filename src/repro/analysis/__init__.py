@@ -1,0 +1,44 @@
+"""Investigation & verification phase (paper Section VI)."""
+
+from repro.analysis.intel import IntelOracle, perfect_oracle
+from repro.analysis.investigate import (
+    InvestigationReport,
+    Investigator,
+    case_feature_vector,
+)
+from repro.analysis.campaign import Campaign, correlate_campaigns
+from repro.analysis.reporting import render_case, render_report
+from repro.analysis.viz import (
+    acf_strip,
+    activity_strip,
+    evidence_panel,
+    intensity_strip,
+)
+from repro.analysis.synthetic_eval import (
+    EvalResult,
+    evaluate_noise_level,
+    false_alarm_rate,
+    noise_sweep,
+    tolerated_sigma,
+)
+
+__all__ = [
+    "IntelOracle",
+    "perfect_oracle",
+    "InvestigationReport",
+    "Investigator",
+    "case_feature_vector",
+    "Campaign",
+    "correlate_campaigns",
+    "render_case",
+    "render_report",
+    "acf_strip",
+    "activity_strip",
+    "evidence_panel",
+    "intensity_strip",
+    "EvalResult",
+    "evaluate_noise_level",
+    "false_alarm_rate",
+    "noise_sweep",
+    "tolerated_sigma",
+]

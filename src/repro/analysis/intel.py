@@ -1,0 +1,72 @@
+"""Threat-intelligence oracle — the VirusTotal stand-in.
+
+The paper constructs ground truth by querying VirusTotal: a destination
+is labelled malicious when *any* anti-virus engine flags it.  Our
+deterministic oracle answers from the traffic generator's ground truth,
+with two configurable imperfections that model real intel coverage:
+
+- ``coverage``: the probability a truly malicious destination is known
+  to the intel source at all (fresh DGA domains often are not),
+- ``false_flag_rate``: the probability a benign destination is wrongly
+  flagged (over-aggressive engines do exist).
+
+Both imperfections are deterministic per destination (seeded hash), so
+repeated lookups agree and experiments reproduce.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, Optional, Set
+
+from repro.synthetic.enterprise import GroundTruth
+from repro.utils.validation import require_probability
+
+
+class IntelOracle:
+    """Deterministic VirusTotal-like lookups over simulator ground truth."""
+
+    def __init__(
+        self,
+        truth: GroundTruth,
+        *,
+        coverage: float = 1.0,
+        false_flag_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        require_probability(coverage, "coverage")
+        require_probability(false_flag_rate, "false_flag_rate")
+        self.truth = truth
+        self.coverage = coverage
+        self.false_flag_rate = false_flag_rate
+        self.seed = seed
+        self.queries = 0
+        self._extra_malicious: Set[str] = set()
+
+    def _stable_unit(self, destination: str) -> float:
+        """Deterministic pseudo-uniform value in [0, 1) per destination."""
+        digest = zlib.crc32(f"{self.seed}:{destination}".encode("utf-8"))
+        return (digest & 0xFFFFFFFF) / 2**32
+
+    def add_feed(self, destinations: Iterable[str]) -> None:
+        """Merge an external blocklist feed into the oracle."""
+        self._extra_malicious.update(destinations)
+
+    def is_malicious(self, destination: str) -> bool:
+        """The oracle's verdict for one destination."""
+        self.queries += 1
+        if destination in self._extra_malicious:
+            return True
+        unit = self._stable_unit(destination)
+        if destination in self.truth.malicious_destinations:
+            return unit < self.coverage
+        return unit < self.false_flag_rate
+
+    def label(self, destination: str) -> int:
+        """1 = malicious, 0 = benign (classifier label convention)."""
+        return 1 if self.is_malicious(destination) else 0
+
+
+def perfect_oracle(truth: GroundTruth) -> IntelOracle:
+    """An oracle with full coverage and no false flags."""
+    return IntelOracle(truth, coverage=1.0, false_flag_rate=0.0)

@@ -1,0 +1,163 @@
+"""Investigation & verification — phase (d) of the methodology.
+
+The paper's bootstrap strategy (Section VI): manually investigate a
+small sample of triaged cases (one month's worth), use the diagnoses as
+labels to train a random forest over the Table II features, classify
+the remaining months automatically, and review the residual cases in
+*uncertainty order* so the few false negatives surface quickly
+(Fig. 11).
+
+:class:`Investigator` implements the workflow against any labeler — the
+deterministic :class:`~repro.analysis.intel.IntelOracle` in our
+evaluation, a human analyst in production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.filtering.case import BeaconingCase
+from repro.ml.features import extract_case_features
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import (
+    ConfusionMatrix,
+    confusion_matrix,
+    false_negatives_vs_reviewed,
+)
+from repro.utils.validation import require
+
+Labeler = Callable[[str], int]
+
+
+def case_feature_vector(case: BeaconingCase) -> np.ndarray:
+    """The Table II feature vector of one beaconing case."""
+    dominant = case.detection.dominant
+    return extract_case_features(
+        case.summary.intervals,
+        case.periods,
+        power=dominant.power if dominant else 0.0,
+        acf_score=dominant.acf_score if dominant else 0.0,
+        similar_sources=case.similar_sources,
+        lm_score=case.lm_score,
+    ).vector()
+
+
+@dataclass
+class InvestigationReport:
+    """Output of one bootstrap classification round."""
+
+    confusion: ConfusionMatrix
+    predictions: np.ndarray
+    labels: np.ndarray
+    uncertainties: np.ndarray
+    review_order: np.ndarray
+    fn_curve: np.ndarray
+    n_train: int
+    n_eval: int
+
+    @property
+    def cases_to_clear_fn(self) -> int:
+        """Reviews needed (in uncertainty order) to clear all FNs."""
+        remaining = self.fn_curve
+        below = np.flatnonzero(remaining == 0)
+        return int(below[0]) if below.size else int(remaining.size)
+
+    def reviews_until_fn_below(self, target: int) -> int:
+        """Reviews needed until at most ``target`` FNs remain."""
+        below = np.flatnonzero(self.fn_curve <= target)
+        return int(below[0]) if below.size else int(self.fn_curve.size)
+
+
+class Investigator:
+    """Bootstrap classification of triaged beaconing cases."""
+
+    def __init__(
+        self,
+        labeler: Labeler,
+        *,
+        n_trees: int = 200,
+        seed: int = 0,
+    ) -> None:
+        require(n_trees >= 1, "n_trees must be at least 1")
+        self.labeler = labeler
+        self.n_trees = n_trees
+        self.seed = seed
+        self.classifier: Optional[RandomForestClassifier] = None
+
+    # -- workflow ------------------------------------------------------------
+
+    def train(self, cases: Sequence[BeaconingCase]) -> RandomForestClassifier:
+        """Train the forest on manually investigated (labelled) cases."""
+        require(len(cases) >= 2, "need at least 2 training cases")
+        X = np.vstack([case_feature_vector(case) for case in cases])
+        y = np.asarray([self.labeler(case.destination) for case in cases])
+        require(len(set(y.tolist())) >= 2,
+                "training cases must include both classes")
+        self.classifier = RandomForestClassifier(
+            n_estimators=self.n_trees, seed=self.seed
+        ).fit(X, y)
+        return self.classifier
+
+    def classify(
+        self, cases: Sequence[BeaconingCase]
+    ) -> InvestigationReport:
+        """Classify unlabelled cases and evaluate against the labeler.
+
+        The labeler here plays the paper's VirusTotal role: the "ground
+        truth" the confusion matrix is computed against.
+        """
+        require(self.classifier is not None, "train() must run first")
+        require(len(cases) >= 1, "no cases to classify")
+        X = np.vstack([case_feature_vector(case) for case in cases])
+        predictions = self.classifier.predict(X)
+        uncertainties = self.classifier.uncertainty(X)
+        labels = np.asarray([self.labeler(case.destination) for case in cases])
+        review_order = np.argsort(-uncertainties, kind="stable")
+        fn_curve = false_negatives_vs_reviewed(labels, predictions, review_order)
+        return InvestigationReport(
+            confusion=confusion_matrix(labels, predictions),
+            predictions=predictions,
+            labels=labels,
+            uncertainties=uncertainties,
+            review_order=review_order,
+            fn_curve=fn_curve,
+            n_train=0,
+            n_eval=len(cases),
+        )
+
+    def bootstrap(
+        self,
+        train_cases: Sequence[BeaconingCase],
+        eval_cases: Sequence[BeaconingCase],
+    ) -> InvestigationReport:
+        """Full bootstrap round: train on the small set, classify the rest."""
+        self.train(train_cases)
+        report = self.classify(eval_cases)
+        report.n_train = len(train_cases)
+        return report
+
+    def cross_validate(
+        self, cases: Sequence[BeaconingCase], *, k: int = 5
+    ):
+        """K-fold error bars for the classifier on labelled cases.
+
+        Before trusting a bootstrap-trained classifier on months of
+        traffic, measure its variance on the labelled sample:
+        returns a :class:`repro.ml.crossval.CrossValidationResult` whose
+        ``summary()`` reads like "accuracy 0.95+-0.03 ... FPR 0+-0".
+        """
+        from repro.ml.crossval import cross_validate as _cross_validate
+
+        require(len(cases) >= k, "need at least k labelled cases")
+        X = np.vstack([case_feature_vector(case) for case in cases])
+        y = np.asarray([self.labeler(case.destination) for case in cases])
+
+        def fit(X_train, y_train):
+            return RandomForestClassifier(
+                n_estimators=self.n_trees, seed=self.seed
+            ).fit(X_train, y_train)
+
+        return _cross_validate(fit, X, y, k=k, seed=self.seed)

@@ -1,0 +1,113 @@
+"""Analyst-facing case reports.
+
+The output of BAYWATCH is consumed by human analysts (paper phase (d)):
+each reported case needs its evidence laid out — the periods and their
+strength, the interval behaviour, the domain-name verdict, how many
+other hosts talk to the destination — so the analyst can triage without
+re-deriving anything.  :func:`render_case` produces that summary as
+plain text; :func:`render_report` renders a whole pipeline run.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Optional
+
+from repro.filtering.case import BeaconingCase
+from repro.filtering.pipeline import PipelineReport
+from repro.ml.features import symbolize_intervals
+from repro.utils.stats import shannon_entropy
+
+
+def _verdict_line(case: BeaconingCase) -> str:
+    hints = []
+    if case.lm_score < -2.2:
+        hints.append("DGA-like domain name")
+    if case.similar_sources > 1:
+        hints.append(f"{case.similar_sources} internal hosts affected")
+    if case.popularity < 0.02:
+        hints.append("rare destination")
+    dominant = case.detection.dominant
+    if dominant is not None and dominant.acf_score > 0.5:
+        hints.append("strong clockwork periodicity")
+    return "; ".join(hints) if hints else "no aggravating indicators"
+
+
+def render_case(
+    case: BeaconingCase,
+    *,
+    rank: Optional[int] = None,
+    show_evidence_panel: bool = False,
+) -> str:
+    """One case as a multi-line analyst summary.
+
+    ``show_evidence_panel`` appends ASCII strips of the pair's activity
+    and autocorrelation (see :mod:`repro.analysis.viz`).
+    """
+    out = io.StringIO()
+    title = f"case: {case.source} -> {case.destination}"
+    if rank is not None:
+        title = f"#{rank} " + title
+    out.write(title + "\n")
+    out.write("-" * len(title) + "\n")
+    out.write(
+        f"observed:   {case.summary.event_count} requests over "
+        f"{case.detection.duration / 3600:.1f} h "
+        f"(analysis scales: {', '.join(f'{s:.0f}s' for s in case.detection.scales)})\n"
+    )
+    for candidate in case.detection.candidates:
+        out.write(
+            f"period:     {candidate.period:.1f} s "
+            f"(ACF {candidate.acf_score:.2f}, power {candidate.power:.1f}, "
+            f"t-test p {candidate.p_value:.2f}, via {candidate.origin})\n"
+        )
+    symbols = symbolize_intervals(
+        case.summary.intervals, list(case.periods)
+    )
+    out.write(
+        f"intervals:  symbolized entropy {shannon_entropy(symbols):.2f} bits"
+        f" ({symbols[:40]}{'...' if len(symbols) > 40 else ''})\n"
+    )
+    out.write(
+        f"domain:     LM score {case.lm_score:.2f}/char, "
+        f"popularity {case.popularity:.3f} "
+        f"({case.similar_sources} distinct sources)\n"
+    )
+    if case.summary.urls:
+        sample = ", ".join(sorted(set(case.summary.urls))[:3])
+        out.write(f"urls:       {sample}\n")
+    out.write(f"rank score: {case.rank_score:.2f}\n")
+    out.write(f"indicators: {_verdict_line(case)}\n")
+    if show_evidence_panel:
+        from repro.analysis.viz import evidence_panel
+
+        out.write(evidence_panel(case.summary))
+        out.write("\n")
+    return out.getvalue()
+
+
+def render_report(
+    report: PipelineReport,
+    *,
+    max_cases: int = 20,
+    include_funnel: bool = True,
+) -> str:
+    """A whole pipeline run as an analyst hand-off document."""
+    out = io.StringIO()
+    out.write("BAYWATCH daily report\n")
+    out.write("=====================\n")
+    out.write(
+        f"population: {report.population_size} sources; "
+        f"{len(report.detected_cases)} periodic cases detected; "
+        f"{len(report.ranked_cases)} reported after triage\n\n"
+    )
+    if include_funnel:
+        out.write(report.funnel.as_text())
+        out.write("\n\n")
+    for rank, case in enumerate(report.ranked_cases[:max_cases], 1):
+        out.write(render_case(case, rank=rank))
+        out.write("\n")
+    remaining = len(report.ranked_cases) - max_cases
+    if remaining > 0:
+        out.write(f"... and {remaining} further cases\n")
+    return out.getvalue()

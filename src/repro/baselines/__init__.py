@@ -1,0 +1,15 @@
+"""Baseline periodicity detectors from the related work (Section IX)."""
+
+from repro.baselines.simple import (
+    AcfBaseline,
+    BaselineResult,
+    CvBaseline,
+    FftBaseline,
+)
+
+__all__ = [
+    "AcfBaseline",
+    "BaselineResult",
+    "CvBaseline",
+    "FftBaseline",
+]

@@ -1,0 +1,145 @@
+"""Baseline periodicity detectors from the related work.
+
+The paper positions its detector against simpler schemes (Section IX):
+plain spectral thresholds, plain autocorrelation, and interval-variance
+heuristics in the spirit of BotFinder (Tegeler et al.) and temporal
+persistence (Giroire et al.).  We implement the three canonical
+baselines so the robustness comparison can be *measured* rather than
+argued:
+
+- :class:`FftBaseline` — the strongest DFT peak wins if its power
+  exceeds a fixed multiple of the mean spectral power; no permutation
+  calibration, no pruning, no verification.
+- :class:`AcfBaseline` — the highest autocorrelation peak (outside lag
+  0) wins if it exceeds a fixed score; no spectral localization.
+- :class:`CvBaseline` — BotFinder-style: the pair is periodic when the
+  coefficient of variation of its inter-request intervals is below a
+  threshold; the period estimate is the mean interval.
+
+All three expose ``detect(timestamps) -> BaselineResult`` so the
+comparison bench can sweep them uniformly against the BAYWATCH
+detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.autocorrelation import autocorrelation
+from repro.core.periodogram import power_spectrum, spectrum_frequencies
+from repro.core.timeseries import bin_series, intervals_from_timestamps
+from repro.utils.validation import as_sorted_timestamps, require_positive
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Uniform output of the baseline detectors."""
+
+    periodic: bool
+    period: Optional[float]
+    score: float
+    method: str
+
+    def periods(self) -> list:
+        """Match the core detector's result surface."""
+        return [self.period] if self.periodic and self.period else []
+
+
+class FftBaseline:
+    """Fixed-threshold periodogram peak picking."""
+
+    def __init__(
+        self,
+        *,
+        time_scale: float = 1.0,
+        snr_threshold: float = 20.0,
+        max_slots: int = 1 << 21,
+    ) -> None:
+        require_positive(time_scale, "time_scale")
+        require_positive(snr_threshold, "snr_threshold")
+        self.time_scale = time_scale
+        self.snr_threshold = snr_threshold
+        self.max_slots = max_slots
+
+    def detect(self, timestamps: Sequence[float]) -> BaselineResult:
+        """Report the strongest spectral peak if it clears the SNR bar."""
+        ts = as_sorted_timestamps(timestamps)
+        if ts.size < 4 or ts[-1] - ts[0] <= 0:
+            return BaselineResult(False, None, 0.0, "fft")
+        if (ts[-1] - ts[0]) / self.time_scale > self.max_slots:
+            return BaselineResult(False, None, 0.0, "fft")
+        signal = bin_series(ts, self.time_scale, binary=True)
+        if signal.size < 8:
+            return BaselineResult(False, None, 0.0, "fft")
+        power = power_spectrum(signal)
+        freqs = spectrum_frequencies(signal.size)
+        mean_power = float(power.mean()) or 1e-12
+        best = int(np.argmax(power))
+        snr = float(power[best]) / mean_power
+        if snr < self.snr_threshold:
+            return BaselineResult(False, None, snr, "fft")
+        period = self.time_scale / freqs[best]
+        return BaselineResult(True, float(period), snr, "fft")
+
+
+class AcfBaseline:
+    """Fixed-threshold autocorrelation peak picking."""
+
+    def __init__(
+        self,
+        *,
+        time_scale: float = 1.0,
+        min_score: float = 0.3,
+        max_slots: int = 1 << 21,
+    ) -> None:
+        require_positive(time_scale, "time_scale")
+        self.time_scale = time_scale
+        self.min_score = min_score
+        self.max_slots = max_slots
+
+    def detect(self, timestamps: Sequence[float]) -> BaselineResult:
+        """Report the strongest ACF lag if it clears the score bar."""
+        ts = as_sorted_timestamps(timestamps)
+        if ts.size < 4 or ts[-1] - ts[0] <= 0:
+            return BaselineResult(False, None, 0.0, "acf")
+        if (ts[-1] - ts[0]) / self.time_scale > self.max_slots:
+            return BaselineResult(False, None, 0.0, "acf")
+        signal = bin_series(ts, self.time_scale, binary=True)
+        if signal.size < 8:
+            return BaselineResult(False, None, 0.0, "acf")
+        acf = autocorrelation(signal)
+        # Skip lag 0 and the trivially correlated first lag.
+        search = acf[2 : signal.size // 2]
+        if search.size == 0:
+            return BaselineResult(False, None, 0.0, "acf")
+        best = int(np.argmax(search)) + 2
+        score = float(acf[best])
+        if score < self.min_score:
+            return BaselineResult(False, None, score, "acf")
+        return BaselineResult(True, best * self.time_scale, score, "acf")
+
+
+class CvBaseline:
+    """Interval coefficient-of-variation heuristic (BotFinder-style)."""
+
+    def __init__(self, *, max_cv: float = 0.1, min_events: int = 4) -> None:
+        require_positive(max_cv, "max_cv")
+        self.max_cv = max_cv
+        self.min_events = min_events
+
+    def detect(self, timestamps: Sequence[float]) -> BaselineResult:
+        """Periodic iff the intervals are nearly constant."""
+        ts = as_sorted_timestamps(timestamps)
+        if ts.size < self.min_events:
+            return BaselineResult(False, None, float("inf"), "cv")
+        intervals = intervals_from_timestamps(ts)
+        intervals = intervals[intervals > 0]
+        if intervals.size < 2 or intervals.mean() <= 0:
+            return BaselineResult(False, None, float("inf"), "cv")
+        cv = float(intervals.std() / intervals.mean())
+        if cv > self.max_cv:
+            return BaselineResult(False, None, cv, "cv")
+        return BaselineResult(True, float(intervals.mean()), cv, "cv")

@@ -1,0 +1,188 @@
+"""Command-line interface.
+
+Four subcommands cover the operational surface:
+
+- ``simulate`` — generate a labelled synthetic enterprise trace,
+- ``detect``   — run the core detector on a timestamp list,
+- ``pipeline`` — run the 8-step methodology over a proxy log,
+- ``score``    — score domain names under the language model.
+
+Run ``python -m repro <command> --help`` for the options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.detector import DetectorConfig, PeriodicityDetector
+from repro.filtering.pipeline import BaywatchPipeline, PipelineConfig
+from repro.lm.domains import default_scorer
+from repro.synthetic.enterprise import EnterpriseConfig, EnterpriseSimulator
+from repro.synthetic.logs import read_log, write_log
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BAYWATCH beaconing detection (DSN 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="generate a synthetic enterprise trace")
+    sim.add_argument("output", type=Path, help="proxy log output path (TSV; .gz ok)")
+    sim.add_argument("--hosts", type=int, default=50)
+    sim.add_argument("--sites", type=int, default=150)
+    sim.add_argument("--hours", type=float, default=24.0)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--truth", type=Path, default=None,
+        help="write ground truth (malicious destinations) as JSON",
+    )
+
+    det = sub.add_parser("detect", help="detect periodicity in timestamps")
+    det.add_argument(
+        "input", type=Path,
+        help="file with one event timestamp (seconds) per line; '-' for stdin",
+    )
+    det.add_argument("--time-scale", type=float, default=1.0)
+    det.add_argument("--seed", type=int, default=0)
+
+    pipe = sub.add_parser("pipeline", help="run the 8-step pipeline on a proxy log")
+    pipe.add_argument("input", type=Path, help="proxy log (TSV; .gz ok)")
+    pipe.add_argument("--tau-p", type=float, default=0.01,
+                      help="local whitelist popularity threshold")
+    pipe.add_argument("--percentile", type=float, default=0.9,
+                      help="ranking score percentile to report")
+    pipe.add_argument("--top", type=int, default=20,
+                      help="print at most this many ranked cases")
+
+    score = sub.add_parser("score", help="score domains under the 3-gram LM")
+    score.add_argument("domains", nargs="+", help="domain names to score")
+
+    rep = sub.add_parser(
+        "report", help="run the pipeline and emit an analyst report"
+    )
+    rep.add_argument("input", type=Path, help="proxy log (TSV; .gz ok)")
+    rep.add_argument("--tau-p", type=float, default=0.01)
+    rep.add_argument("--percentile", type=float, default=0.9)
+    rep.add_argument("--max-cases", type=int, default=10)
+    rep.add_argument("--output", type=Path, default=None,
+                     help="write the report here instead of stdout")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = EnterpriseConfig(
+        n_hosts=args.hosts,
+        n_sites=args.sites,
+        duration=args.hours * 3600.0,
+        seed=args.seed,
+    )
+    records, truth = EnterpriseSimulator(config).generate()
+    count = write_log(records, args.output,
+                      compress=args.output.suffix == ".gz")
+    print(f"wrote {count} events to {args.output}")
+    if args.truth is not None:
+        payload = {
+            "malicious_destinations": sorted(truth.malicious_destinations),
+            "infected_hosts": sorted(truth.infected_hosts),
+            "benign_periodic_destinations": sorted(
+                truth.benign_periodic_destinations
+            ),
+        }
+        args.truth.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        print(f"wrote ground truth to {args.truth}")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    if str(args.input) == "-":
+        lines = sys.stdin.read().split()
+    else:
+        lines = args.input.read_text(encoding="utf-8").split()
+    timestamps = [float(token) for token in lines if token.strip()]
+    detector = PeriodicityDetector(
+        DetectorConfig(time_scale=args.time_scale, seed=args.seed)
+    )
+    result = detector.detect(timestamps)
+    print(f"events:   {result.n_events}")
+    print(f"duration: {result.duration:.1f} s")
+    print(f"periodic: {result.periodic}")
+    if not result.periodic:
+        print(f"reason:   {result.rejection_reason}")
+        return 1
+    for candidate in result.candidates:
+        print(
+            f"  period {candidate.period:10.2f} s   "
+            f"ACF {candidate.acf_score:.2f}   "
+            f"power {candidate.power:.2f}   origin {candidate.origin}"
+        )
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    records = list(read_log(args.input))
+    config = PipelineConfig(
+        local_whitelist_threshold=args.tau_p,
+        ranking_percentile=args.percentile,
+    )
+    report = BaywatchPipeline(config).run_records(records)
+    print(report.funnel.as_text())
+    print()
+    print(f"{'rank':>4s}  {'score':>6s}  {'period':>10s}  {'clients':>7s}  domain")
+    for rank, case in enumerate(report.ranked_cases[: args.top], 1):
+        period = f"{case.smallest_period:.1f}s" if case.smallest_period else "-"
+        print(
+            f"{rank:>4d}  {case.rank_score:>6.2f}  {period:>10s}  "
+            f"{case.similar_sources:>7d}  {case.destination}"
+        )
+    return 0
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    scorer = default_scorer()
+    for domain, value in scorer.score_many(args.domains):
+        marker = "SUSPICIOUS" if scorer.is_suspicious(domain) else ""
+        print(f"{value:8.3f}  {domain}  {marker}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import render_report
+
+    records = list(read_log(args.input))
+    config = PipelineConfig(
+        local_whitelist_threshold=args.tau_p,
+        ranking_percentile=args.percentile,
+    )
+    pipeline_report = BaywatchPipeline(config).run_records(records)
+    text = render_report(pipeline_report, max_cases=args.max_cases)
+    if args.output is not None:
+        args.output.write_text(text, encoding="utf-8")
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "detect": _cmd_detect,
+    "pipeline": _cmd_pipeline,
+    "score": _cmd_score,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,508 @@
+"""The BAYWATCH periodicity detector — paper Section IV end-to-end.
+
+:class:`PeriodicityDetector` wires the three algorithm steps together:
+
+1. *DFT analysis* — bin the request timestamps into ``x(n)``, derive a
+   permutation-based power threshold, and collect spectral candidates.
+2. *Pruning* — discard high-frequency noise, under-sampled candidates,
+   and candidates rejected by the interval t-test; a BIC-selected
+   Gaussian mixture over the interval list both guards the t-test for
+   multi-period traffic and contributes its own candidates (Fig. 7).
+3. *Verification* — validate each survivor on the autocorrelation hill,
+   refine the period to the ACF peak, then sharpen it further from the
+   folded interval statistics; near-duplicate periods are merged.
+
+Detection is *multi-scale*: the signal is analyzed at a geometric ladder
+of time scales starting from the configured finest granularity, exactly
+as BAYWATCH rescales ActivitySummaries to coarser granularities "for
+better scalability and periodicity detection" (Section VII-B) and
+operates at daily/weekly/monthly intervals (Section X).  Fine scales
+resolve second-level beacons; coarse scales absorb jitter and expose
+slow or bursty periodicities (a 2-hour APT beacon with minutes of jitter
+is invisible at 1 s resolution but obvious at 60 s).
+
+The output is a :class:`DetectionResult` holding ranked
+:class:`CandidatePeriod` records (frequency, period in seconds, spectral
+power, ACF score, t-test p-value) — the CandidatePeriod payload the
+MapReduce detection job emits (Section VII-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.autocorrelation import autocorrelation, validate_candidate
+from repro.core.gmm import GaussianMixture, select_gmm
+from repro.core.periodogram import candidate_peaks, power_spectrum
+from repro.core.permutation import ThresholdCache, permutation_threshold
+from repro.core.pruning import fold_intervals, prune_candidates
+from repro.core.timeseries import ActivitySummary, bin_series, intervals_from_timestamps
+from repro.utils.validation import (
+    as_sorted_timestamps,
+    require,
+    require_positive,
+    require_probability,
+)
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Tunable parameters of the periodicity detector.
+
+    Defaults follow the paper: 1-second finest granularity, m = 20
+    permutations at 95% confidence, t-test alpha = 5%.  ``scale_factor``
+    and ``max_scales`` control the rescaling ladder; ``min_slots`` stops
+    the ladder once the signal becomes too short to analyze.
+    """
+
+    time_scale: float = 1.0
+    permutations: int = 20
+    confidence: float = 0.95
+    alpha: float = 0.05
+    min_events: int = 4
+    min_cycles: int = 3
+    min_acf_score: float = 0.1
+    min_support: float = 0.25
+    max_candidates: int = 16
+    use_gmm: bool = True
+    gmm_max_components: int = 4
+    gmm_min_weight: float = 0.1
+    period_tolerance: float = 0.15
+    binary_signal: bool = True
+    fold_intervals: bool = True
+    scale_factor: float = 4.0
+    max_scales: int = 6
+    min_slots: int = 32
+    max_signal_length: int = 1 << 21
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        require_positive(self.time_scale, "time_scale")
+        require(self.permutations >= 1, "permutations must be at least 1")
+        require_probability(self.confidence, "confidence")
+        require_probability(self.alpha, "alpha")
+        require(self.min_events >= 2, "min_events must be at least 2")
+        require(self.min_cycles >= 1, "min_cycles must be at least 1")
+        require_probability(self.min_support, "min_support")
+        require(self.max_candidates >= 1, "max_candidates must be at least 1")
+        require_positive(self.period_tolerance, "period_tolerance")
+        require(self.scale_factor > 1, "scale_factor must exceed 1")
+        require(self.max_scales >= 1, "max_scales must be at least 1")
+        require(self.min_slots >= 16, "min_slots must be at least 16")
+        require(self.max_signal_length >= 64, "max_signal_length too small")
+
+
+@dataclass(frozen=True)
+class CandidatePeriod:
+    """One verified periodicity; periods are in seconds.
+
+    ``origin`` records which analysis produced the candidate (``"dft"``
+    or ``"gmm"``); ``time_scale`` is the granularity at which the
+    candidate was verified.
+    """
+
+    period: float
+    frequency: float
+    power: float
+    acf_score: float
+    p_value: float
+    origin: str = "dft"
+    time_scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of running the detector on one communication pair."""
+
+    periodic: bool
+    candidates: Tuple[CandidatePeriod, ...]
+    power_threshold: float
+    n_events: int
+    duration: float
+    time_scale: float
+    scales: Tuple[float, ...] = ()
+    mixture: Optional[GaussianMixture] = None
+    rejection_reason: str = ""
+
+    @property
+    def dominant(self) -> Optional[CandidatePeriod]:
+        """The strongest verified candidate, or None."""
+        return self.candidates[0] if self.candidates else None
+
+    @property
+    def dominant_period(self) -> Optional[float]:
+        """Period (seconds) of the strongest candidate, or None."""
+        return self.candidates[0].period if self.candidates else None
+
+    def periods(self) -> List[float]:
+        """All verified periods in seconds, strongest first."""
+        return [c.period for c in self.candidates]
+
+
+_MAX_SUPPRESSED_MULTIPLE = 4
+_MIN_FUNDAMENTAL_STRENGTH = 0.5
+
+
+def _merge_similar(
+    candidates: List[CandidatePeriod], tolerance: float
+) -> List[CandidatePeriod]:
+    """Merge near-duplicate periods, preferring fundamentals.
+
+    Candidates are processed in ascending period order so that a
+    fundamental suppresses its small integer multiples (2x-4x) — the
+    subharmonics that missed beacons induce — as well as re-detections of
+    the same period at another scale.  A weaker fundamental only
+    suppresses a multiple when its own ACF score is at least half the
+    multiple's, so a spurious short period cannot shadow a genuine long
+    one.  Large multiples are kept on purpose: a burst/sleep behaviour
+    such as Conficker genuinely has both a seconds-level and an
+    hours-level period (Fig. 7).  The result is ordered strongest-first.
+    """
+    ordered = sorted(candidates, key=lambda c: (c.period, -c.acf_score))
+    kept: List[CandidatePeriod] = []
+    for cand in ordered:
+        duplicate = False
+        for index, existing in enumerate(kept):
+            ratio = cand.period / max(existing.period, 1e-12)
+            nearest = round(ratio)
+            if not 1 <= nearest <= _MAX_SUPPRESSED_MULTIPLE:
+                continue
+            anchor = nearest * existing.period
+            close = abs(cand.period - anchor) <= tolerance * max(cand.period, 1e-12)
+            if not close:
+                continue
+            if nearest == 1:
+                # Same period seen twice (another scale / another origin):
+                # always merge, keeping the stronger estimate.
+                if cand.acf_score > existing.acf_score:
+                    kept[index] = cand
+                duplicate = True
+                break
+            if existing.acf_score >= _MIN_FUNDAMENTAL_STRENGTH * cand.acf_score:
+                # A sufficiently strong fundamental absorbs its multiple.
+                duplicate = True
+                break
+        if not duplicate:
+            kept.append(cand)
+    return sorted(kept, key=lambda c: (c.acf_score, c.power), reverse=True)
+
+
+class PeriodicityDetector:
+    """Robust periodicity detection for one communication pair.
+
+    Instances are stateless apart from configuration, so a single
+    detector can be reused across millions of pairs.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DetectorConfig] = None,
+        *,
+        threshold_cache: Optional[ThresholdCache] = None,
+    ) -> None:
+        """``threshold_cache`` (optional) reuses permutation thresholds
+        across pairs with similar binary-signal shapes — the production
+        speed/accuracy trade-off for million-pair runs.  Only consulted
+        when ``config.binary_signal`` is on."""
+        self.config = config or DetectorConfig()
+        self.threshold_cache = threshold_cache
+
+    # -- public API --------------------------------------------------------
+
+    def detect(self, timestamps: Sequence[float]) -> DetectionResult:
+        """Detect periodicities in a raw timestamp sequence (seconds)."""
+        cfg = self.config
+        ts = as_sorted_timestamps(timestamps)
+        if ts.size < cfg.min_events:
+            return self._rejected(ts, f"fewer than {cfg.min_events} events")
+        duration = float(ts[-1] - ts[0])
+        if duration <= 0:
+            return self._rejected(ts, "all events in a single time slot")
+        scales = self._choose_scales(duration)
+        if not scales:
+            return self._rejected(ts, "window too short at every analysis scale")
+        return self._detect_multi_scale(ts, duration, scales)
+
+    def detect_summary(self, summary: ActivitySummary) -> DetectionResult:
+        """Detect periodicities in an :class:`ActivitySummary`.
+
+        If the summary is coarser than the configured finest scale, the
+        analysis ladder simply starts at the summary's own granularity.
+        """
+        cfg = self.config
+        if summary.time_scale > cfg.time_scale:
+            detector = PeriodicityDetector(
+                replace(cfg, time_scale=summary.time_scale)
+            )
+            return detector.detect(summary.timestamps())
+        return self.detect(summary.timestamps())
+
+    # -- internals ----------------------------------------------------------
+
+    def _choose_scales(self, duration: float) -> List[float]:
+        """The geometric ladder of analysis granularities for ``duration``.
+
+        Scales where the signal would be longer than
+        ``max_signal_length`` slots are skipped (the caller should have
+        rescaled already); the ladder stops when fewer than ``min_slots``
+        slots remain.
+        """
+        cfg = self.config
+        scales: List[float] = []
+        scale = cfg.time_scale
+        for _ in range(cfg.max_scales):
+            n_slots = duration / scale + 1
+            if n_slots < cfg.min_slots:
+                break
+            if n_slots <= cfg.max_signal_length:
+                scales.append(scale)
+            scale *= cfg.scale_factor
+        return scales
+
+    def _rejected(self, ts: np.ndarray, reason: str) -> DetectionResult:
+        duration = float(ts[-1] - ts[0]) if ts.size >= 2 else 0.0
+        return DetectionResult(
+            periodic=False,
+            candidates=(),
+            power_threshold=float("nan"),
+            n_events=int(ts.size),
+            duration=duration,
+            time_scale=self.config.time_scale,
+            rejection_reason=reason,
+        )
+
+    def _detect_multi_scale(
+        self, ts: np.ndarray, duration: float, scales: List[float]
+    ) -> DetectionResult:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        intervals = intervals_from_timestamps(ts)
+        positive = intervals[intervals > 0]
+
+        mixture: Optional[GaussianMixture] = None
+        if cfg.use_gmm and positive.size >= 4:
+            mixture = select_gmm(
+                positive, max_components=cfg.gmm_max_components, rng=rng
+            )
+        gmm_periods: List[float] = (
+            mixture.candidate_periods(cfg.gmm_min_weight, min_count=6)
+            if mixture
+            else []
+        )
+
+        # Scales much finer than the smallest inter-event interval cannot
+        # reveal anything the next-coarser scale will not: every
+        # detectable period there is pruned by the min-interval filter.
+        # Skipping them avoids the largest FFTs entirely.
+        if positive.size:
+            floor = float(positive.min()) / 128.0
+            useful = [s for s in scales if s >= floor]
+            if useful:
+                scales = useful
+            else:
+                scales = scales[-1:]
+
+        verified: List[CandidatePeriod] = []
+        thresholds: List[float] = []
+        for scale in scales:
+            scale_candidates = self._detect_at_scale(
+                ts, duration, scale, intervals, positive, mixture,
+                gmm_periods, rng, thresholds,
+            )
+            verified.extend(scale_candidates)
+
+        merged = _merge_similar(verified, cfg.period_tolerance)
+        threshold = thresholds[0] if thresholds else float("nan")
+        reason = ""
+        if not merged:
+            reason = "no candidate survived pruning and ACF verification"
+        return DetectionResult(
+            periodic=bool(merged),
+            candidates=tuple(merged),
+            power_threshold=threshold,
+            n_events=int(ts.size),
+            duration=duration,
+            time_scale=cfg.time_scale,
+            scales=tuple(scales),
+            mixture=mixture,
+            rejection_reason=reason,
+        )
+
+    def _detect_at_scale(
+        self,
+        ts: np.ndarray,
+        duration: float,
+        scale: float,
+        intervals: np.ndarray,
+        positive: np.ndarray,
+        mixture: Optional[GaussianMixture],
+        gmm_periods: List[float],
+        rng: np.random.Generator,
+        thresholds: List[float],
+    ) -> List[CandidatePeriod]:
+        """Run steps 1-3 at a single granularity; periods in seconds."""
+        cfg = self.config
+        signal = bin_series(ts, scale, binary=cfg.binary_signal)
+        if signal.size < cfg.min_slots:
+            return []
+
+        if self.threshold_cache is not None and cfg.binary_signal:
+            threshold = self.threshold_cache.threshold(
+                signal.size, int(signal.sum())
+            )
+        else:
+            threshold = permutation_threshold(
+                signal,
+                permutations=cfg.permutations,
+                confidence=cfg.confidence,
+                rng=rng,
+            ).threshold
+        thresholds.append(threshold)
+        peaks = candidate_peaks(
+            signal, threshold, max_candidates=cfg.max_candidates
+        )
+
+        # (period_seconds, power, origin, tolerance); GMM candidates are
+        # attached to the scale(s) able to resolve them.  A DFT
+        # candidate's tolerance is its frequency-bin resolution (at
+        # least one slot); a GMM candidate is interval-derived and known
+        # to one slot.
+        n = signal.size
+        raw: List[Tuple[float, float, str, float]] = [
+            (
+                peak.period * scale,
+                peak.power,
+                "dft",
+                max(scale, (peak.period * scale) ** 2 / (n * scale)),
+            )
+            for peak in peaks
+        ]
+        if gmm_periods:
+            # GMM candidates must clear the same permutation power bar as
+            # spectral candidates — interval clustering alone is not
+            # periodicity (bursty browsing clusters its intra-session
+            # gaps without any spectral line at that frequency).  The
+            # candidate's power is the strongest periodogram value within
+            # +-1% of its frequency: the GMM mean and the effective
+            # spectral period differ by a fraction of a percent, which at
+            # high bin indices is dozens of bins.
+            spectrum = power_spectrum(signal)
+            for period_s in gmm_periods:
+                period_slots = period_s / scale
+                if not 2.0 <= period_slots <= n / cfg.min_cycles:
+                    continue
+                center = n / period_slots
+                half_width = max(2, int(np.ceil(center * 0.01)))
+                low_bin = max(0, int(np.floor(center)) - half_width)
+                high_bin = min(spectrum.size, int(np.ceil(center)) + half_width)
+                if low_bin >= high_bin:
+                    continue
+                power = float(spectrum[low_bin:high_bin].max())
+                if power > threshold:
+                    raw.append((period_s, power, "gmm", scale))
+        if not raw:
+            return []
+
+        periods = [entry[0] for entry in raw]
+        decisions = prune_candidates(
+            periods,
+            intervals,
+            duration=duration,
+            alpha=cfg.alpha,
+            min_cycles=cfg.min_cycles,
+            min_events=cfg.min_events,
+            mixture=mixture,
+            fold=cfg.fold_intervals,
+            tolerances=[entry[3] for entry in raw],
+        )
+        survivors = [
+            (entry, decision)
+            for entry, decision in zip(raw, decisions)
+            if decision.kept
+        ]
+        if not survivors:
+            return []
+
+        acf: Optional[np.ndarray] = None
+        out: List[CandidatePeriod] = []
+        for (period_s, power, origin, _tolerance), decision in survivors:
+            period_slots = period_s / scale
+            if not 1.0 <= period_slots <= signal.size - 2:
+                continue
+            # Interval support: a spectral candidate must explain a
+            # minimum fraction of the observed intervals (after folding
+            # away missed-beacon multiples).  Session-structured benign
+            # traffic produces coarse-scale spectral flukes whose period
+            # matches almost no actual interval.  GMM candidates carry
+            # interval-cluster support by construction and are exempt —
+            # a rare-but-real second period (Conficker's sleep) must not
+            # need majority support.  The check is O(n) and gates the
+            # more expensive ACF verification.
+            if origin == "dft" and not self._has_support(
+                period_s, positive, scale, slack=2.0
+            ):
+                continue
+            if acf is None:
+                acf = autocorrelation(signal)
+            validation = validate_candidate(
+                acf, period_slots, min_acf_score=cfg.min_acf_score
+            )
+            if not validation.valid:
+                continue
+            refined = self._refine_period(
+                validation.refined_period * scale, positive, scale
+            )
+            if origin == "dft" and not self._has_support(refined, positive, scale):
+                continue
+            out.append(
+                CandidatePeriod(
+                    period=refined,
+                    frequency=1.0 / refined,
+                    power=power,
+                    acf_score=validation.acf_score,
+                    p_value=decision.p_value if decision.p_value is not None else 1.0,
+                    origin=origin,
+                    time_scale=scale,
+                )
+            )
+        return out
+
+    def _has_support(
+        self, period: float, positive: np.ndarray, scale: float,
+        *, slack: float = 1.0,
+    ) -> bool:
+        """Do enough folded intervals agree with ``period``?
+
+        ``slack`` widens the agreement band — the pre-verification gate
+        runs on the unrefined candidate, whose own resolution can exceed
+        the band for long periods, so it checks loosely and the strict
+        check re-runs on the refined estimate.
+        """
+        cfg = self.config
+        if positive.size == 0 or period <= 0:
+            return False
+        folded = fold_intervals(positive, period)
+        band = slack * np.maximum(cfg.period_tolerance * period, scale)
+        support = float(np.mean(np.abs(folded - period) <= band))
+        return support >= cfg.min_support
+
+    def _refine_period(
+        self, period: float, positive: np.ndarray, scale: float
+    ) -> float:
+        """Sharpen a slot-quantized period from the interval statistics.
+
+        The ACF peak is quantized to the analysis scale; the mean of the
+        folded intervals that fall within half a slot of the candidate
+        recovers sub-slot precision.  If too few intervals agree, the
+        ACF estimate is kept.
+        """
+        if positive.size < 3:
+            return period
+        folded = fold_intervals(positive, period)
+        near = folded[np.abs(folded - period) <= max(scale, 0.05 * period)]
+        if near.size >= max(3, positive.size // 4):
+            return float(near.mean())
+        return period

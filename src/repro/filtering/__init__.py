@@ -1,0 +1,44 @@
+"""The 8-step BAYWATCH filtering methodology (paper Sections III & V)."""
+
+from repro.filtering.case import BeaconingCase
+from repro.filtering.novelty import NoveltyStore
+from repro.filtering.pipeline import (
+    BaywatchPipeline,
+    FunnelStats,
+    PipelineConfig,
+    PipelineReport,
+)
+from repro.filtering.ranking import (
+    RankingWeights,
+    lm_anomaly,
+    periodicity_strength,
+    rank_cases,
+    rank_score,
+    rarity,
+    regularity,
+    strongest_per_destination,
+)
+from repro.filtering.tokens import BENIGN_TOKENS, TokenFilter, tokenize_url
+from repro.filtering.whitelist import GlobalWhitelist, LocalWhitelist
+
+__all__ = [
+    "BeaconingCase",
+    "NoveltyStore",
+    "BaywatchPipeline",
+    "FunnelStats",
+    "PipelineConfig",
+    "PipelineReport",
+    "RankingWeights",
+    "lm_anomaly",
+    "periodicity_strength",
+    "rank_cases",
+    "rank_score",
+    "rarity",
+    "regularity",
+    "strongest_per_destination",
+    "BENIGN_TOKENS",
+    "TokenFilter",
+    "tokenize_url",
+    "GlobalWhitelist",
+    "LocalWhitelist",
+]

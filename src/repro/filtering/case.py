@@ -1,0 +1,57 @@
+"""The beaconing case record flowing through the pipeline tail.
+
+A :class:`BeaconingCase` bundles everything later stages need about one
+suspicious communication pair: the activity summary, the detection
+result, the popularity/similar-source statistics, the language-model
+score of the destination, and the final weighted rank score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.core.detector import DetectionResult
+from repro.core.timeseries import ActivitySummary
+
+
+@dataclass(frozen=True)
+class BeaconingCase:
+    """One suspicious pair after time-series analysis."""
+
+    summary: ActivitySummary
+    detection: DetectionResult
+    popularity: float = 0.0
+    similar_sources: int = 1
+    lm_score: float = 0.0
+    rank_score: float = 0.0
+
+    @property
+    def source(self) -> str:
+        """Source endpoint (MAC in the paper's configuration)."""
+        return self.summary.source
+
+    @property
+    def destination(self) -> str:
+        """Destination endpoint (domain)."""
+        return self.summary.destination
+
+    @property
+    def dominant_period(self) -> Optional[float]:
+        """Strongest verified period in seconds."""
+        return self.detection.dominant_period
+
+    @property
+    def smallest_period(self) -> Optional[float]:
+        """Smallest verified period — what the paper's tables report."""
+        periods = self.detection.periods()
+        return min(periods) if periods else None
+
+    @property
+    def periods(self) -> Tuple[float, ...]:
+        """All verified periods, strongest first."""
+        return tuple(self.detection.periods())
+
+    def with_rank_score(self, score: float) -> "BeaconingCase":
+        """Copy of the case with the ranking score filled in."""
+        return replace(self, rank_score=float(score))

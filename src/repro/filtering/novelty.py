@@ -1,0 +1,84 @@
+"""Novelty analysis — change detection over reported cases (Section V-B).
+
+The analyst should not re-investigate what was already reported: the
+novelty filter suppresses source/destination pairs whose destination was
+already reported (by any source, in any previous run).  Suppressed cases
+are still *logged* — they remain available for review — but do not flow
+into ranking.  The store can persist across daily runs as a JSON file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Set, Tuple, Union
+
+
+class NoveltyStore:
+    """Remembers previously reported destinations and pairs."""
+
+    def __init__(self) -> None:
+        self._destinations: Set[str] = set()
+        self._pairs: Set[Tuple[str, str]] = set()
+        self._suppressed_log: list = []
+
+    # -- queries ---------------------------------------------------------------
+
+    def is_novel(self, source: str, destination: str) -> bool:
+        """True when neither the destination nor the pair was reported.
+
+        Matches the paper's rule: forward a case only when the
+        destination has not been reported before, or the source has not
+        been reported beaconing to that destination.
+        """
+        return destination not in self._destinations
+
+    def check_and_record(self, source: str, destination: str) -> bool:
+        """Atomically test novelty and record the case either way.
+
+        Returns the novelty verdict; non-novel cases are appended to the
+        suppressed log for later analyst review.
+        """
+        novel = self.is_novel(source, destination)
+        if novel:
+            self.record(source, destination)
+        else:
+            self._suppressed_log.append((source, destination))
+        return novel
+
+    def record(self, source: str, destination: str) -> None:
+        """Mark a pair (and its destination) as reported."""
+        self._destinations.add(destination)
+        self._pairs.add((source, destination))
+
+    @property
+    def reported_destinations(self) -> Set[str]:
+        """Destinations reported so far."""
+        return set(self._destinations)
+
+    @property
+    def suppressed(self) -> list:
+        """Cases suppressed as duplicates (kept for analyst review)."""
+        return list(self._suppressed_log)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the store as JSON (for the next daily run)."""
+        payload = {
+            "destinations": sorted(self._destinations),
+            "pairs": sorted(list(pair) for pair in self._pairs),
+        }
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "NoveltyStore":
+        """Restore a store saved with :meth:`save`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        store = cls()
+        store._destinations = set(payload["destinations"])
+        store._pairs = {tuple(pair) for pair in payload["pairs"]}
+        return store

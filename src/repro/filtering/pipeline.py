@@ -1,0 +1,251 @@
+"""The BAYWATCH 8-step filtering pipeline, end to end.
+
+The eight filters, grouped into the paper's four phases (Fig. 3):
+
+===== ================================ ==========================
+step  filter                           phase
+===== ================================ ==========================
+1     global whitelist                 whitelist analysis
+2     local (popularity) whitelist     whitelist analysis
+3     DFT + permutation threshold      time series analysis
+4     candidate pruning                time series analysis
+5     ACF verification                 time series analysis
+6     URL token analysis               suspicious indication
+7     novelty analysis                 suspicious indication
+8     weighted result ranking          suspicious indication
+===== ================================ ==========================
+
+(Steps 3-5 run inside :class:`~repro.core.PeriodicityDetector`; the
+pipeline reports them as one "periodicity detection" stage of the
+funnel plus the detector's internal rejection reasons.)
+
+Phase (d) — investigation and verification — lives in
+:mod:`repro.analysis`, consuming this pipeline's output.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.detector import DetectorConfig, PeriodicityDetector
+from repro.core.permutation import ThresholdCache
+from repro.core.timeseries import ActivitySummary
+from repro.filtering.case import BeaconingCase
+from repro.filtering.novelty import NoveltyStore
+from repro.filtering.ranking import (
+    RankingWeights,
+    rank_cases,
+    rank_score,
+    strongest_per_destination,
+)
+from repro.filtering.tokens import TokenFilter
+from repro.filtering.whitelist import GlobalWhitelist, LocalWhitelist
+from repro.lm.domains import DomainScorer, default_scorer
+from repro.synthetic.logs import ProxyLogRecord, records_to_summaries
+from repro.utils.validation import require, require_probability
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs of the full pipeline; defaults match the paper's runs."""
+
+    detector: DetectorConfig = field(default_factory=lambda: DetectorConfig(seed=0))
+    local_whitelist_threshold: float = 0.01
+    ranking_percentile: float = 0.9
+    ranking_weights: RankingWeights = field(default_factory=RankingWeights)
+    time_scale: float = 1.0
+    min_events: int = 4
+    use_threshold_cache: bool = True
+    aggregate_entities: bool = False
+
+    def __post_init__(self) -> None:
+        require_probability(
+            self.local_whitelist_threshold, "local_whitelist_threshold"
+        )
+        require_probability(self.ranking_percentile, "ranking_percentile")
+        require(self.min_events >= 2, "min_events must be at least 2")
+
+
+@dataclass
+class FunnelStats:
+    """How many communication pairs each step let through."""
+
+    steps: List[Tuple[str, int, int]] = field(default_factory=list)
+
+    def record(self, name: str, pairs_in: int, pairs_out: int) -> None:
+        """Append one step's in/out counts."""
+        self.steps.append((name, pairs_in, pairs_out))
+        logger.debug("filter %s: %d -> %d pairs", name.strip(), pairs_in,
+                     pairs_out)
+
+    def as_text(self) -> str:
+        """Human-readable funnel table."""
+        lines = [f"{'step':34s} {'in':>8s} {'out':>8s}"]
+        for name, pairs_in, pairs_out in self.steps:
+            lines.append(f"{name:34s} {pairs_in:>8d} {pairs_out:>8d}")
+        return "\n".join(lines)
+
+
+@dataclass
+class PipelineReport:
+    """Everything a pipeline run produced."""
+
+    ranked_cases: List[BeaconingCase]
+    detected_cases: List[BeaconingCase]
+    funnel: FunnelStats
+    population_size: int
+
+    @property
+    def reported_destinations(self) -> List[str]:
+        """Distinct destinations among the ranked cases, best first."""
+        seen = []
+        for case in self.ranked_cases:
+            if case.destination not in seen:
+                seen.append(case.destination)
+        return seen
+
+
+class BaywatchPipeline:
+    """Run the 8-step methodology over proxy-log records or summaries.
+
+    The pipeline is reusable across daily runs: the novelty store
+    accumulates reported destinations, so a destination reported
+    yesterday is suppressed (but logged) today.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        *,
+        global_whitelist: Optional[GlobalWhitelist] = None,
+        novelty: Optional[NoveltyStore] = None,
+        token_filter: Optional[TokenFilter] = None,
+        scorer: Optional[DomainScorer] = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.global_whitelist = (
+            global_whitelist if global_whitelist is not None else GlobalWhitelist()
+        )
+        self.novelty = novelty if novelty is not None else NoveltyStore()
+        self.token_filter = token_filter if token_filter is not None else TokenFilter()
+        self._scorer = scorer
+        cache = ThresholdCache() if self.config.use_threshold_cache else None
+        self.detector = PeriodicityDetector(
+            self.config.detector, threshold_cache=cache
+        )
+
+    @property
+    def scorer(self) -> DomainScorer:
+        """The domain LM scorer (built lazily: training takes ~1 s)."""
+        if self._scorer is None:
+            self._scorer = default_scorer()
+        return self._scorer
+
+    # -- public API --------------------------------------------------------
+
+    def run_records(self, records: Iterable[ProxyLogRecord]) -> PipelineReport:
+        """Run the pipeline on raw proxy-log records."""
+        summaries = records_to_summaries(
+            records,
+            time_scale=self.config.time_scale,
+            aggregate_entities=self.config.aggregate_entities,
+        )
+        return self.run_summaries(summaries)
+
+    def run_summaries(
+        self, summaries: Sequence[ActivitySummary]
+    ) -> PipelineReport:
+        """Run the pipeline on prebuilt activity summaries."""
+        funnel = FunnelStats()
+        local = LocalWhitelist(self.config.local_whitelist_threshold)
+        for summary in summaries:
+            local.observe(summary.source, summary.destination)
+        population = local.population_size
+
+        # Step 1: global whitelist.
+        n_in = len(summaries)
+        survivors = [
+            s for s in summaries if s.destination not in self.global_whitelist
+        ]
+        funnel.record("1 global whitelist", n_in, len(survivors))
+
+        # Step 2: local (popularity) whitelist.
+        n_in = len(survivors)
+        survivors = [s for s in survivors if s.destination not in local]
+        funnel.record("2 local whitelist", n_in, len(survivors))
+
+        # Pre-filter: pairs without enough events cannot beacon.
+        n_in = len(survivors)
+        survivors = [
+            s for s in survivors if s.event_count >= self.config.min_events
+        ]
+        funnel.record("  (min events)", n_in, len(survivors))
+
+        # Steps 3-5: periodicity detection (DFT, pruning, verification).
+        n_in = len(survivors)
+        detected: List[BeaconingCase] = []
+        for summary in survivors:
+            result = self.detector.detect_summary(summary)
+            if result.periodic:
+                detected.append(
+                    BeaconingCase(
+                        summary=summary,
+                        detection=result,
+                        popularity=local.popularity(summary.destination),
+                        similar_sources=local.similar_sources(summary.destination),
+                        lm_score=self.scorer.normalized_score(summary.destination),
+                    )
+                )
+        funnel.record("3-5 periodicity detection", n_in, len(detected))
+
+        # Step 6: URL token analysis.
+        n_in = len(detected)
+        cases = [
+            case
+            for case in detected
+            if not self.token_filter.is_likely_benign(case.summary.urls)
+        ]
+        funnel.record("6 token filter", n_in, len(cases))
+
+        # Step 7: novelty analysis — suppress destinations reported in
+        # previous runs, consolidate same-destination cases within this
+        # run (keeping the strongest), and record the survivors.
+        n_in = len(cases)
+        scored = [
+            case.with_rank_score(rank_score(case, self.config.ranking_weights))
+            for case in cases
+        ]
+        fresh = [
+            case
+            for case in scored
+            if self.novelty.is_novel(case.source, case.destination)
+        ]
+        consolidated = strongest_per_destination(fresh)
+        for case in consolidated:
+            self.novelty.record(case.source, case.destination)
+        funnel.record("7 novelty filter", n_in, len(consolidated))
+
+        # Step 8: percentile threshold over the score distribution.
+        n_in = len(consolidated)
+        ranked = rank_cases(
+            consolidated,
+            weights=self.config.ranking_weights,
+            percentile=self.config.ranking_percentile,
+        )
+        funnel.record("8 weighted ranking", n_in, len(ranked))
+
+        logger.info(
+            "pipeline run: %d pairs in, %d periodic, %d reported "
+            "(population %d)",
+            len(summaries), len(detected), len(ranked), population,
+        )
+        return PipelineReport(
+            ranked_cases=ranked,
+            detected_cases=detected,
+            funnel=funnel,
+            population_size=population,
+        )

@@ -1,0 +1,155 @@
+"""Weighted result ranking — paper Section V-D.
+
+Each surviving case receives a single score combining the indicators
+the earlier filters produced:
+
+- **periodicity strength** — ACF score, spectral power relative to the
+  permutation threshold, and low relative interval deviation,
+- **language-model anomaly** — very low domain scores get extra weight
+  (the paper "assigns a higher weight to the language model score for
+  the domains with very low probabilities"),
+- **destination rarity** — the fewer sources contact a destination, the
+  more targeted (and suspicious) the channel,
+- **long-range regularity** — series observed over many cycles score
+  higher than short bursts.
+
+Only cases above the n-th percentile of the score distribution are
+reported (paper: 90th percentile for the daily runs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.filtering.case import BeaconingCase
+from repro.utils.validation import require, require_probability
+
+
+@dataclass(frozen=True)
+class RankingWeights:
+    """Relative weight of each indicator in the final score.
+
+    The defaults follow the paper's stated preferences: periodicity
+    strength and the language model dominate, with an extra bonus for
+    extremely DGA-like names.
+    """
+
+    periodicity: float = 1.0
+    lm: float = 1.0
+    lm_extreme_bonus: float = 0.5
+    rarity: float = 0.5
+    regularity: float = 0.5
+    lm_extreme_threshold: float = -2.2
+
+    def __post_init__(self) -> None:
+        for name in ("periodicity", "lm", "lm_extreme_bonus", "rarity", "regularity"):
+            require(getattr(self, name) >= 0, f"{name} must be non-negative")
+
+
+def periodicity_strength(case: BeaconingCase) -> float:
+    """Periodicity indicator in [0, 1].
+
+    Combines the ACF score of the dominant candidate with the relative
+    standard deviation of the intervals around it (low deviation =
+    strong clockwork behaviour).
+    """
+    dominant = case.detection.dominant
+    if dominant is None:
+        return 0.0
+    acf_part = min(max(dominant.acf_score, 0.0), 1.0)
+    intervals = case.summary.nonzero_intervals()
+    cv_part = 0.0
+    if intervals.size >= 2 and intervals.mean() > 0:
+        cv = float(intervals.std() / intervals.mean())
+        cv_part = 1.0 / (1.0 + cv)
+    return 0.6 * acf_part + 0.4 * cv_part
+
+
+def lm_anomaly(case: BeaconingCase, weights: RankingWeights) -> float:
+    """Language-model indicator: 0 for natural names, grows as the
+    normalized score drops, with a bonus below the extreme threshold."""
+    score = case.lm_score
+    base = max(0.0, -score - 1.0)  # natural names sit around -1.0
+    base = min(base / 2.0, 1.0)
+    if score < weights.lm_extreme_threshold:
+        base += weights.lm_extreme_bonus
+    return base
+
+
+def rarity(case: BeaconingCase) -> float:
+    """Destination-rarity indicator: 1 for single-client destinations,
+    decaying with popularity."""
+    return 1.0 / (1.0 + 50.0 * max(case.popularity, 0.0))
+
+
+def regularity(case: BeaconingCase) -> float:
+    """Long-range regularity: saturating in the number of observed
+    cycles at the dominant period."""
+    period = case.dominant_period
+    if not period or period <= 0:
+        return 0.0
+    cycles = case.detection.duration / period
+    return 1.0 - math.exp(-cycles / 20.0)
+
+
+def rank_score(case: BeaconingCase, weights: RankingWeights = RankingWeights()) -> float:
+    """The combined weighted score of one case."""
+    return (
+        weights.periodicity * periodicity_strength(case)
+        + weights.lm * lm_anomaly(case, weights)
+        + weights.rarity * rarity(case)
+        + weights.regularity * regularity(case)
+    )
+
+
+def strongest_per_destination(
+    cases: Sequence[BeaconingCase],
+) -> List[BeaconingCase]:
+    """Keep one case per destination — the strongest by rank score.
+
+    The novelty filter consolidates same-destination cases (paper
+    Section V-B): within one run, two infected hosts beaconing to the
+    same C&C produce one reported case, carrying the strongest evidence.
+    Ties break deterministically by event count, then source.
+    """
+    best: dict = {}
+    for case in cases:
+        incumbent = best.get(case.destination)
+        if incumbent is None or (
+            case.rank_score,
+            case.summary.event_count,
+            case.source,
+        ) > (
+            incumbent.rank_score,
+            incumbent.summary.event_count,
+            incumbent.source,
+        ):
+            best[case.destination] = case
+    return list(best.values())
+
+
+def rank_cases(
+    cases: Sequence[BeaconingCase],
+    *,
+    weights: RankingWeights = RankingWeights(),
+    percentile: float = 0.9,
+) -> List[BeaconingCase]:
+    """Score, threshold, and sort cases (best first).
+
+    Only cases at or above the ``percentile`` of the score distribution
+    are returned (paper Section V-D).  With fewer than 2 cases the
+    threshold is vacuous.
+    """
+    require_probability(percentile, "percentile")
+    scored = [case.with_rank_score(rank_score(case, weights)) for case in cases]
+    if not scored:
+        return []
+    scores = np.asarray([case.rank_score for case in scored])
+    cutoff = float(np.quantile(scores, percentile)) if scores.size > 1 else -np.inf
+    kept = [case for case in scored if case.rank_score >= cutoff]
+    kept.sort(key=lambda case: case.rank_score, reverse=True)
+    return kept

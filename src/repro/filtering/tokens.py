@@ -1,0 +1,77 @@
+"""URL path token analysis — the first suspicious-indication filter.
+
+Section V-A of the paper (partially elided in the available text)
+removes *likely benign* beaconing based on the URL paths a pair
+requests.  Our reconstruction uses two signals that characterize
+legitimate periodic software:
+
+- **benign tokens**: update checkers, pollers, and license services use
+  self-describing path tokens (``update``, ``version.txt``,
+  ``heartbeat``, ``feed`` ...) because they are not hiding;
+- **path transparency**: benign requests use dictionary-word tokens,
+  while C&C gates favour short opaque names (``gate.php``) or long
+  random blobs.
+
+The filter only ever marks cases as *likely benign*; it never escalates
+suspicion on its own (a benign-looking path must not clear a malicious
+domain — final say belongs to ranking and classification).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence, Set, Tuple
+
+from repro.utils.validation import require_probability
+
+#: Tokens that legitimate periodic services use in request paths.
+BENIGN_TOKENS: frozenset = frozenset(
+    {
+        "update", "updates", "upgrade", "check", "checkin", "version",
+        "versions", "latest", "current", "poll", "polling", "heartbeat",
+        "keepalive", "ping", "status", "health", "license", "licence",
+        "activation", "signature", "signatures", "definitions", "manifest",
+        "feed", "feeds", "rss", "atom", "news", "scores", "livescore",
+        "weather", "stock", "quote", "ticker", "nowplaying", "playlist",
+        "calendar", "sync", "refresh", "notify", "notifications", "mail",
+        "inbox", "messages", "presence", "config", "settings", "rules",
+        "rulesets", "blocklist", "whitelist", "crl", "ocsp", "time",
+    }
+)
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+def tokenize_url(url: str) -> Tuple[str, ...]:
+    """Lowercased alphanumeric tokens of a URL path and query."""
+    return tuple(_TOKEN_PATTERN.findall(url.lower()))
+
+
+class TokenFilter:
+    """Classify a pair's URL set as likely benign or not.
+
+    A case is *likely benign* when at least ``min_benign_fraction`` of
+    its requests carry a known benign token.  Cases without URL
+    side-channel information pass through unfiltered.
+    """
+
+    def __init__(
+        self,
+        *,
+        benign_tokens: Iterable[str] = BENIGN_TOKENS,
+        min_benign_fraction: float = 0.5,
+    ) -> None:
+        require_probability(min_benign_fraction, "min_benign_fraction")
+        self.benign_tokens: Set[str] = {t.lower() for t in benign_tokens}
+        self.min_benign_fraction = min_benign_fraction
+
+    def url_is_benign(self, url: str) -> bool:
+        """True when the URL carries at least one benign token."""
+        return any(token in self.benign_tokens for token in tokenize_url(url))
+
+    def is_likely_benign(self, urls: Sequence[str]) -> bool:
+        """Verdict for a case given its observed request URLs."""
+        if not urls:
+            return False
+        benign = sum(1 for url in urls if self.url_is_benign(url))
+        return benign / len(urls) >= self.min_benign_fraction

@@ -1,0 +1,160 @@
+"""Whitelist analysis — phase (a) of the pipeline (paper Section III).
+
+Two complementary whitelists remove the bulk of legitimate traffic
+before the expensive time-series analysis:
+
+- the **global whitelist** holds well-known benign destinations
+  (popular domains, the organization's own infrastructure); matching is
+  by registered domain, so ``cdn.google.com`` matches ``google.com``;
+- the **local whitelist** is tuned per organization: any destination
+  contacted by more than a fraction ``tau_p`` of the internal source
+  population is considered organization-wide infrastructure (update
+  servers, mail, intranet SaaS).  The paper runs with tau_p = 0.01.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Set, Tuple, Union
+
+from repro.lm.corpus import POPULAR_DOMAINS
+from repro.lm.domains import registered_domain
+from repro.utils.validation import require, require_probability
+
+
+class GlobalWhitelist:
+    """A registered-domain whitelist with subdomain matching."""
+
+    def __init__(self, domains: Optional[Iterable[str]] = None) -> None:
+        if domains is None:
+            domains = POPULAR_DOMAINS
+        self._domains: Set[str] = {registered_domain(d) for d in domains}
+
+    def __contains__(self, destination: str) -> bool:
+        return registered_domain(destination) in self._domains
+
+    def __len__(self) -> int:
+        return len(self._domains)
+
+    def add(self, destination: str) -> None:
+        """Whitelist a destination (stored as its registered domain)."""
+        self._domains.add(registered_domain(destination))
+
+    def discard(self, destination: str) -> None:
+        """Remove a destination if present."""
+        self._domains.discard(registered_domain(destination))
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the whitelist as a sorted JSON list."""
+        Path(path).write_text(
+            json.dumps(sorted(self._domains)), encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "GlobalWhitelist":
+        """Restore a whitelist saved with :meth:`save`."""
+        return cls(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+class LocalWhitelist:
+    """Popularity-based per-organization whitelist.
+
+    Popularity of a destination is the number of distinct sources that
+    contacted it divided by the total source population (paper
+    Section VII-C).  Destinations above ``threshold`` are whitelisted.
+
+    ``min_sources`` is a small-population guard: a fraction threshold
+    calibrated for a 130 K-host enterprise (the paper's tau_p = 0.01)
+    would whitelist single-host destinations in a 30-host deployment, so
+    a destination additionally needs at least this many distinct sources
+    before popularity can whitelist it.
+    """
+
+    def __init__(self, threshold: float = 0.01, *, min_sources: int = 3) -> None:
+        require_probability(threshold, "threshold")
+        require(min_sources >= 1, "min_sources must be at least 1")
+        self.threshold = threshold
+        self.min_sources = min_sources
+        self._sources_by_destination: Dict[str, Set[str]] = defaultdict(set)
+        self._population: Set[str] = set()
+
+    # -- building ------------------------------------------------------------
+
+    def observe(self, source: str, destination: str) -> None:
+        """Record that ``source`` contacted ``destination``."""
+        self._sources_by_destination[destination].add(source)
+        self._population.add(source)
+
+    def observe_pairs(self, pairs: Iterable[Tuple[str, str]]) -> "LocalWhitelist":
+        """Bulk :meth:`observe`; returns self for chaining."""
+        for source, destination in pairs:
+            self.observe(source, destination)
+        return self
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def population_size(self) -> int:
+        """Number of distinct sources observed."""
+        return len(self._population)
+
+    def popularity(self, destination: str) -> float:
+        """Fraction of the population contacting ``destination``."""
+        if not self._population:
+            return 0.0
+        return len(self._sources_by_destination.get(destination, ())) / len(
+            self._population
+        )
+
+    def similar_sources(self, destination: str) -> int:
+        """Distinct sources sharing the destination (Table II feature)."""
+        return len(self._sources_by_destination.get(destination, ()))
+
+    def __contains__(self, destination: str) -> bool:
+        require(self._population, "no observations recorded yet")
+        return (
+            self.similar_sources(destination) >= self.min_sources
+            and self.popularity(destination) > self.threshold
+        )
+
+    def whitelisted_destinations(self) -> Set[str]:
+        """All destinations currently above the popularity threshold."""
+        return {
+            destination
+            for destination in self._sources_by_destination
+            if destination in self
+        }
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the observation state as JSON.
+
+        Daily operations accumulate popularity over time: yesterday's
+        observations warm-start today's whitelist so that a destination
+        popular over the whole fleet is recognized even on a quiet day.
+        """
+        payload = {
+            "threshold": self.threshold,
+            "min_sources": self.min_sources,
+            "population": sorted(self._population),
+            "destinations": {
+                destination: sorted(sources)
+                for destination, sources in self._sources_by_destination.items()
+            },
+        }
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "LocalWhitelist":
+        """Restore a whitelist saved with :meth:`save`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        whitelist = cls(
+            payload["threshold"], min_sources=payload["min_sources"]
+        )
+        whitelist._population = set(payload["population"])
+        for destination, sources in payload["destinations"].items():
+            whitelist._sources_by_destination[destination] = set(sources)
+        return whitelist

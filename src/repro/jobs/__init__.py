@@ -1,0 +1,22 @@
+"""The MapReduce formulation of every BAYWATCH phase (Section VII)."""
+
+from repro.jobs.records import DetectionCase
+from repro.jobs.extraction import DataExtractionJob
+from repro.jobs.rescaling import RescaleMergeJob
+from repro.jobs.popularity import DestinationPopularityJob, popularity_table
+from repro.jobs.detection import BeaconingDetectionJob
+from repro.jobs.ranking_job import RankingJob
+from repro.jobs.runner import BaywatchRunner
+from repro.jobs.summary_store import SummaryStore
+
+__all__ = [
+    "SummaryStore",
+    "DetectionCase",
+    "DataExtractionJob",
+    "RescaleMergeJob",
+    "DestinationPopularityJob",
+    "popularity_table",
+    "BeaconingDetectionJob",
+    "RankingJob",
+    "BaywatchRunner",
+]

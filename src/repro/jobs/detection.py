@@ -1,0 +1,75 @@
+"""Beaconing-detection MapReduce job (paper Section VII-D).
+
+MAP: separates communication pairs (and drops whitelisted or trivially
+short ones so reduce workers never see them).
+
+REDUCE: runs the core periodicity-detection algorithm on each pair's
+request history; periodic pairs are emitted as
+:class:`~repro.jobs.records.DetectionCase` records carrying the
+CandidatePeriod list for the ranking and investigation phases.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from repro.core.detector import DetectorConfig, PeriodicityDetector
+from repro.core.permutation import ThresholdCache
+from repro.core.timeseries import ActivitySummary
+from repro.jobs.records import DetectionCase
+from repro.mapreduce.job import KeyValue, MapReduceJob
+from repro.utils.validation import require
+
+
+class BeaconingDetectionJob(MapReduceJob):
+    """Filtered pair summaries -> detected beaconing cases."""
+
+    def __init__(
+        self,
+        detector_config: Optional[DetectorConfig] = None,
+        *,
+        skip_destinations: FrozenSet[str] = frozenset(),
+        min_events: int = 4,
+        use_threshold_cache: bool = True,
+        n_partitions: int = 32,
+    ) -> None:
+        require(min_events >= 2, "min_events must be at least 2")
+        self.detector_config = detector_config or DetectorConfig(seed=0)
+        self.skip_destinations = frozenset(skip_destinations)
+        self.min_events = min_events
+        self.use_threshold_cache = use_threshold_cache
+        self.n_partitions = n_partitions
+        self._detector: Optional[PeriodicityDetector] = None
+
+    def _get_detector(self) -> PeriodicityDetector:
+        """Build the detector lazily (once per worker process)."""
+        if self._detector is None:
+            cache = ThresholdCache() if self.use_threshold_cache else None
+            self._detector = PeriodicityDetector(
+                self.detector_config, threshold_cache=cache
+            )
+        return self._detector
+
+    def __getstate__(self) -> dict:
+        """Drop the per-process detector when pickling to workers."""
+        state = dict(self.__dict__)
+        state["_detector"] = None
+        return state
+
+    def map(self, key: Any, value: ActivitySummary) -> Iterator[KeyValue]:
+        """Separate pairs; drop whitelisted and trivially short ones."""
+        if value.destination in self.skip_destinations:
+            return
+        if value.event_count < self.min_events:
+            return
+        yield value.pair, value
+
+    def reduce(
+        self, key: Tuple[str, str], values: Iterable[ActivitySummary]
+    ) -> Iterator[KeyValue]:
+        """Run the detection algorithm on each pair's history."""
+        detector = self._get_detector()
+        for summary in values:
+            result = detector.detect_summary(summary)
+            if result.periodic:
+                yield key, DetectionCase(summary=summary, detection=result)

@@ -1,0 +1,39 @@
+"""Destination-popularity MapReduce job (paper Section VII-C).
+
+MAP: each pair summary yields ``(destination, source)``.
+
+REDUCE: the distinct sources contacting each destination are counted;
+the caller divides by the total population to obtain the popularity
+ratio feeding the local whitelist.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Tuple
+
+from repro.core.timeseries import ActivitySummary
+from repro.mapreduce.job import KeyValue, MapReduceJob
+
+
+class DestinationPopularityJob(MapReduceJob):
+    """Pair summaries -> (destination, distinct-source count)."""
+
+    def __init__(self, *, n_partitions: int = 32) -> None:
+        self.n_partitions = n_partitions
+
+    def map(self, key: Any, value: ActivitySummary) -> Iterator[KeyValue]:
+        """``((s, d), AS) -> (d, s)``."""
+        yield value.destination, value.source
+
+    def reduce(self, key: str, values: Iterable[str]) -> Iterator[KeyValue]:
+        """Count distinct sources per destination."""
+        yield key, len(set(values))
+
+
+def popularity_table(
+    counts: List[Tuple[str, int]], population: int
+) -> Dict[str, float]:
+    """Turn reduce output into destination -> popularity ratio."""
+    if population <= 0:
+        return {destination: 0.0 for destination, _count in counts}
+    return {destination: count / population for destination, count in counts}

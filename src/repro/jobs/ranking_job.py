@@ -1,0 +1,107 @@
+"""Ranking MapReduce job (paper Section VII-E).
+
+MAP: filters out likely-benign beaconing (URL token analysis) and
+non-novel cases, then computes each survivor's weighted rank score from
+the precomputed popularity and language-model tables.
+
+REDUCE: a single global group collects the scored cases, applies the
+percentile threshold over the score distribution, and emits a ranked
+list (rank index as key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Tuple
+
+import numpy as np
+
+from repro.filtering.case import BeaconingCase
+from repro.filtering.ranking import RankingWeights, rank_score
+from repro.filtering.tokens import TokenFilter
+from repro.jobs.records import DetectionCase
+from repro.mapreduce.job import KeyValue, MapReduceJob
+from repro.utils.validation import require_probability
+
+_GLOBAL_KEY = "ranked"
+
+
+def _to_case(case: DetectionCase) -> BeaconingCase:
+    """Bridge the MapReduce record to the filtering-layer case type."""
+    return BeaconingCase(
+        summary=case.summary,
+        detection=case.detection,
+        popularity=case.popularity,
+        similar_sources=case.similar_sources,
+        lm_score=case.lm_score,
+        rank_score=case.rank_score,
+    )
+
+
+class RankingJob(MapReduceJob):
+    """Detected cases -> globally ranked, thresholded case list."""
+
+    #: Global sort requires a single reduce partition.
+    n_partitions = 1
+
+    def __init__(
+        self,
+        *,
+        popularity: Dict[str, float],
+        similar_sources: Dict[str, int],
+        lm_scores: Dict[str, float],
+        reported_destinations: FrozenSet[str] = frozenset(),
+        token_filter: TokenFilter = None,
+        weights: RankingWeights = RankingWeights(),
+        percentile: float = 0.9,
+    ) -> None:
+        require_probability(percentile, "percentile")
+        self.popularity = dict(popularity)
+        self.similar_sources = dict(similar_sources)
+        self.lm_scores = dict(lm_scores)
+        self.reported_destinations = frozenset(reported_destinations)
+        self.token_filter = token_filter if token_filter is not None else TokenFilter()
+        self.weights = weights
+        self.percentile = percentile
+
+    def map(self, key: Any, value: DetectionCase) -> Iterator[KeyValue]:
+        """Token + novelty filters, then scoring."""
+        destination = value.summary.destination
+        if destination in self.reported_destinations:
+            return  # novelty: destination already reported
+        if self.token_filter.is_likely_benign(value.summary.urls):
+            return  # likely benign periodic service
+        enriched = replace(
+            value,
+            popularity=self.popularity.get(destination, 0.0),
+            similar_sources=self.similar_sources.get(destination, 1),
+            lm_score=self.lm_scores.get(destination, 0.0),
+        )
+        score = rank_score(_to_case(enriched), self.weights)
+        yield _GLOBAL_KEY, replace(enriched, rank_score=score)
+
+    def reduce(
+        self, key: str, values: Iterable[DetectionCase]
+    ) -> Iterator[KeyValue]:
+        """Consolidate, percentile-threshold, and sort the global list."""
+        from repro.filtering.ranking import strongest_per_destination
+
+        # strongest_per_destination is duck-typed: DetectionCase exposes
+        # the same source/destination/rank_score/summary surface.
+        consolidated = strongest_per_destination(list(values))
+        cases = sorted(
+            consolidated, key=lambda case: case.rank_score, reverse=True
+        )
+        if not cases:
+            return
+        scores = np.asarray([case.rank_score for case in cases])
+        cutoff = (
+            float(np.quantile(scores, self.percentile))
+            if scores.size > 1
+            else -np.inf
+        )
+        rank = 0
+        for case in cases:
+            if case.rank_score >= cutoff:
+                yield rank, case
+                rank += 1

@@ -1,0 +1,49 @@
+"""Record types exchanged between the MapReduce jobs (Section VII).
+
+The jobs communicate with plain picklable values:
+
+- raw input: ``(line_number, ProxyLogRecord)`` pairs,
+- after extraction: ``((source, destination), ActivitySummary)``,
+- after detection: ``((source, destination), DetectionCase)``,
+- after ranking: ``(rank_score, DetectionCase)`` sorted descending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.detector import DetectionResult
+from repro.core.timeseries import ActivitySummary
+
+
+@dataclass(frozen=True)
+class DetectionCase:
+    """A detected beaconing pair, as emitted by the detection job.
+
+    Mirrors the paper's ``(AS, CP)`` payload: the ActivitySummary plus
+    the CandidatePeriod list, extended with the popularity and
+    language-model indicators computed by the ranking MAP task.
+    """
+
+    summary: ActivitySummary
+    detection: DetectionResult
+    popularity: float = 0.0
+    similar_sources: int = 1
+    lm_score: float = 0.0
+    rank_score: float = 0.0
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        """The (source, destination) communication pair."""
+        return self.summary.pair
+
+    @property
+    def source(self) -> str:
+        """Source endpoint (MAC in the paper's configuration)."""
+        return self.summary.source
+
+    @property
+    def destination(self) -> str:
+        """Destination endpoint (domain)."""
+        return self.summary.destination

@@ -1,0 +1,41 @@
+"""Rescaling-and-merging MapReduce job (paper Section VII-B).
+
+MAP: re-express each ActivitySummary at a coarser time scale (periodicity
+detection over long windows runs on coarse summaries instead of raw
+logs).
+
+REDUCE: merge all (rescaled) summaries of the same pair — e.g. thirty
+per-day summaries into one month-long summary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Tuple
+
+from repro.core.timeseries import ActivitySummary, merge, rescale
+from repro.mapreduce.job import KeyValue, MapReduceJob
+from repro.utils.validation import require_positive
+
+
+class RescaleMergeJob(MapReduceJob):
+    """Per-window summaries -> merged coarse summaries per pair."""
+
+    def __init__(self, new_time_scale: float, *, n_partitions: int = 32) -> None:
+        require_positive(new_time_scale, "new_time_scale")
+        self.new_time_scale = new_time_scale
+        self.n_partitions = n_partitions
+
+    def map(self, key: Any, value: ActivitySummary) -> Iterator[KeyValue]:
+        """Rescale one summary to the new granularity."""
+        rescaled = (
+            rescale(value, self.new_time_scale)
+            if value.time_scale < self.new_time_scale
+            else value
+        )
+        yield value.pair, rescaled
+
+    def reduce(
+        self, key: Tuple[str, str], values: Iterable[ActivitySummary]
+    ) -> Iterator[KeyValue]:
+        """Merge all summaries of the pair into one."""
+        yield key, merge(sorted(values, key=lambda s: s.first_timestamp))

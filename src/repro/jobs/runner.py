@@ -1,0 +1,196 @@
+"""End-to-end MapReduce orchestration of the BAYWATCH phases.
+
+:class:`BaywatchRunner` chains the Section VII jobs — data extraction,
+(optional) rescale/merge, destination popularity, beaconing detection,
+and ranking — over a :class:`~repro.mapreduce.MapReduceEngine`, so the
+whole methodology runs with the same modular data flow as the paper's
+Hadoop deployment, serially or across worker processes.
+
+It produces the same :class:`~repro.filtering.pipeline.PipelineReport`
+as the in-process :class:`~repro.filtering.BaywatchPipeline`, so both
+front ends are interchangeable for analysis and benchmarking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.timeseries import ActivitySummary
+from repro.filtering.case import BeaconingCase
+from repro.filtering.novelty import NoveltyStore
+from repro.filtering.pipeline import FunnelStats, PipelineConfig, PipelineReport
+from repro.filtering.tokens import TokenFilter
+from repro.filtering.whitelist import GlobalWhitelist
+from repro.jobs.detection import BeaconingDetectionJob
+from repro.jobs.extraction import DataExtractionJob
+from repro.jobs.popularity import DestinationPopularityJob, popularity_table
+from repro.jobs.ranking_job import RankingJob, _to_case
+from repro.jobs.rescaling import RescaleMergeJob
+from repro.jobs.records import DetectionCase
+from repro.lm.domains import DomainScorer, default_scorer
+from repro.mapreduce.engine import MapReduceEngine
+from repro.synthetic.logs import ProxyLogRecord
+
+
+class BaywatchRunner:
+    """The MapReduce-backed front end of the 8-step methodology."""
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        *,
+        engine: Optional[MapReduceEngine] = None,
+        global_whitelist: Optional[GlobalWhitelist] = None,
+        novelty: Optional[NoveltyStore] = None,
+        token_filter: Optional[TokenFilter] = None,
+        scorer: Optional[DomainScorer] = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.engine = engine or MapReduceEngine()
+        self.global_whitelist = (
+            global_whitelist if global_whitelist is not None else GlobalWhitelist()
+        )
+        self.novelty = novelty if novelty is not None else NoveltyStore()
+        self.token_filter = token_filter if token_filter is not None else TokenFilter()
+        self._scorer = scorer
+
+    @property
+    def scorer(self) -> DomainScorer:
+        """The domain LM scorer (built lazily)."""
+        if self._scorer is None:
+            self._scorer = default_scorer()
+        return self._scorer
+
+    # -- phases ------------------------------------------------------------
+
+    def extract(
+        self, records: Iterable[ProxyLogRecord]
+    ) -> List[ActivitySummary]:
+        """Phase A: raw records -> per-pair ActivitySummaries."""
+        job = DataExtractionJob(time_scale=self.config.time_scale)
+        output = self.engine.run(job, enumerate(records))
+        return [summary for _pair, summary in output]
+
+    def rescale_merge(
+        self, summaries: Iterable[ActivitySummary], new_time_scale: float
+    ) -> List[ActivitySummary]:
+        """Phase B: rescale to a coarser granularity and merge windows."""
+        job = RescaleMergeJob(new_time_scale)
+        output = self.engine.run(
+            job, [(summary.pair, summary) for summary in summaries]
+        )
+        return [summary for _pair, summary in output]
+
+    def popularity(
+        self, summaries: List[ActivitySummary]
+    ) -> Tuple[Dict[str, float], Dict[str, int], int]:
+        """Phase C: destination popularity ratios and source counts."""
+        job = DestinationPopularityJob()
+        counts = self.engine.run(
+            job, [(summary.pair, summary) for summary in summaries]
+        )
+        population = len({summary.source for summary in summaries})
+        ratios = popularity_table(counts, population)
+        return ratios, dict(counts), population
+
+    def detect(
+        self,
+        summaries: List[ActivitySummary],
+        skip_destinations: frozenset,
+    ) -> List[DetectionCase]:
+        """Phase D: periodicity detection over non-whitelisted pairs."""
+        job = BeaconingDetectionJob(
+            self.config.detector,
+            skip_destinations=skip_destinations,
+            min_events=self.config.min_events,
+            use_threshold_cache=self.config.use_threshold_cache,
+        )
+        output = self.engine.run(
+            job, [(summary.pair, summary) for summary in summaries]
+        )
+        return [case for _pair, case in output]
+
+    def rank(
+        self,
+        cases: List[DetectionCase],
+        popularity: Dict[str, float],
+        similar_sources: Dict[str, int],
+    ) -> List[DetectionCase]:
+        """Phase E: token/novelty filtering, scoring, global ranking."""
+        lm_scores = {
+            destination: self.scorer.normalized_score(destination)
+            for destination in {case.summary.destination for case in cases}
+        }
+        job = RankingJob(
+            popularity=popularity,
+            similar_sources=similar_sources,
+            lm_scores=lm_scores,
+            reported_destinations=frozenset(self.novelty.reported_destinations),
+            token_filter=self.token_filter,
+            weights=self.config.ranking_weights,
+            percentile=self.config.ranking_percentile,
+        )
+        output = self.engine.run(job, [(case.pair, case) for case in cases])
+        ranked = [case for _rank, case in sorted(output, key=lambda kv: kv[0])]
+        for case in ranked:
+            self.novelty.record(case.summary.source, case.summary.destination)
+        return ranked
+
+    # -- end to end ----------------------------------------------------------
+
+    def run(
+        self,
+        records: Iterable[ProxyLogRecord],
+        *,
+        analysis_time_scale: Optional[float] = None,
+    ) -> PipelineReport:
+        """Run all phases; optionally rescale before detection."""
+        funnel = FunnelStats()
+        summaries = self.extract(records)
+        if analysis_time_scale is not None:
+            summaries = self.rescale_merge(summaries, analysis_time_scale)
+        ratios, counts, population = self.popularity(summaries)
+
+        n_in = len(summaries)
+        not_global = [
+            s for s in summaries if s.destination not in self.global_whitelist
+        ]
+        funnel.record("1 global whitelist", n_in, len(not_global))
+
+        threshold = self.config.local_whitelist_threshold
+        local_whitelisted = frozenset(
+            destination
+            for destination, ratio in ratios.items()
+            if ratio > threshold and counts.get(destination, 0) >= 3
+        )
+        survivors = [
+            s for s in not_global if s.destination not in local_whitelisted
+        ]
+        funnel.record("2 local whitelist", len(not_global), len(survivors))
+
+        detected = self.detect(survivors, frozenset())
+        funnel.record("3-5 periodicity detection", len(survivors), len(detected))
+
+        enriched = detected
+        ranked = self.rank(enriched, ratios, counts)
+        funnel.record("6-8 token/novelty/ranking", len(detected), len(ranked))
+
+        def bridge(case: DetectionCase) -> BeaconingCase:
+            out = _to_case(case)
+            if out.popularity == 0.0:
+                out = BeaconingCase(
+                    summary=out.summary,
+                    detection=out.detection,
+                    popularity=ratios.get(out.destination, 0.0),
+                    similar_sources=counts.get(out.destination, 1),
+                    lm_score=out.lm_score,
+                    rank_score=out.rank_score,
+                )
+            return out
+
+        return PipelineReport(
+            ranked_cases=[_to_case(case) for case in ranked],
+            detected_cases=[bridge(case) for case in detected],
+            funnel=funnel,
+            population_size=population,
+        )

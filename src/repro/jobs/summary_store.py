@@ -1,0 +1,99 @@
+"""Persistent ActivitySummary store across analysis runs.
+
+The paper's phases are "modularized MapReduce job[s] to avoid
+reprocessing raw logs" (Section VII): once a day's logs are extracted
+into ActivitySummaries, every later analysis — the weekly and monthly
+passes, re-ranking with new whitelists, retrospective hunts — reads the
+summaries, never the raw logs.
+
+:class:`SummaryStore` provides that layer on top of
+:class:`~repro.mapreduce.PartitionedStore`: append per-window summaries
+tagged by day, then load any trailing window rescaled and merged per
+pair, without touching raw records again.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.timeseries import ActivitySummary, merge, rescale
+from repro.mapreduce.store import PartitionedStore
+from repro.utils.validation import require, require_positive
+
+
+class SummaryStore:
+    """Day-indexed persistent storage of per-pair activity summaries."""
+
+    def __init__(self, root: Union[str, Path], *, n_partitions: int = 32) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.n_partitions = n_partitions
+
+    def _day_store(self, day: int) -> PartitionedStore:
+        return PartitionedStore(
+            self.root / f"day-{day:05d}", n_partitions=self.n_partitions
+        )
+
+    # -- writing ---------------------------------------------------------------
+
+    def append_day(self, day: int, summaries: Iterable[ActivitySummary]) -> int:
+        """Persist one day's summaries; returns the count written."""
+        require(day >= 0, "day must be non-negative")
+        return self._day_store(day).write(
+            list(summaries), key_of=lambda s: s.pair
+        )
+
+    # -- reading ---------------------------------------------------------------
+
+    def days(self) -> List[int]:
+        """The day indices present in the store, ascending."""
+        out = []
+        for path in sorted(self.root.glob("day-*")):
+            try:
+                out.append(int(path.name.split("-")[1]))
+            except (IndexError, ValueError):
+                continue
+        return out
+
+    def load_day(self, day: int) -> List[ActivitySummary]:
+        """All summaries of one day (empty when absent)."""
+        return list(self._day_store(day).read_all())
+
+    def load_window(
+        self,
+        *,
+        end_day: Optional[int] = None,
+        window_days: int = 7,
+        time_scale: Optional[float] = None,
+    ) -> List[ActivitySummary]:
+        """Trailing window of summaries, merged per pair.
+
+        ``time_scale`` optionally rescales before merging (the weekly
+        and monthly passes run coarse); windows reaching before day 0
+        are clipped.
+        """
+        require_positive(window_days, "window_days")
+        days = self.days()
+        if not days:
+            return []
+        if end_day is None:
+            end_day = days[-1]
+        wanted = [d for d in days if end_day - window_days < d <= end_day]
+        grouped: Dict[Tuple[str, str], List[ActivitySummary]] = {}
+        for day in wanted:
+            for summary in self.load_day(day):
+                if time_scale is not None and summary.time_scale < time_scale:
+                    summary = rescale(summary, time_scale)
+                grouped.setdefault(summary.pair, []).append(summary)
+        merged = [
+            merge(sorted(group, key=lambda s: s.first_timestamp))
+            for group in grouped.values()
+        ]
+        merged.sort(key=lambda s: s.pair)
+        return merged
+
+    def clear(self) -> None:
+        """Remove every stored day."""
+        for day in self.days():
+            self._day_store(day).clear()

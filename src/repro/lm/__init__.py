@@ -1,0 +1,20 @@
+"""Domain-name language modelling (paper Section V-C).
+
+A character 3-gram model with interpolated Kneser-Ney smoothing, trained
+on a popular-domain corpus, scores candidate destinations: DGA-generated
+names receive sharply lower log-probabilities than human-chosen ones.
+"""
+
+from repro.lm.ngram import NgramLanguageModel
+from repro.lm.corpus import POPULAR_DOMAINS, expand_corpus, training_corpus
+from repro.lm.domains import DomainScorer, default_scorer, registered_domain
+
+__all__ = [
+    "NgramLanguageModel",
+    "POPULAR_DOMAINS",
+    "expand_corpus",
+    "training_corpus",
+    "DomainScorer",
+    "default_scorer",
+    "registered_domain",
+]

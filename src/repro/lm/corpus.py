@@ -1,0 +1,230 @@
+"""Popular-domain training corpus.
+
+The paper trains its 3-gram model on the Alexa top 1 million domain
+names, which is no longer distributed.  We substitute a deterministic
+corpus built from (a) a few hundred globally popular real domain names
+and (b) a systematic expansion composing common English words into
+plausible domain names — enough data for a 3-gram model to learn which
+character transitions occur in human-chosen names.  The qualitative
+property the pipeline relies on is preserved: English-like names score
+orders of magnitude higher than random-character DGA names.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.utils.validation import require
+
+#: A sample of globally popular, human-chosen domain names.
+POPULAR_DOMAINS: tuple = (
+    "google.com", "youtube.com", "facebook.com", "wikipedia.org",
+    "twitter.com", "instagram.com", "amazon.com", "yahoo.com",
+    "reddit.com", "netflix.com", "linkedin.com", "microsoft.com",
+    "apple.com", "bing.com", "ebay.com", "pinterest.com",
+    "wordpress.com", "tumblr.com", "paypal.com", "blogspot.com",
+    "imgur.com", "stackoverflow.com", "adobe.com", "dropbox.com",
+    "github.com", "bbc.com", "cnn.com", "nytimes.com",
+    "theguardian.com", "washingtonpost.com", "forbes.com", "bloomberg.com",
+    "reuters.com", "wsj.com", "usatoday.com", "espn.com",
+    "weather.com", "accuweather.com", "booking.com", "tripadvisor.com",
+    "expedia.com", "airbnb.com", "uber.com", "spotify.com",
+    "soundcloud.com", "vimeo.com", "twitch.tv", "dailymotion.com",
+    "flickr.com", "shutterstock.com", "gettyimages.com", "walmart.com",
+    "target.com", "bestbuy.com", "homedepot.com", "costco.com",
+    "aliexpress.com", "alibaba.com", "etsy.com", "wayfair.com",
+    "zillow.com", "realtor.com", "craigslist.org", "indeed.com",
+    "glassdoor.com", "monster.com", "salesforce.com", "oracle.com",
+    "ibm.com", "intel.com", "nvidia.com", "amd.com",
+    "dell.com", "hp.com", "lenovo.com", "samsung.com",
+    "sony.com", "lg.com", "panasonic.com", "toshiba.com",
+    "cisco.com", "vmware.com", "redhat.com", "ubuntu.com",
+    "debian.org", "python.org", "java.com", "php.net",
+    "mysql.com", "postgresql.org", "mongodb.com", "redis.io",
+    "docker.com", "kubernetes.io", "gitlab.com", "bitbucket.org",
+    "sourceforge.net", "slashdot.org", "wired.com", "techcrunch.com",
+    "engadget.com", "arstechnica.com", "theverge.com", "cnet.com",
+    "zdnet.com", "pcmag.com", "tomshardware.com", "anandtech.com",
+    "gsmarena.com", "xda-developers.com", "androidcentral.com", "imore.com",
+    "macrumors.com", "9to5mac.com", "appleinsider.com", "windowscentral.com",
+    "howtogeek.com", "lifehacker.com", "makeuseof.com", "digitaltrends.com",
+    "gizmodo.com", "kotaku.com", "polygon.com", "ign.com",
+    "gamespot.com", "steampowered.com", "epicgames.com", "riotgames.com",
+    "blizzard.com", "ea.com", "ubisoft.com", "nintendo.com",
+    "playstation.com", "xbox.com", "minecraft.net", "roblox.com",
+    "chess.com", "duolingo.com", "coursera.org", "udemy.com",
+    "edx.org", "khanacademy.org", "mit.edu", "stanford.edu",
+    "harvard.edu", "berkeley.edu", "cornell.edu", "princeton.edu",
+    "yale.edu", "columbia.edu", "ox.ac.uk", "cam.ac.uk",
+    "nature.com", "sciencemag.org", "ieee.org", "acm.org",
+    "arxiv.org", "researchgate.net", "springer.com", "elsevier.com",
+    "wiley.com", "jstor.org", "scholar.google.com", "pubmed.gov",
+    "nih.gov", "cdc.gov", "who.int", "un.org",
+    "europa.eu", "gov.uk", "irs.gov", "usps.com",
+    "fedex.com", "ups.com", "dhl.com", "chase.com",
+    "bankofamerica.com", "wellsfargo.com", "citibank.com", "hsbc.com",
+    "barclays.com", "americanexpress.com", "visa.com", "mastercard.com",
+    "fidelity.com", "vanguard.com", "schwab.com", "robinhood.com",
+    "coinbase.com", "binance.com", "kraken.com", "etrade.com",
+    "mint.com", "turbotax.com", "hrblock.com", "quickbooks.com",
+    "xero.com", "zendesk.com", "freshdesk.com", "intercom.com",
+    "hubspot.com", "mailchimp.com", "constantcontact.com", "sendgrid.com",
+    "twilio.com", "stripe.com", "squareup.com", "shopify.com",
+    "bigcommerce.com", "magento.com", "woocommerce.com", "wix.com",
+    "squarespace.com", "godaddy.com", "namecheap.com", "cloudflare.com",
+    "akamai.com", "fastly.com", "digitalocean.com", "linode.com",
+    "heroku.com", "netlify.com", "vercel.com", "firebase.google.com",
+    "azure.microsoft.com", "aws.amazon.com", "slack.com", "zoom.us",
+    "skype.com", "discord.com", "telegram.org", "whatsapp.com",
+    "signal.org", "viber.com", "wechat.com", "line.me",
+    "snapchat.com", "tiktok.com", "vk.com", "weibo.com",
+    "baidu.com", "qq.com", "taobao.com", "jd.com",
+    "rakuten.com", "yandex.ru", "mail.ru", "naver.com",
+    "daum.net", "nicovideo.jp", "pixiv.net", "flipkart.com",
+    "snapdeal.com", "myntra.com", "zomato.com", "swiggy.com",
+    "grubhub.com", "doordash.com", "ubereats.com", "instacart.com",
+    "postmates.com", "deliveroo.com", "opentable.com", "yelp.com",
+    "foursquare.com", "groupon.com", "livingsocial.com", "ticketmaster.com",
+    "stubhub.com", "eventbrite.com", "meetup.com", "patreon.com",
+    "kickstarter.com", "indiegogo.com", "gofundme.com", "change.org",
+    "surveymonkey.com", "typeform.com", "doodle.com", "calendly.com",
+    "evernote.com", "notion.so", "trello.com", "asana.com",
+    "monday.com", "airtable.com", "basecamp.com", "atlassian.com",
+    "medium.com", "substack.com", "quora.com", "stackexchange.com",
+    "wikihow.com", "britannica.com", "dictionary.com", "thesaurus.com",
+    "merriam-webster.com", "translate.google.com", "deepl.com", "grammarly.com",
+    "goodreads.com", "audible.com", "scribd.com", "archive.org",
+    "gutenberg.org", "imdb.com", "rottentomatoes.com", "metacritic.com",
+    "fandango.com", "hulu.com", "disneyplus.com", "hbomax.com",
+    "peacocktv.com", "paramountplus.com", "crunchyroll.com", "funimation.com",
+    "pandora.com", "iheart.com", "tunein.com", "bandcamp.com",
+    "last.fm", "genius.com", "billboard.com", "rollingstone.com",
+    "pitchfork.com", "nme.com", "mtv.com", "vh1.com",
+    "nba.com", "nfl.com", "mlb.com", "nhl.com",
+    "fifa.com", "uefa.com", "skysports.com", "goal.com",
+    "bleacherreport.com", "cbssports.com", "foxsports.com", "nbcsports.com",
+    "ausopen.com", "wimbledon.com", "rolandgarros.com", "usopen.org",
+    "olympics.com", "espncricinfo.com", "cricbuzz.com", "formula1.com",
+    "nascar.com", "motogp.com", "golfdigest.com", "pgatour.com",
+    "runnersworld.com", "bodybuilding.com", "myfitnesspal.com", "fitbit.com",
+    "strava.com", "garmin.com", "allrecipes.com", "foodnetwork.com",
+    "epicurious.com", "seriouseats.com", "bonappetit.com", "tasty.co",
+    "delish.com", "cooking.nytimes.com", "webmd.com", "mayoclinic.org",
+    "healthline.com", "medlineplus.gov", "drugs.com", "goodrx.com",
+    "zocdoc.com", "teladoc.com", "psychologytoday.com", "verywellmind.com",
+    "investopedia.com", "nerdwallet.com", "bankrate.com", "creditkarma.com",
+    "experian.com", "equifax.com", "transunion.com", "kbb.com",
+    "edmunds.com", "caranddriver.com", "motortrend.com", "autotrader.com",
+    "cars.com", "carmax.com", "carvana.com", "tesla.com",
+    "ford.com", "toyota.com", "honda.com", "bmw.com",
+    "mercedes-benz.com", "audi.com", "volkswagen.com", "nissanusa.com",
+    "hyundai.com", "kia.com", "subaru.com", "mazda.com",
+)
+
+#: Common English words used to compose additional plausible domains.
+_WORDS: tuple = (
+    "able", "access", "account", "active", "air", "all", "app", "art",
+    "auto", "baby", "back", "bank", "base", "bay", "beach", "best",
+    "big", "bike", "bit", "black", "blog", "blue", "board", "book",
+    "box", "brain", "brand", "bright", "build", "business", "buy", "cafe",
+    "call", "camp", "car", "card", "care", "cart", "case", "cash",
+    "cast", "cat", "center", "chat", "check", "chef", "city", "class",
+    "clean", "clear", "click", "client", "climb", "cloud", "club", "coach",
+    "code", "coffee", "coin", "color", "connect", "cook", "cool", "core",
+    "corner", "craft", "create", "crew", "cross", "crowd", "cube", "cup",
+    "cut", "daily", "dance", "dash", "data", "day", "deal", "deep",
+    "design", "desk", "dev", "digital", "direct", "dish", "doc", "dog",
+    "door", "dot", "draft", "dream", "drive", "drop", "earth", "easy",
+    "eat", "edge", "edit", "energy", "engine", "event", "expert", "express",
+    "eye", "face", "fact", "family", "fan", "farm", "fast", "feed",
+    "field", "file", "film", "find", "fine", "fire", "first", "fish",
+    "fit", "five", "flash", "flat", "flex", "flight", "flow", "fly",
+    "focus", "folk", "food", "force", "forest", "form", "forum", "four",
+    "fox", "frame", "free", "fresh", "friend", "fun", "fund", "future",
+    "game", "garden", "gate", "gear", "gem", "gift", "give", "glass",
+    "globe", "goal", "gold", "golf", "good", "grand", "graph", "great",
+    "green", "grid", "group", "grow", "guide", "hand", "happy", "head",
+    "heart", "help", "hero", "high", "hill", "hive", "holiday", "home",
+    "hook", "hope", "host", "hot", "house", "hub", "idea", "image",
+    "inbox", "info", "ink", "inn", "insight", "instant", "iron", "island",
+    "jet", "job", "join", "joy", "jump", "just", "key", "kid",
+    "kind", "king", "kit", "kitchen", "lab", "lake", "land", "lane",
+    "large", "last", "launch", "law", "lead", "leaf", "learn", "lens",
+    "level", "life", "light", "like", "line", "link", "lion", "list",
+    "little", "live", "local", "lock", "log", "logic", "long", "look",
+    "loop", "love", "magic", "mail", "main", "make", "map", "mark",
+    "market", "master", "match", "mate", "max", "media", "meet", "mega",
+    "memo", "menu", "merge", "metro", "micro", "mind", "mine", "mini",
+    "mint", "mix", "mobile", "mode", "model", "modern", "moon", "more",
+    "motion", "mountain", "move", "movie", "music", "name", "nation", "native",
+    "nest", "net", "new", "news", "next", "nice", "night", "node",
+    "north", "note", "now", "ocean", "offer", "office", "one", "open",
+    "orbit", "order", "page", "paint", "pal", "panel", "paper", "park",
+    "part", "pass", "path", "pay", "peak", "pen", "people", "pet",
+    "phone", "photo", "pick", "pilot", "pin", "pixel", "place", "plan",
+    "planet", "plant", "play", "plus", "pocket", "point", "pool", "pop",
+    "port", "post", "power", "press", "prime", "print", "pro", "pulse",
+    "pure", "push", "quest", "quick", "radio", "rain", "ranch", "range",
+    "rank", "rapid", "reach", "read", "ready", "real", "record", "red",
+    "rent", "report", "rest", "ride", "right", "ring", "rise", "river",
+    "road", "rock", "room", "root", "rose", "round", "route", "run",
+    "safe", "sail", "sale", "salt", "save", "scale", "scan", "school",
+    "score", "scout", "screen", "sea", "search", "seat", "second", "secure",
+    "seed", "sell", "send", "sense", "serve", "set", "seven", "shape",
+    "share", "sharp", "shelf", "shift", "shine", "ship", "shop", "short",
+    "shot", "show", "side", "sign", "silver", "simple", "site", "six",
+    "size", "sky", "sleep", "slice", "smart", "smile", "snap", "snow",
+    "social", "soft", "solar", "solid", "solve", "song", "sound", "source",
+    "south", "space", "spark", "speed", "spin", "sport", "spot", "spring",
+    "square", "stack", "staff", "stage", "star", "start", "state", "station",
+    "stay", "steel", "step", "stock", "stone", "stop", "store", "storm",
+    "story", "stream", "street", "strong", "studio", "study", "style", "sugar",
+    "summit", "sun", "super", "sure", "surf", "sweet", "swift", "table",
+    "tag", "take", "talk", "tap", "task", "taste", "team", "tech",
+    "ten", "term", "test", "text", "theme", "think", "three", "tide",
+    "tiger", "time", "tiny", "tip", "today", "tool", "top", "total",
+    "touch", "tour", "town", "track", "trade", "trail", "train", "travel",
+    "tree", "trend", "trip", "true", "trust", "turbo", "turn", "twin",
+    "two", "ultra", "union", "unit", "up", "urban", "use", "user",
+    "value", "vault", "verse", "video", "view", "village", "vine", "vision",
+    "visit", "vista", "vital", "voice", "wall", "watch", "water", "wave",
+    "way", "web", "well", "west", "wide", "wild", "win", "wind",
+    "window", "wing", "wire", "wise", "wish", "wolf", "wood", "word",
+    "work", "world", "yard", "year", "yellow", "yes", "zen", "zero",
+    "zone", "zoom",
+)
+
+_EXPANSION_TLDS = (".com", ".net", ".org", ".io", ".co")
+
+
+def expand_corpus(target_size: int = 20_000) -> List[str]:
+    """Compose English words into a deterministic synthetic corpus.
+
+    Pairs of common words (plus single words) are joined into plausible
+    domain names (``cloudkitchen.com``, ``fasttrack.net``...), cycling
+    deterministically through word pairs and TLDs until ``target_size``
+    names exist.  No randomness: the same corpus is produced everywhere.
+    """
+    require(target_size >= 1, "target_size must be positive")
+    corpus: List[str] = []
+    n_words = len(_WORDS)
+    # Single words first, then pairs in a fixed stride pattern.
+    for index, word in enumerate(_WORDS):
+        corpus.append(word + _EXPANSION_TLDS[index % len(_EXPANSION_TLDS)])
+        if len(corpus) >= target_size:
+            return corpus
+    stride = 7  # co-prime with the word count to spread pairings widely
+    pair_index = 0
+    while len(corpus) < target_size:
+        first = _WORDS[pair_index % n_words]
+        second = _WORDS[(pair_index * stride + pair_index // n_words) % n_words]
+        tld = _EXPANSION_TLDS[pair_index % len(_EXPANSION_TLDS)]
+        if first != second:
+            corpus.append(first + second + tld)
+        pair_index += 1
+    return corpus
+
+
+def training_corpus(expanded_size: int = 20_000) -> List[str]:
+    """The full LM training corpus: real popular domains + expansion."""
+    return list(POPULAR_DOMAINS) + expand_corpus(expanded_size)

@@ -1,0 +1,124 @@
+"""Domain-name scoring for DGA detection (paper Section V-C).
+
+:class:`DomainScorer` wraps the Kneser-Ney n-gram model with the
+domain-specific plumbing: a default training corpus, sub-domain
+stripping (the registrable part carries the DGA signal — the paper's
+``cdn.5f75b1c54f8[..]2d4.com`` hides the blob in the registered label),
+and a calibrated anomaly verdict.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, List, Optional, Tuple
+
+from repro.lm.corpus import training_corpus
+from repro.lm.ngram import NgramLanguageModel
+from repro.utils.validation import require
+
+#: Multi-label public suffixes we recognize when extracting the
+#: registrable domain (a small practical subset).
+_MULTI_SUFFIXES = (
+    "co.uk", "ac.uk", "gov.uk", "org.uk", "com.au", "net.au", "org.au",
+    "co.jp", "ne.jp", "or.jp", "com.cn", "net.cn", "org.cn", "com.br",
+    "com.mx", "co.in", "co.kr", "co.za",
+)
+
+
+def registered_domain(hostname: str) -> str:
+    """The registrable part of ``hostname`` (label + public suffix).
+
+    ``cdn.5f75b1c54f82d4.com`` -> ``5f75b1c54f82d4.com``;
+    ``www.example.co.uk`` -> ``example.co.uk``.  Inputs that are already
+    registrable (or bare labels / IP addresses) pass through unchanged.
+    """
+    require(len(hostname) > 0, "hostname must not be empty")
+    hostname = hostname.strip().strip(".").lower()
+    labels = hostname.split(".")
+    if len(labels) <= 2:
+        return hostname
+    if all(label.isdigit() for label in labels):
+        return hostname  # IPv4 literal
+    for suffix in _MULTI_SUFFIXES:
+        if hostname.endswith("." + suffix):
+            n_suffix = suffix.count(".") + 1
+            return ".".join(labels[-(n_suffix + 1):])
+    return ".".join(labels[-2:])
+
+
+class DomainScorer:
+    """Score domain names under a popular-domain language model.
+
+    ``score`` mirrors the paper's ``S = log P(D)``: the paper reports
+    google.com at about -7.4 and a 22-character DGA at about -45.  The
+    absolute values depend on the corpus; what the pipeline consumes is
+    the *normalized* score (per character transition) and the large gap
+    between human-chosen and algorithmic names.
+    """
+
+    def __init__(
+        self,
+        corpus: Optional[Iterable[str]] = None,
+        *,
+        order: int = 3,
+        strip_subdomains: bool = True,
+    ) -> None:
+        self.model = NgramLanguageModel(order=order)
+        if corpus is None:
+            corpus = training_corpus()
+        self.model.fit(corpus)
+        self.strip_subdomains = strip_subdomains
+
+    def _target(self, domain: str) -> str:
+        return registered_domain(domain) if self.strip_subdomains else domain.lower()
+
+    def score(self, domain: str) -> float:
+        """``log10 P(domain)``; lower = more DGA-like."""
+        return self.model.log_score(self._target(domain))
+
+    def normalized_score(self, domain: str) -> float:
+        """Per-transition log score; comparable across lengths."""
+        return self.model.normalized_score(self._target(domain))
+
+    def score_many(self, domains: Iterable[str]) -> List[Tuple[str, float]]:
+        """Score a batch; returns (domain, normalized_score), lowest first."""
+        scored = [(d, self.normalized_score(d)) for d in domains]
+        scored.sort(key=lambda item: item[1])
+        return scored
+
+    def is_suspicious(self, domain: str, threshold: float = -2.2) -> bool:
+        """Anomaly verdict on the normalized score.
+
+        The default threshold sits between the benign corpus (typically
+        above -2) and random-character DGA names (typically below -2.5);
+        calibrate per deployment with :meth:`calibrate_threshold`.
+        """
+        return self.normalized_score(domain) < threshold
+
+    def calibrate_threshold(
+        self,
+        benign_sample: Iterable[str],
+        *,
+        target_fpr: float = 0.001,
+    ) -> float:
+        """A suspicion threshold hitting ``target_fpr`` on benign names.
+
+        Scores the benign sample and returns the quantile below which
+        only a ``target_fpr`` fraction of benign names fall — use the
+        deployment's own observed destinations as the sample so the
+        threshold adapts to local naming conventions.
+        """
+        import numpy as np
+
+        from repro.utils.validation import require, require_probability
+
+        require_probability(target_fpr, "target_fpr")
+        scores = [self.normalized_score(d) for d in benign_sample]
+        require(len(scores) >= 10, "need at least 10 benign samples")
+        return float(np.quantile(scores, target_fpr))
+
+
+@lru_cache(maxsize=1)
+def default_scorer() -> DomainScorer:
+    """A process-wide scorer trained on the bundled corpus (cached)."""
+    return DomainScorer()

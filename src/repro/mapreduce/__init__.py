@@ -1,0 +1,19 @@
+"""Local MapReduce substrate (replaces the paper's Hadoop cluster).
+
+Same programming model — modular jobs with hash-partitioned shuffles —
+executed in-process or over a multiprocessing pool, plus a partitioned
+on-disk store standing in for HDFS.
+"""
+
+from repro.mapreduce.job import KeyValue, MapReduceJob, stable_hash
+from repro.mapreduce.engine import JobStats, MapReduceEngine
+from repro.mapreduce.store import PartitionedStore
+
+__all__ = [
+    "KeyValue",
+    "MapReduceJob",
+    "stable_hash",
+    "JobStats",
+    "MapReduceEngine",
+    "PartitionedStore",
+]

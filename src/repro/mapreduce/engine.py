@@ -1,0 +1,209 @@
+"""Local MapReduce engine: serial and multiprocess execution.
+
+Substitutes the paper's 13-node Hadoop cluster with a faithful local
+model of the same computation: map over input records, shuffle by the
+job's partitioner, group values per key (sorted for determinism), and
+reduce partition by partition.  ``n_workers > 1`` distributes both map
+chunks and reduce partitions over a process pool — jobs and records must
+then be picklable, exactly as Hadoop requires them to be serializable.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.mapreduce.job import KeyValue, MapReduceJob
+from repro.utils.validation import require
+
+
+@dataclass
+class JobStats:
+    """Counters of one job execution (for the scalability benches)."""
+
+    input_records: int = 0
+    mapped_records: int = 0
+    distinct_keys: int = 0
+    output_records: int = 0
+    partitions_used: int = 0
+    task_retries: int = 0
+
+
+def _map_chunk(job: MapReduceJob, chunk: Sequence[KeyValue]) -> List[Tuple[int, KeyValue]]:
+    """Map a chunk of inputs; tags each output with its partition."""
+    out: List[Tuple[int, KeyValue]] = []
+    for key, value in chunk:
+        for out_key, out_value in job.map(key, value):
+            out.append((job.partition(out_key), (out_key, out_value)))
+    return out
+
+
+def _reduce_partition(
+    job: MapReduceJob, grouped: List[Tuple[Any, List[Any]]]
+) -> List[KeyValue]:
+    """Reduce all key groups of one partition."""
+    out: List[KeyValue] = []
+    for key, values in grouped:
+        out.extend(job.reduce(key, values))
+    return out
+
+
+def _chunked(items: Sequence, n_chunks: int) -> List[Sequence]:
+    """Split ``items`` into at most ``n_chunks`` contiguous chunks."""
+    if not items:
+        return []
+    size = max(1, (len(items) + n_chunks - 1) // n_chunks)
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+class MapReduceEngine:
+    """Executes :class:`MapReduceJob` instances locally.
+
+    With ``n_workers > 1`` a single process pool is created lazily and
+    reused across runs (workers are where Hadoop's task JVMs would be);
+    phases too small to amortize dispatch overhead
+    (< ``min_parallel_records`` inputs) fall back to serial execution.
+
+    ``max_retries`` re-runs a failed map chunk or reduce partition, the
+    local analogue of Hadoop's task-level fault tolerance: a transient
+    task failure must not kill a multi-hour batch.  Tasks that fail on
+    every attempt re-raise the final exception.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        *,
+        min_parallel_records: int = 64,
+        max_retries: int = 0,
+    ) -> None:
+        require(n_workers >= 1, "n_workers must be at least 1")
+        require(max_retries >= 0, "max_retries must be non-negative")
+        self.n_workers = n_workers
+        self.min_parallel_records = min_parallel_records
+        self.max_retries = max_retries
+        self.last_stats: Optional[JobStats] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _attempt(self, func, *args):
+        """Run a task, retrying up to ``max_retries`` times."""
+        failures = 0
+        while True:
+            try:
+                return func(*args)
+            except Exception:
+                failures += 1
+                if failures > self.max_retries:
+                    raise
+                if self.last_stats is not None:
+                    self.last_stats.task_retries += 1
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for serial engines)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "MapReduceEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def run(
+        self, job: MapReduceJob, inputs: Iterable[KeyValue]
+    ) -> List[KeyValue]:
+        """Run ``job`` over ``inputs``; returns the reduce output.
+
+        Output records are ordered deterministically (by partition, then
+        by sorted key within the partition) regardless of worker count.
+        """
+        records = list(inputs)
+        stats = JobStats(input_records=len(records))
+        self.last_stats = stats
+        parallel = (
+            self.n_workers > 1 and len(records) >= self.min_parallel_records
+        )
+
+        # -- map phase ---------------------------------------------------
+        if not parallel:
+            chunks = (
+                _chunked(records, max(1, len(records) // 64))
+                if self.max_retries
+                else [records]
+            )
+            tagged = [
+                item
+                for chunk in chunks
+                for item in self._attempt(_map_chunk, job, chunk)
+            ]
+        else:
+            chunks = _chunked(records, self.n_workers * 4)
+            results = self._parallel_tasks(_map_chunk, job, chunks)
+            tagged = [item for chunk_out in results for item in chunk_out]
+        stats.mapped_records = len(tagged)
+
+        # -- shuffle: partition -> key -> [values] -------------------------
+        partitions: Dict[int, Dict[Any, List[Any]]] = {}
+        for partition, (key, value) in tagged:
+            partitions.setdefault(partition, {}).setdefault(key, []).append(value)
+        stats.distinct_keys = sum(len(p) for p in partitions.values())
+        stats.partitions_used = len(partitions)
+
+        grouped_per_partition: List[List[Tuple[Any, List[Any]]]] = [
+            sorted(partitions[p].items(), key=lambda item: repr(item[0]))
+            for p in sorted(partitions)
+        ]
+
+        # -- reduce phase ---------------------------------------------------
+        if not parallel or len(grouped_per_partition) <= 1:
+            output: List[KeyValue] = []
+            for grouped in grouped_per_partition:
+                output.extend(self._attempt(_reduce_partition, job, grouped))
+        else:
+            results = self._parallel_tasks(
+                _reduce_partition, job, grouped_per_partition
+            )
+            output = [item for part in results for item in part]
+
+        stats.output_records = len(output)
+        return output
+
+    def _parallel_tasks(self, func, job: MapReduceJob, tasks: Sequence) -> List:
+        """Dispatch tasks on the pool; retry failures in-process."""
+        pool = self._get_pool()
+        futures = [pool.submit(func, job, task) for task in tasks]
+        results = []
+        for future, task in zip(futures, tasks):
+            try:
+                results.append(future.result())
+            except Exception:
+                if self.max_retries < 1:
+                    raise
+                if self.last_stats is not None:
+                    self.last_stats.task_retries += 1
+                # One parallel attempt is spent; the serial retry path
+                # covers the rest of the budget.
+                previous = self.max_retries
+                self.max_retries = previous - 1
+                try:
+                    results.append(self._attempt(func, job, task))
+                finally:
+                    self.max_retries = previous
+        return results
+
+    def chain(
+        self, jobs: Sequence[MapReduceJob], inputs: Iterable[KeyValue]
+    ) -> List[KeyValue]:
+        """Run several jobs back to back, feeding each the previous
+        output — the paper's modularized multi-phase data flow."""
+        current = list(inputs)
+        for job in jobs:
+            current = self.run(job, current)
+        return current

@@ -1,0 +1,54 @@
+"""MapReduce job abstraction (paper Section VII).
+
+BAYWATCH structures every phase as a modular MapReduce job so that raw
+logs are processed once and intermediate ActivitySummaries are reused.
+A job defines ``map(key, value) -> iterable of (key2, value2)`` and
+``reduce(key2, values) -> iterable of (key3, value3)``; the engine
+handles partitioning (the paper's hash ``H(s, d)`` controlling the
+number of reduce tasks), shuffling, and execution.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, Iterator, Tuple
+
+from repro.utils.validation import require
+
+KeyValue = Tuple[Any, Any]
+
+
+def stable_hash(key: Any) -> int:
+    """Deterministic hash usable across worker processes.
+
+    Python's built-in ``hash`` is randomized per process, which would
+    scatter identical keys across partitions in multiprocess runs;
+    CRC32 of the repr is stable everywhere.
+    """
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+class MapReduceJob(ABC):
+    """One modular phase of the analysis.
+
+    ``n_partitions`` plays the role of the paper's hash-bit count: a
+    5-bit hash yields 32 reduce partitions, trading per-task startup
+    overhead against parallelism.
+    """
+
+    #: Number of reduce partitions (paper default: 32 = 2^5).
+    n_partitions: int = 32
+
+    @abstractmethod
+    def map(self, key: Any, value: Any) -> Iterator[KeyValue]:
+        """Transform one input record into zero or more keyed records."""
+
+    @abstractmethod
+    def reduce(self, key: Any, values: Iterable[Any]) -> Iterator[KeyValue]:
+        """Combine all values sharing ``key`` into output records."""
+
+    def partition(self, key: Any) -> int:
+        """Reduce-partition index for ``key`` (stable across processes)."""
+        require(self.n_partitions >= 1, "n_partitions must be at least 1")
+        return stable_hash(key) % self.n_partitions

@@ -1,0 +1,83 @@
+"""Partitioned on-disk record store (the HDFS stand-in).
+
+The paper persists each phase's output in HDFS so later phases (and the
+next day's run) never reprocess raw logs.  :class:`PartitionedStore`
+provides the same contract locally: records are appended to hash
+partitions under a directory, each partition a pickle-stream file, and
+read back partition by partition.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any, Iterable, Iterator, List, Union
+
+from repro.mapreduce.job import stable_hash
+from repro.utils.validation import require
+
+
+class PartitionedStore:
+    """Append-only partitioned storage for picklable records."""
+
+    def __init__(self, root: Union[str, Path], n_partitions: int = 32) -> None:
+        require(n_partitions >= 1, "n_partitions must be at least 1")
+        self.root = Path(root)
+        self.n_partitions = n_partitions
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, partition: int) -> Path:
+        return self.root / f"part-{partition:05d}.pkl"
+
+    def write(self, records: Iterable[Any], key_of=lambda record: record) -> int:
+        """Append records, routing each by ``stable_hash(key_of(record))``.
+
+        Returns the number of records written.
+        """
+        handles = {}
+        count = 0
+        try:
+            for record in records:
+                partition = stable_hash(key_of(record)) % self.n_partitions
+                handle = handles.get(partition)
+                if handle is None:
+                    handle = self._path(partition).open("ab")
+                    handles[partition] = handle
+                pickle.dump(record, handle)
+                count += 1
+        finally:
+            for handle in handles.values():
+                handle.close()
+        return count
+
+    def read_partition(self, partition: int) -> Iterator[Any]:
+        """Stream the records of one partition (empty if absent)."""
+        require(0 <= partition < self.n_partitions, "partition out of range")
+        path = self._path(partition)
+        if not path.exists():
+            return
+        with path.open("rb") as handle:
+            while True:
+                try:
+                    yield pickle.load(handle)
+                except EOFError:
+                    break
+
+    def read_all(self) -> Iterator[Any]:
+        """Stream every record, partition by partition."""
+        for partition in range(self.n_partitions):
+            yield from self.read_partition(partition)
+
+    def partition_sizes(self) -> List[int]:
+        """On-disk bytes per partition (0 for absent partitions)."""
+        return [
+            self._path(p).stat().st_size if self._path(p).exists() else 0
+            for p in range(self.n_partitions)
+        ]
+
+    def clear(self) -> None:
+        """Delete all partitions."""
+        for partition in range(self.n_partitions):
+            path = self._path(partition)
+            if path.exists():
+                path.unlink()

@@ -1,0 +1,52 @@
+"""From-scratch machine-learning substrate (paper Section VI).
+
+CART decision trees, a 200-tree random forest with uncertainty-ordered
+review, the Table II feature extraction (interval symbolization, 3-gram
+histograms, entropy, compressibility), and evaluation metrics.
+"""
+
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.crossval import (
+    CrossValidationResult,
+    cross_validate,
+    stratified_folds,
+)
+from repro.ml.metrics import (
+    ConfusionMatrix,
+    confusion_matrix,
+    false_negatives_vs_reviewed,
+    precision_at_k,
+)
+from repro.ml.features import (
+    FEATURE_NAMES,
+    SYMBOL_OTHER,
+    SYMBOL_PERIODIC,
+    SYMBOL_ZERO,
+    TRIGRAMS,
+    CaseFeatures,
+    extract_case_features,
+    symbolize_intervals,
+    trigram_histogram,
+)
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "CrossValidationResult",
+    "cross_validate",
+    "stratified_folds",
+    "ConfusionMatrix",
+    "confusion_matrix",
+    "false_negatives_vs_reviewed",
+    "precision_at_k",
+    "FEATURE_NAMES",
+    "SYMBOL_OTHER",
+    "SYMBOL_PERIODIC",
+    "SYMBOL_ZERO",
+    "TRIGRAMS",
+    "CaseFeatures",
+    "extract_case_features",
+    "symbolize_intervals",
+    "trigram_histogram",
+]

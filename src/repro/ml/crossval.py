@@ -1,0 +1,103 @@
+"""Cross-validation for the case classifier.
+
+The paper trains once and evaluates once; a production deployment wants
+error bars before trusting the classifier on five months of traffic.
+:func:`cross_validate` runs stratified k-fold evaluation and aggregates
+the per-fold confusion matrices, so the investigation phase can report
+"FPR 0.00 +- 0.00, recall 0.72 +- 0.08" instead of a point estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.metrics import ConfusionMatrix, confusion_matrix
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class CrossValidationResult:
+    """Aggregated k-fold evaluation."""
+
+    folds: Tuple[ConfusionMatrix, ...]
+
+    def _stat(self, attribute: str) -> Tuple[float, float]:
+        values = np.asarray([getattr(fold, attribute) for fold in self.folds])
+        return float(values.mean()), float(values.std())
+
+    @property
+    def accuracy(self) -> Tuple[float, float]:
+        """(mean, std) accuracy over folds."""
+        return self._stat("accuracy")
+
+    @property
+    def recall(self) -> Tuple[float, float]:
+        """(mean, std) recall over folds."""
+        return self._stat("recall")
+
+    @property
+    def false_positive_rate(self) -> Tuple[float, float]:
+        """(mean, std) FPR over folds."""
+        return self._stat("false_positive_rate")
+
+    def summary(self) -> str:
+        """One-line mean +- std report."""
+        acc, acc_s = self.accuracy
+        rec, rec_s = self.recall
+        fpr, fpr_s = self.false_positive_rate
+        return (
+            f"accuracy {acc:.3f}+-{acc_s:.3f}  "
+            f"recall {rec:.3f}+-{rec_s:.3f}  "
+            f"FPR {fpr:.3f}+-{fpr_s:.3f}"
+        )
+
+
+def stratified_folds(
+    y: Sequence[int], k: int, *, seed: int = 0
+) -> List[np.ndarray]:
+    """Index folds preserving the class ratio in each fold."""
+    require(k >= 2, "k must be at least 2")
+    labels = np.asarray(y, dtype=int)
+    rng = np.random.default_rng(seed)
+    folds: List[List[int]] = [[] for _ in range(k)]
+    for cls in np.unique(labels):
+        indices = np.flatnonzero(labels == cls)
+        rng.shuffle(indices)
+        for position, index in enumerate(indices):
+            folds[position % k].append(int(index))
+    return [np.asarray(sorted(fold)) for fold in folds]
+
+
+def cross_validate(
+    fit: Callable[[np.ndarray, np.ndarray], object],
+    X,
+    y,
+    *,
+    k: int = 5,
+    seed: int = 0,
+) -> CrossValidationResult:
+    """Stratified k-fold evaluation of a binary classifier factory.
+
+    ``fit(X_train, y_train)`` must return an object with
+    ``predict(X) -> labels``.  Folds with a single class in either
+    split are skipped (tiny datasets); at least one fold must survive.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=int)
+    require(X.shape[0] == y.size, "X and y must have matching lengths")
+    folds = stratified_folds(y, k, seed=seed)
+    matrices = []
+    for fold in folds:
+        test_mask = np.zeros(y.size, dtype=bool)
+        test_mask[fold] = True
+        y_train, y_test = y[~test_mask], y[test_mask]
+        if len(set(y_train.tolist())) < 2 or y_test.size == 0:
+            continue
+        model = fit(X[~test_mask], y_train)
+        predictions = model.predict(X[test_mask])
+        matrices.append(confusion_matrix(y_test, predictions))
+    require(matrices, "no usable folds (dataset too small or single-class)")
+    return CrossValidationResult(folds=tuple(matrices))

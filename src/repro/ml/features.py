@@ -1,0 +1,180 @@
+"""Feature extraction for case classification (paper Table II).
+
+Each triaged case — a (source, destination, interval-series) tuple plus
+its detection output — is turned into a fixed-length numeric vector:
+
+- series length, dominant period(s), spectral power, similar-source
+  count (Table II rows 1-4),
+- the symbolized interval series (``x`` = interval matches a dominant
+  period, ``y`` = zero interval, ``z`` = otherwise) summarized by its
+  3-gram histogram, Shannon entropy, and gzip compressibility
+  (Table II rows 5-7),
+- plus the language-model score and ACF strength that the ranking
+  filter already computed (the paper notes the filters "generate a rich
+  set of features" for exactly this reuse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.stats import gzip_compression_ratio, shannon_entropy
+from repro.utils.validation import as_float_array, require, require_positive
+
+SYMBOL_PERIODIC = "x"
+SYMBOL_ZERO = "y"
+SYMBOL_OTHER = "z"
+_ALPHABET = (SYMBOL_PERIODIC, SYMBOL_ZERO, SYMBOL_OTHER)
+
+#: All 3-grams over the symbol alphabet, in fixed lexicographic order.
+TRIGRAMS: Tuple[str, ...] = tuple(
+    "".join(gram) for gram in product(_ALPHABET, repeat=3)
+)
+
+
+def symbolize_intervals(
+    intervals: Sequence[float],
+    periods: Sequence[float],
+    *,
+    tolerance: float = 0.15,
+) -> str:
+    """Symbolize an interval series against the dominant period(s).
+
+    Each interval maps to ``x`` when it matches any dominant period
+    within relative ``tolerance`` (or a small integer multiple of one —
+    a missed beacon is still periodic behaviour), ``y`` when it is zero
+    (same-slot requests), and ``z`` otherwise (paper Section VI-A).
+    """
+    require_positive(tolerance, "tolerance")
+    ivals = as_float_array(intervals, "intervals")
+    period_list = [float(p) for p in periods if p > 0]
+    symbols = []
+    for interval in ivals:
+        if interval == 0:
+            symbols.append(SYMBOL_ZERO)
+            continue
+        matched = False
+        for period in period_list:
+            multiple = max(1.0, round(interval / period))
+            if multiple <= 4 and abs(interval - multiple * period) <= tolerance * (
+                multiple * period
+            ):
+                matched = True
+                break
+        symbols.append(SYMBOL_PERIODIC if matched else SYMBOL_OTHER)
+    return "".join(symbols)
+
+
+def trigram_histogram(symbols: str) -> np.ndarray:
+    """Relative frequency of each possible 3-gram (length 27 vector)."""
+    counts = np.zeros(len(TRIGRAMS))
+    total = max(len(symbols) - 2, 0)
+    if total == 0:
+        return counts
+    index = {gram: i for i, gram in enumerate(TRIGRAMS)}
+    for pos in range(total):
+        gram = symbols[pos : pos + 3]
+        if gram in index:
+            counts[index[gram]] += 1
+    return counts / total
+
+
+@dataclass(frozen=True)
+class CaseFeatures:
+    """The Table II feature set for one beaconing case."""
+
+    series_length: int
+    dominant_period: float
+    period_count: int
+    power: float
+    acf_score: float
+    similar_sources: int
+    entropy: float
+    compressibility: float
+    interval_mean: float
+    interval_cv: float
+    lm_score: float
+    trigrams: Tuple[float, ...]
+
+    def vector(self) -> np.ndarray:
+        """The flat numeric vector consumed by the classifier."""
+        head = np.asarray(
+            [
+                self.series_length,
+                self.dominant_period,
+                self.period_count,
+                self.power,
+                self.acf_score,
+                self.similar_sources,
+                self.entropy,
+                self.compressibility,
+                self.interval_mean,
+                self.interval_cv,
+                self.lm_score,
+            ],
+            dtype=float,
+        )
+        return np.concatenate([head, np.asarray(self.trigrams, dtype=float)])
+
+
+FEATURE_NAMES: Tuple[str, ...] = (
+    "series_length",
+    "dominant_period",
+    "period_count",
+    "power",
+    "acf_score",
+    "similar_sources",
+    "entropy",
+    "compressibility",
+    "interval_mean",
+    "interval_cv",
+    "lm_score",
+) + tuple(f"trigram_{gram}" for gram in TRIGRAMS)
+
+
+def extract_case_features(
+    intervals: Sequence[float],
+    periods: Sequence[float],
+    *,
+    power: float = 0.0,
+    acf_score: float = 0.0,
+    similar_sources: int = 1,
+    lm_score: float = 0.0,
+    tolerance: float = 0.15,
+) -> CaseFeatures:
+    """Build the feature set for one case.
+
+    ``periods`` are the verified dominant periods (seconds), strongest
+    first; ``similar_sources`` counts distinct sources sharing the
+    destination; ``lm_score`` is the normalized language-model score of
+    the destination domain.
+    """
+    require(similar_sources >= 0, "similar_sources must be non-negative")
+    ivals = as_float_array(intervals, "intervals")
+    symbols = symbolize_intervals(ivals, periods, tolerance=tolerance)
+    positive = ivals[ivals > 0]
+    interval_mean = float(positive.mean()) if positive.size else 0.0
+    interval_cv = (
+        float(positive.std() / positive.mean())
+        if positive.size and positive.mean() > 0
+        else 0.0
+    )
+    period_list: List[float] = [float(p) for p in periods if p > 0]
+    return CaseFeatures(
+        series_length=int(ivals.size),
+        dominant_period=period_list[0] if period_list else 0.0,
+        period_count=len(period_list),
+        power=float(power),
+        acf_score=float(acf_score),
+        similar_sources=int(similar_sources),
+        entropy=shannon_entropy(symbols),
+        compressibility=gzip_compression_ratio(symbols),
+        interval_mean=interval_mean,
+        interval_cv=interval_cv,
+        lm_score=float(lm_score),
+        trigrams=tuple(trigram_histogram(symbols)),
+    )

@@ -1,0 +1,115 @@
+"""Random forest classifier (paper Section VI-B).
+
+BAYWATCH classifies triaged beaconing cases with a 200-tree random
+forest: bootstrap-resampled CART trees with per-split feature
+subsampling, aggregated by majority vote.  ``predict_proba`` averages
+the per-tree leaf distributions, and :meth:`uncertainty` exposes the
+margin-based ordering used to prioritize manual review (paper Fig. 11:
+examining cases in uncertainty order removes false negatives fastest).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeClassifier
+from repro.utils.validation import require
+
+
+class RandomForestClassifier:
+    """An ensemble of bootstrap CART trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 200,
+        *,
+        max_depth: Optional[int] = None,
+        min_samples_leaf: int = 1,
+        max_features: object = "sqrt",
+        seed: Optional[int] = None,
+    ) -> None:
+        require(n_estimators >= 1, "n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_: List[DecisionTreeClassifier] = []
+        self.n_classes_: int = 0
+        self.n_features_: int = 0
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        """Fit ``n_estimators`` trees on bootstrap resamples of (X, y)."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        require(X.ndim == 2, "X must be 2-dimensional")
+        require(X.shape[0] == y.size, "X and y must have matching lengths")
+        require(y.size > 0, "training set must not be empty")
+        self.n_classes_ = int(y.max()) + 1
+        self.n_features_ = X.shape[1]
+        rng = np.random.default_rng(self.seed)
+        self.trees_ = []
+        n = X.shape[0]
+        for _ in range(self.n_estimators):
+            sample = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[sample], y[sample])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Average per-tree class distributions, shape (n, n_classes)."""
+        require(self.trees_, "forest must be fitted before predicting")
+        X = np.asarray(X, dtype=float)
+        total = np.zeros((X.shape[0], self.n_classes_))
+        for tree in self.trees_:
+            proba = tree.predict_proba(X)
+            if proba.shape[1] < self.n_classes_:
+                padded = np.zeros((X.shape[0], self.n_classes_))
+                padded[:, : proba.shape[1]] = proba
+                proba = padded
+            total += proba
+        return total / len(self.trees_)
+
+    def predict(self, X) -> np.ndarray:
+        """Majority-vote class per sample (mode of the tree outputs)."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Mean normalized Gini importance over the ensemble."""
+        require(self.trees_, "forest must be fitted first")
+        total = np.zeros(self.n_features_)
+        for tree in self.trees_:
+            if tree.feature_importances_ is not None:
+                total += tree.feature_importances_
+        out_sum = total.sum()
+        return total / out_sum if out_sum > 0 else total
+
+    def top_features(self, names, k: int = 5):
+        """The ``k`` most important (name, importance) pairs."""
+        importances = self.feature_importances_
+        require(len(names) == importances.size,
+                "names must align with the feature count")
+        order = np.argsort(importances)[::-1][:k]
+        return [(names[i], float(importances[i])) for i in order]
+
+    def uncertainty(self, X) -> np.ndarray:
+        """Per-sample uncertainty in [0, 1]; 1 = fully undecided.
+
+        Defined as ``1 - margin`` where margin is the gap between the
+        top class probability and a uniform split.  Reviewing candidate
+        cases in decreasing uncertainty order is the paper's strategy
+        for burning down false negatives quickly (Fig. 11).
+        """
+        proba = self.predict_proba(X)
+        top = proba.max(axis=1)
+        uniform = 1.0 / self.n_classes_
+        return 1.0 - (top - uniform) / (1.0 - uniform)

@@ -1,0 +1,135 @@
+"""Classification metrics for the evaluation (paper Table IV, Fig. 11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion matrix in the paper's Table IV layout.
+
+    Rows are the truth (benign / malicious), columns the prediction.
+    """
+
+    true_benign_classified_benign: int
+    true_benign_classified_malicious: int
+    true_malicious_classified_benign: int
+    true_malicious_classified_malicious: int
+
+    @property
+    def tn(self) -> int:
+        """True negatives (benign correctly classified benign)."""
+        return self.true_benign_classified_benign
+
+    @property
+    def fp(self) -> int:
+        """False positives (benign classified malicious)."""
+        return self.true_benign_classified_malicious
+
+    @property
+    def fn(self) -> int:
+        """False negatives (malicious classified benign)."""
+        return self.true_malicious_classified_benign
+
+    @property
+    def tp(self) -> int:
+        """True positives (malicious correctly classified malicious)."""
+        return self.true_malicious_classified_malicious
+
+    @property
+    def total(self) -> int:
+        """All classified cases."""
+        return self.tn + self.fp + self.fn + self.tp
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct classifications."""
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was flagged."""
+        flagged = self.tp + self.fp
+        return self.tp / flagged if flagged else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when nothing was malicious."""
+        positives = self.tp + self.fn
+        return self.tp / positives if positives else 1.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """FP / (FP + TN); the paper reports 0 against VirusTotal."""
+        negatives = self.fp + self.tn
+        return self.fp / negatives if negatives else 0.0
+
+    def as_table(self) -> str:
+        """Render in the paper's Table IV layout."""
+        header = f"{'':16s} {'classified benign':>18s} {'classified malicious':>21s}"
+        row_b = f"{'true benign':16s} {self.tn:>18d} {self.fp:>21d}"
+        row_m = f"{'true malicious':16s} {self.fn:>18d} {self.tp:>21d}"
+        return "\n".join((header, row_b, row_m))
+
+
+def confusion_matrix(y_true: Sequence[int], y_pred: Sequence[int]) -> ConfusionMatrix:
+    """Binary confusion matrix; labels are 0 = benign, 1 = malicious."""
+    t = np.asarray(y_true, dtype=int)
+    p = np.asarray(y_pred, dtype=int)
+    require(t.size == p.size, "y_true and y_pred must have matching lengths")
+    require(t.size > 0, "labels must not be empty")
+    require(set(np.unique(t)) <= {0, 1}, "y_true must be binary (0/1)")
+    require(set(np.unique(p)) <= {0, 1}, "y_pred must be binary (0/1)")
+    return ConfusionMatrix(
+        true_benign_classified_benign=int(np.sum((t == 0) & (p == 0))),
+        true_benign_classified_malicious=int(np.sum((t == 0) & (p == 1))),
+        true_malicious_classified_benign=int(np.sum((t == 1) & (p == 0))),
+        true_malicious_classified_malicious=int(np.sum((t == 1) & (p == 1))),
+    )
+
+
+def precision_at_k(y_true_ranked: Sequence[int], k: int) -> float:
+    """Precision of the top-``k`` entries of a ranked label list.
+
+    ``y_true_ranked`` holds the true labels in ranking order (best
+    first).  Reproduces the paper's headline "48 of the top 50 (96%)
+    confirmed malicious" measurement.
+    """
+    require(k >= 1, "k must be >= 1")
+    labels = np.asarray(y_true_ranked, dtype=int)
+    require(labels.size > 0, "ranking must not be empty")
+    top = labels[: min(k, labels.size)]
+    return float(top.mean())
+
+
+def false_negatives_vs_reviewed(
+    y_true: Sequence[int],
+    y_pred: Sequence[int],
+    review_order: Sequence[int],
+) -> np.ndarray:
+    """Remaining false negatives after reviewing the first i cases.
+
+    ``review_order`` permutes case indices (most-uncertain first, in the
+    paper).  Reviewing a case reveals its true label, clearing it from
+    the false-negative count.  Index 0 of the result is the count before
+    any review; the curve reproduces Fig. 11.
+    """
+    t = np.asarray(y_true, dtype=int)
+    p = np.asarray(y_pred, dtype=int)
+    order = np.asarray(review_order, dtype=int)
+    require(t.size == p.size, "y_true and y_pred must have matching lengths")
+    require(order.size <= t.size, "review_order cannot exceed the case count")
+    is_fn = (t == 1) & (p == 0)
+    remaining = int(is_fn.sum())
+    curve = [remaining]
+    for index in order:
+        if is_fn[index]:
+            remaining -= 1
+        curve.append(remaining)
+    return np.asarray(curve)

@@ -1,0 +1,213 @@
+"""CART decision-tree classifier (substrate for the random forest).
+
+A from-scratch implementation of binary-split classification trees with
+Gini impurity, supporting the pieces the random forest needs: per-node
+random feature subsampling, class-probability leaves, and deterministic
+behaviour under a seeded generator.  The feature matrix is numeric
+(categorical features are expected to be pre-encoded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a class distribution."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    distribution: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    """Gini impurity of a class-count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = counts / total
+    return float(1.0 - np.sum(proportions**2))
+
+
+def _best_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    features: np.ndarray,
+    n_classes: int,
+    min_samples_leaf: int,
+) -> Tuple[int, float, float]:
+    """Best (feature, threshold, impurity_decrease) over ``features``.
+
+    Returns feature -1 when no split improves on the parent impurity.
+    For each candidate feature the samples are sorted once and the Gini
+    of every prefix/suffix is evaluated vectorially via cumulative class
+    counts.
+    """
+    n_samples = y.size
+    parent_counts = np.bincount(y, minlength=n_classes).astype(float)
+    parent_gini = _gini(parent_counts)
+    best = (-1, 0.0, 0.0)
+    for feature in features:
+        order = np.argsort(X[:, feature], kind="stable")
+        values = X[order, feature]
+        labels = y[order]
+        # One-hot cumulative class counts along the sorted order.
+        onehot = np.zeros((n_samples, n_classes))
+        onehot[np.arange(n_samples), labels] = 1.0
+        prefix = np.cumsum(onehot, axis=0)
+        #
+
+        # Valid split positions: between distinct values, honoring leaf size.
+        boundaries = np.flatnonzero(values[:-1] < values[1:]) + 1
+        if boundaries.size == 0:
+            continue
+        boundaries = boundaries[
+            (boundaries >= min_samples_leaf)
+            & (boundaries <= n_samples - min_samples_leaf)
+        ]
+        if boundaries.size == 0:
+            continue
+        left_counts = prefix[boundaries - 1]
+        right_counts = parent_counts[None, :] - left_counts
+        left_n = boundaries.astype(float)
+        right_n = n_samples - left_n
+        left_gini = 1.0 - np.sum((left_counts / left_n[:, None]) ** 2, axis=1)
+        right_gini = 1.0 - np.sum((right_counts / right_n[:, None]) ** 2, axis=1)
+        weighted = (left_n * left_gini + right_n * right_gini) / n_samples
+        decrease = parent_gini - weighted
+        pick = int(np.argmax(decrease))
+        if decrease[pick] > best[2] + 1e-12:
+            split_at = boundaries[pick]
+            threshold = 0.5 * (values[split_at - 1] + values[split_at])
+            best = (int(feature), float(threshold), float(decrease[pick]))
+    return best
+
+
+class DecisionTreeClassifier:
+    """A CART classification tree.
+
+    Parameters mirror the usual conventions: ``max_features`` limits the
+    features examined per split (``"sqrt"``, an int, or None for all) —
+    the randomness source of a random forest.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: Optional[int] = None,
+        min_samples_leaf: int = 1,
+        min_samples_split: int = 2,
+        max_features: Optional[object] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        require(max_depth is None or max_depth >= 1, "max_depth must be >= 1")
+        require(min_samples_leaf >= 1, "min_samples_leaf must be >= 1")
+        require(min_samples_split >= 2, "min_samples_split must be >= 2")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self._root: Optional[_Node] = None
+        self.n_classes_: int = 0
+        self.n_features_: int = 0
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    # -- fitting ------------------------------------------------------------
+
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        """Grow the tree on ``X`` (n, d) and integer labels ``y``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        require(X.ndim == 2, "X must be 2-dimensional")
+        require(X.shape[0] == y.size, "X and y must have matching lengths")
+        require(y.size > 0, "training set must not be empty")
+        require(y.min() >= 0, "labels must be non-negative integers")
+        self.n_classes_ = int(y.max()) + 1
+        self.n_features_ = X.shape[1]
+        self._n_training = y.size
+        self.feature_importances_ = np.zeros(self.n_features_)
+        rng = np.random.default_rng(self.seed)
+        self._root = self._grow(X, y, depth=0, rng=rng)
+        total = self.feature_importances_.sum()
+        if total > 0:
+            self.feature_importances_ /= total
+        return self
+
+    def _feature_subset(self, rng: np.random.Generator) -> np.ndarray:
+        if self.max_features is None:
+            return np.arange(self.n_features_)
+        if self.max_features == "sqrt":
+            k = max(1, int(np.sqrt(self.n_features_)))
+        else:
+            k = min(int(self.max_features), self.n_features_)
+        return rng.choice(self.n_features_, size=k, replace=False)
+
+    def _grow(
+        self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _Node:
+        counts = np.bincount(y, minlength=self.n_classes_).astype(float)
+        node = _Node(distribution=counts / counts.sum())
+        if (
+            y.size < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or _gini(counts) == 0.0
+        ):
+            return node
+        feature, threshold, decrease = _best_split(
+            X, y, self._feature_subset(rng), self.n_classes_, self.min_samples_leaf
+        )
+        if feature < 0 or decrease <= 0:
+            return node
+        # Gini importance: impurity decrease weighted by node size.
+        self.feature_importances_[feature] += decrease * y.size / self._n_training
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1, rng)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    # -- prediction -----------------------------------------------------------
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class-probability estimates, shape (n, n_classes)."""
+        require(self._root is not None, "tree must be fitted before predicting")
+        X = np.asarray(X, dtype=float)
+        require(X.ndim == 2 and X.shape[1] == self.n_features_,
+                "X has the wrong shape for this tree")
+        out = np.empty((X.shape[0], self.n_classes_))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.distribution
+        return out
+
+    def predict(self, X) -> np.ndarray:
+        """Most likely class per sample."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    @property
+    def depth(self) -> int:
+        """Maximum depth of the fitted tree (0 for a stump)."""
+        require(self._root is not None, "tree must be fitted first")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

@@ -1,0 +1,15 @@
+"""Operational deployment: multi-timescale iterative runs (Section X)."""
+
+from repro.operations.scheduler import (
+    DAY,
+    DEFAULT_CADENCES,
+    Cadence,
+    MultiTimescaleOperator,
+)
+
+__all__ = [
+    "DAY",
+    "DEFAULT_CADENCES",
+    "Cadence",
+    "MultiTimescaleOperator",
+]

@@ -1,0 +1,129 @@
+"""Multi-timescale operation (paper Section X).
+
+BAYWATCH runs "iteratively in intervals at three time scales (daily,
+weekly, monthly)": the daily pass at fine granularity catches
+minute-level beaconing, while the weekly/monthly passes — over rescaled
+and merged summaries, never reprocessed raw logs — expose slow beacons
+(e.g. 24-hour periodicity) that a single day cannot contain.
+
+:class:`MultiTimescaleOperator` implements the loop: feed it one day of
+proxy-log records at a time; it extracts summaries once, runs the daily
+pipeline immediately, and fires the coarser cadences when their windows
+complete.  A single novelty store spans all cadences, so a destination
+reported daily is not re-reported weekly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.timeseries import ActivitySummary, merge, rescale
+from repro.filtering.novelty import NoveltyStore
+from repro.filtering.pipeline import BaywatchPipeline, PipelineConfig, PipelineReport
+from repro.synthetic.logs import ProxyLogRecord, records_to_summaries
+from repro.utils.validation import require, require_positive
+
+DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class Cadence:
+    """One operating rhythm: how often, over how many days, how coarse."""
+
+    name: str
+    every_days: int
+    window_days: int
+    time_scale: float
+
+    def __post_init__(self) -> None:
+        require(self.every_days >= 1, "every_days must be at least 1")
+        require(self.window_days >= 1, "window_days must be at least 1")
+        require_positive(self.time_scale, "time_scale")
+
+
+#: The paper's three rhythms, scaled to per-day feeding.
+DEFAULT_CADENCES: Tuple[Cadence, ...] = (
+    Cadence("daily", every_days=1, window_days=1, time_scale=1.0),
+    Cadence("weekly", every_days=7, window_days=7, time_scale=60.0),
+    Cadence("monthly", every_days=30, window_days=30, time_scale=600.0),
+)
+
+
+class MultiTimescaleOperator:
+    """Run the pipeline at several cadences over a day-fed record stream."""
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        *,
+        cadences: Tuple[Cadence, ...] = DEFAULT_CADENCES,
+        novelty: Optional[NoveltyStore] = None,
+    ) -> None:
+        require(len(cadences) >= 1, "at least one cadence is required")
+        self.config = config or PipelineConfig()
+        self.cadences = cadences
+        self.novelty = novelty if novelty is not None else NoveltyStore()
+        self._daily_summaries: List[List[ActivitySummary]] = []
+        self._pipelines: Dict[str, BaywatchPipeline] = {
+            cadence.name: BaywatchPipeline(self.config, novelty=self.novelty)
+            for cadence in cadences
+        }
+        self.runs: List[Tuple[str, int, PipelineReport]] = []
+
+    @property
+    def days_fed(self) -> int:
+        """How many days of traffic have been ingested."""
+        return len(self._daily_summaries)
+
+    def _window_summaries(self, cadence: Cadence) -> List[ActivitySummary]:
+        """Rescale and merge the cadence's trailing window of summaries."""
+        window = self._daily_summaries[-cadence.window_days:]
+        merged: Dict[Tuple[str, str], List[ActivitySummary]] = {}
+        for day in window:
+            for summary in day:
+                coarse = (
+                    rescale(summary, cadence.time_scale)
+                    if summary.time_scale < cadence.time_scale
+                    else summary
+                )
+                merged.setdefault(summary.pair, []).append(coarse)
+        return [merge(group) for group in merged.values()]
+
+    def ingest_day(
+        self, records: Iterable[ProxyLogRecord]
+    ) -> List[Tuple[str, PipelineReport]]:
+        """Feed one day of records; returns the cadence runs it fired.
+
+        Raw records are extracted into summaries exactly once (the
+        paper's no-reprocessing property); coarser cadences consume
+        rescaled merges of the stored summaries.
+        """
+        summaries = records_to_summaries(
+            records, time_scale=self.config.time_scale
+        )
+        self._daily_summaries.append(summaries)
+        day_index = self.days_fed
+        fired: List[Tuple[str, PipelineReport]] = []
+        for cadence in self.cadences:
+            if day_index % cadence.every_days != 0:
+                continue
+            window = (
+                summaries
+                if cadence.window_days == 1 and cadence.time_scale
+                == self.config.time_scale
+                else self._window_summaries(cadence)
+            )
+            report = self._pipelines[cadence.name].run_summaries(window)
+            self.runs.append((cadence.name, day_index, report))
+            fired.append((cadence.name, report))
+        return fired
+
+    def reported_destinations(self) -> List[str]:
+        """All destinations reported so far, in first-report order."""
+        seen: List[str] = []
+        for _cadence, _day, report in self.runs:
+            for case in report.ranked_cases:
+                if case.destination not in seen:
+                    seen.append(case.destination)
+        return seen

@@ -1,0 +1,30 @@
+"""Alternative data sources (paper Section X): DNS and NetFlow.
+
+The core methodology only consumes (source, destination, timestamp)
+triples; these modules adapt resolver logs and flow records into the
+same ActivitySummary stream the proxy-log path produces, including the
+source-specific caveats the paper discusses (DNS caching, NetFlow's
+lack of names/content).
+"""
+
+from repro.sources.dns import (
+    DnsLogRecord,
+    dns_records_to_summaries,
+    dns_view_of_proxy,
+)
+from repro.sources.netflow import (
+    NetflowRecord,
+    netflow_records_to_summaries,
+    netflow_view_of_proxy,
+    resolve_domain,
+)
+
+__all__ = [
+    "DnsLogRecord",
+    "dns_records_to_summaries",
+    "dns_view_of_proxy",
+    "NetflowRecord",
+    "netflow_records_to_summaries",
+    "netflow_view_of_proxy",
+    "resolve_domain",
+]

@@ -1,0 +1,98 @@
+"""Synthetic traffic substrate.
+
+Replaces the paper's proprietary BlueCoat proxy-log corpus with
+deterministic generators: noise models, beacon and botnet behaviours,
+DGA domain pools, benign background traffic, proxy-log records, and a
+whole-enterprise simulator that returns ground truth alongside the
+traffic.
+"""
+
+from repro.synthetic.noise import (
+    NoiseModel,
+    add_events,
+    drop_events,
+    gaussian_jitter,
+    insert_gaps,
+)
+from repro.synthetic.beacon import (
+    BeaconSpec,
+    MultiPhaseBeaconSpec,
+    Phase,
+    poisson_trace,
+)
+from repro.synthetic.botnet import (
+    BOTNET_CATALOGUE,
+    conficker_spec,
+    stealthy_apt_spec,
+    tdss_spec,
+    zeroaccess_spec,
+    zeus_spec,
+)
+from repro.synthetic.dga import dga_families, generate_pool
+from repro.synthetic.background import (
+    DEFAULT_SERVICES,
+    PeriodicService,
+    browsing_trace,
+)
+from repro.synthetic.logs import (
+    PairConfig,
+    ProxyLogRecord,
+    read_log,
+    records_to_summaries,
+    write_log,
+)
+from repro.synthetic.flux import FluxBeacon, subdomain_flux_pool
+from repro.synthetic.urls import (
+    browsing_url,
+    browsing_urls,
+    gate_url,
+    update_check_url,
+    url_entropy,
+)
+from repro.synthetic.enterprise import (
+    DEFAULT_IMPLANTS,
+    EnterpriseConfig,
+    EnterpriseSimulator,
+    GroundTruth,
+    ImplantSpec,
+)
+
+__all__ = [
+    "NoiseModel",
+    "add_events",
+    "drop_events",
+    "gaussian_jitter",
+    "insert_gaps",
+    "BeaconSpec",
+    "MultiPhaseBeaconSpec",
+    "Phase",
+    "poisson_trace",
+    "BOTNET_CATALOGUE",
+    "conficker_spec",
+    "stealthy_apt_spec",
+    "tdss_spec",
+    "zeroaccess_spec",
+    "zeus_spec",
+    "dga_families",
+    "generate_pool",
+    "DEFAULT_SERVICES",
+    "PeriodicService",
+    "browsing_trace",
+    "FluxBeacon",
+    "subdomain_flux_pool",
+    "browsing_url",
+    "browsing_urls",
+    "gate_url",
+    "update_check_url",
+    "url_entropy",
+    "PairConfig",
+    "ProxyLogRecord",
+    "read_log",
+    "records_to_summaries",
+    "write_log",
+    "DEFAULT_IMPLANTS",
+    "EnterpriseConfig",
+    "EnterpriseSimulator",
+    "GroundTruth",
+    "ImplantSpec",
+]

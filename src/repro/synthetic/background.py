@@ -1,0 +1,135 @@
+"""Benign background traffic models.
+
+Two kinds of legitimate traffic matter to BAYWATCH:
+
+- **Browsing** — bursty, session-structured, non-periodic requests to
+  popular destinations.  It dominates the volume and must *not* be
+  reported.
+- **Benign periodic services** — software-update checks, anti-virus
+  signature polls, mail polling, license checks, news/score tickers
+  (paper Challenge 4).  They *are* periodic; the whitelists, token
+  filter, and classifier — not the core detector — are responsible for
+  suppressing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.synthetic.beacon import BeaconSpec
+from repro.synthetic.noise import NoiseModel
+from repro.utils.validation import require, require_positive, require_probability
+
+
+def browsing_trace(
+    duration: float,
+    rng: np.random.Generator,
+    *,
+    session_rate: float = 2.0 / 3600.0,
+    requests_per_session: float = 8.0,
+    intra_session_gap: float = 4.0,
+    start: float = 0.0,
+) -> np.ndarray:
+    """A bursty, non-periodic browsing trace for one (host, site) pair.
+
+    Sessions arrive as a Poisson process at ``session_rate``; each
+    session issues a geometric number of requests (mean
+    ``requests_per_session``) spaced by exponential gaps (mean
+    ``intra_session_gap`` seconds).
+    """
+    require_positive(duration, "duration")
+    require_positive(session_rate, "session_rate")
+    require_positive(requests_per_session, "requests_per_session")
+    require_positive(intra_session_gap, "intra_session_gap")
+    n_sessions = rng.poisson(session_rate * duration)
+    events: List[float] = []
+    if n_sessions == 0:
+        return np.empty(0)
+    session_starts = np.sort(rng.uniform(0.0, duration, size=n_sessions))
+    p = 1.0 / requests_per_session
+    for session_start in session_starts:
+        n_requests = rng.geometric(p)
+        gaps = rng.exponential(intra_session_gap, size=n_requests - 1)
+        times = session_start + np.concatenate([[0.0], np.cumsum(gaps)])
+        events.extend(times[times < duration])
+    return start + np.sort(np.asarray(events))
+
+
+@dataclass(frozen=True)
+class PeriodicService:
+    """A legitimate periodic network service.
+
+    ``adoption`` is the fraction of enterprise hosts running the service
+    — it drives the local-whitelist popularity of the destination.
+    ``url_path`` feeds the token filter (benign updaters use stable,
+    meaningful paths).
+    """
+
+    name: str
+    domain: str
+    period: float
+    adoption: float
+    jitter_fraction: float = 0.02
+    drop_probability: float = 0.02
+    url_path: str = "/"
+
+    def __post_init__(self) -> None:
+        require_positive(self.period, "period")
+        require_probability(self.adoption, "adoption")
+        require(self.jitter_fraction >= 0, "jitter_fraction must be non-negative")
+        require_probability(self.drop_probability, "drop_probability")
+
+    def beacon_spec(self, duration: float, *, start: float = 0.0) -> BeaconSpec:
+        """The beacon spec emitted by one host running this service."""
+        return BeaconSpec(
+            period=self.period,
+            duration=duration,
+            start=start,
+            noise=NoiseModel(
+                jitter_sigma=self.period * self.jitter_fraction,
+                drop_probability=self.drop_probability,
+            ),
+        )
+
+
+#: Benign periodic services modelled after the paper's examples
+#: (update checks, AV signatures, mail polling, license checks, news
+#: tickers, streaming playlist refreshes — the confirmed false-positive
+#: classes of Section VIII-B2).
+DEFAULT_SERVICES: Tuple[PeriodicService, ...] = (
+    PeriodicService(
+        "os-update", "updates.osvendor.com", period=3600.0, adoption=0.9,
+        url_path="/v2/check?build=17134",
+    ),
+    PeriodicService(
+        "antivirus", "sig.avshield.com", period=14400.0, adoption=0.8,
+        url_path="/signatures/latest/version.txt",
+    ),
+    PeriodicService(
+        "mail-poll", "mail.corpmail.com", period=300.0, adoption=0.7,
+        url_path="/ews/poll",
+    ),
+    PeriodicService(
+        "license", "lic.cadsuite.com", period=7200.0, adoption=0.15,
+        url_path="/license/heartbeat",
+    ),
+    PeriodicService(
+        "news-ticker", "live.scoreticker.com", period=60.0, adoption=0.05,
+        jitter_fraction=0.05, url_path="/scores/feed.json",
+    ),
+    PeriodicService(
+        "playlist", "kdfc.web-playlist.org", period=180.0, adoption=0.01,
+        jitter_fraction=0.05, url_path="/nowplaying.xml",
+    ),
+    PeriodicService(
+        "sports-site", "2015.ausopen.com", period=120.0, adoption=0.008,
+        jitter_fraction=0.08, url_path="/livescore/update",
+    ),
+    PeriodicService(
+        "browser-ext", "api.echoenabled.com", period=600.0, adoption=0.03,
+        url_path="/v1/rulesets/check",
+    ),
+)

@@ -1,0 +1,94 @@
+"""Botnet beaconing behaviour models observed in the paper.
+
+Each factory returns a fully configured beacon spec reproducing a
+behaviour the paper reports from the wild:
+
+- **TDSS** (Fig. 6): ~387 s dominant period with jitter and occasional
+  long gaps; the interval list's minimum is around 196 s.
+- **Conficker** (Fig. 2 right, Fig. 7): 7-8 s beacons for about two
+  minutes, then ~3 h dormancy, repeated.
+- **Zeus/Zbot** (Table VI): steady 63 s or 180 s check-ins.
+- **ZeroAccess** (Table VI): slower cadence, ~1242 s.
+- **Stealthy APT**: multi-hour beacons ("every 2 hours or even longer",
+  Section I) with heavy jitter and drop-out.
+"""
+
+from __future__ import annotations
+
+from repro.synthetic.beacon import BeaconSpec, MultiPhaseBeaconSpec, Phase
+from repro.synthetic.noise import NoiseModel
+from repro.utils.validation import require_positive
+
+DAY = 86_400.0
+HOUR = 3_600.0
+
+
+def tdss_spec(duration: float = DAY, *, start: float = 0.0) -> BeaconSpec:
+    """TDSS-like bot: ~387 s period, moderate jitter, sporadic drops."""
+    require_positive(duration, "duration")
+    return BeaconSpec(
+        period=387.0,
+        duration=duration,
+        start=start,
+        noise=NoiseModel(jitter_sigma=25.0, drop_probability=0.05),
+    )
+
+
+def conficker_spec(duration: float = DAY, *, start: float = 0.0) -> MultiPhaseBeaconSpec:
+    """Conficker-like bot: 7.5 s bursts for 2 min, ~3 h sleeps."""
+    require_positive(duration, "duration")
+    return MultiPhaseBeaconSpec(
+        phases=(Phase(period=7.5, length=120.0), Phase(period=3 * HOUR, length=3 * HOUR)),
+        duration=duration,
+        start=start,
+        noise=NoiseModel(jitter_sigma=0.5),
+    )
+
+
+def zeus_spec(
+    duration: float = DAY, *, period: float = 180.0, start: float = 0.0
+) -> BeaconSpec:
+    """Zeus/Zbot-like bot: steady check-ins (Table VI: 63 s and 180 s)."""
+    require_positive(duration, "duration")
+    require_positive(period, "period")
+    return BeaconSpec(
+        period=period,
+        duration=duration,
+        start=start,
+        noise=NoiseModel(jitter_sigma=period * 0.02, drop_probability=0.02),
+    )
+
+
+def zeroaccess_spec(duration: float = DAY, *, start: float = 0.0) -> BeaconSpec:
+    """ZeroAccess-like bot: slow 1242 s cadence (Table VI, rank 5)."""
+    require_positive(duration, "duration")
+    return BeaconSpec(
+        period=1242.0,
+        duration=duration,
+        start=start,
+        noise=NoiseModel(jitter_sigma=30.0, drop_probability=0.05),
+    )
+
+
+def stealthy_apt_spec(
+    duration: float = 7 * DAY, *, period: float = 2 * HOUR, start: float = 0.0
+) -> BeaconSpec:
+    """Slow-and-stealthy APT implant: multi-hour beacons, heavy noise."""
+    require_positive(duration, "duration")
+    require_positive(period, "period")
+    return BeaconSpec(
+        period=period,
+        duration=duration,
+        start=start,
+        noise=NoiseModel(jitter_sigma=period * 0.05, drop_probability=0.15),
+    )
+
+
+#: Catalogue of named behaviours for the enterprise simulator.
+BOTNET_CATALOGUE = {
+    "tdss": tdss_spec,
+    "conficker": conficker_spec,
+    "zeus": zeus_spec,
+    "zeroaccess": zeroaccess_spec,
+    "apt": stealthy_apt_spec,
+}

@@ -1,0 +1,126 @@
+"""Domain generation algorithms (DGAs) for malicious destinations.
+
+Botnets algorithmically generate large pools of rendezvous domains
+(paper Section V-C).  The generators here mimic the families whose
+domains appear in the paper's Tables V and VI:
+
+- :func:`random_chars` — uniform lowercase letters
+  (``skmnikrzhrrzcjcxwfprgt.com`` style),
+- :func:`hex_label` — hexadecimal blobs behind a service-like prefix
+  (``cdn.5f75b1c54f8...2d4.com`` style),
+- :func:`consonant_heavy` — consonant-biased strings that defeat naive
+  vowel-ratio heuristics but still score poorly under a 3-gram LM,
+- :func:`pseudo_words` — word-fragment concatenation; the *hard* case
+  that scores closer to benign names.
+
+All generators are deterministic given a seed so experiments reproduce.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import require, require_positive
+
+_LETTERS = string.ascii_lowercase
+_CONSONANTS = "bcdfghjklmnpqrstvwxz"
+_HEX = "0123456789abcdef"
+_FRAGMENTS = (
+    "net", "web", "data", "cloud", "app", "soft", "micro", "tech", "info",
+    "link", "hub", "zone", "bit", "sys", "core", "max", "pro", "star",
+    "blue", "fast", "easy", "safe", "top", "one", "go", "my", "get",
+)
+_TLDS = (".com", ".net", ".org", ".info", ".biz", ".pl", ".ru")
+
+
+def _pick(rng: np.random.Generator, alphabet: str, length: int) -> str:
+    return "".join(alphabet[i] for i in rng.integers(0, len(alphabet), size=length))
+
+
+def random_chars(
+    rng: np.random.Generator,
+    *,
+    length: int = 20,
+    tld: str = ".com",
+) -> str:
+    """A uniformly random lowercase domain label."""
+    require_positive(length, "length")
+    return _pick(rng, _LETTERS, length) + tld
+
+
+def hex_label(
+    rng: np.random.Generator,
+    *,
+    length: int = 24,
+    prefix: Optional[str] = None,
+    tld: str = ".com",
+) -> str:
+    """A hexadecimal label, optionally behind a benign-looking prefix."""
+    require_positive(length, "length")
+    label = _pick(rng, _HEX, length)
+    if prefix:
+        return f"{prefix}.{label}{tld}"
+    return label + tld
+
+
+def consonant_heavy(
+    rng: np.random.Generator,
+    *,
+    length: int = 14,
+    tld: str = ".com",
+) -> str:
+    """A consonant-biased label (rare character transitions)."""
+    require_positive(length, "length")
+    return _pick(rng, _CONSONANTS, length) + tld
+
+
+def pseudo_words(
+    rng: np.random.Generator,
+    *,
+    fragments: int = 3,
+    tld: str = ".com",
+) -> str:
+    """Concatenated plausible word fragments (hard-to-spot DGA)."""
+    require_positive(fragments, "fragments")
+    picks = rng.integers(0, len(_FRAGMENTS), size=fragments)
+    return "".join(_FRAGMENTS[i] for i in picks) + tld
+
+
+_FAMILIES = {
+    "random": random_chars,
+    "hex": hex_label,
+    "consonant": consonant_heavy,
+    "words": pseudo_words,
+}
+
+
+def generate_pool(
+    count: int,
+    *,
+    family: str = "random",
+    seed: int = 0,
+    tlds: Sequence[str] = _TLDS,
+) -> List[str]:
+    """Generate a deterministic pool of ``count`` distinct DGA domains."""
+    require_positive(count, "count")
+    require(family in _FAMILIES, f"unknown DGA family {family!r}; "
+            f"choose from {sorted(_FAMILIES)}")
+    rng = np.random.default_rng(seed)
+    generator = _FAMILIES[family]
+    pool: List[str] = []
+    seen = set()
+    while len(pool) < count:
+        tld = tlds[int(rng.integers(0, len(tlds)))]
+        domain = generator(rng, tld=tld)
+        if domain not in seen:
+            seen.add(domain)
+            pool.append(domain)
+    return pool
+
+
+def dga_families() -> List[str]:
+    """Names of the available DGA families."""
+    return sorted(_FAMILIES)

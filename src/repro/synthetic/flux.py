@@ -1,0 +1,85 @@
+"""Domain-flux beaconing (paper Challenge 2).
+
+"The destination entity can have multiple IP addresses, making it
+difficult to track the context of the communication pair": modern C&C
+rotates its rendezvous point across a pool of DGA names under one
+registered domain (subdomain flux) or across sibling registered domains
+(full domain flux).  Per-FQDN analysis then sees several sparse,
+non-periodic pairs; only aggregation at the destination-*entity* level
+reassembles the beacon.
+
+:class:`FluxBeacon` generates exactly this traffic: a strict beacon
+whose successive requests rotate through a domain pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.synthetic.beacon import BeaconSpec
+from repro.synthetic.logs import ProxyLogRecord
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class FluxBeacon:
+    """A beacon rotating over a pool of destination names.
+
+    ``domains`` is the rotation pool — for subdomain flux, generate it
+    as ``[f"{label}.evil-entity.com" for label in ...]`` so all members
+    share a registered domain.
+    """
+
+    spec: BeaconSpec
+    domains: Tuple[str, ...]
+    source_mac: str = "02:00:00:00:00:01"
+    source_ip: str = "10.0.0.1"
+    url: str = "/gate.php"
+    rotation: str = "round-robin"
+
+    def __post_init__(self) -> None:
+        require(len(self.domains) >= 1, "domains must not be empty")
+        require(self.rotation in ("round-robin", "random"),
+                "rotation must be 'round-robin' or 'random'")
+
+    def generate(self, rng: np.random.Generator) -> List[ProxyLogRecord]:
+        """Proxy-log records of the fluxing beacon."""
+        timestamps = self.spec.generate(rng)
+        records = []
+        for index, ts in enumerate(timestamps):
+            if self.rotation == "round-robin":
+                domain = self.domains[index % len(self.domains)]
+            else:
+                domain = self.domains[int(rng.integers(0, len(self.domains)))]
+            records.append(
+                ProxyLogRecord(
+                    timestamp=float(ts),
+                    source_mac=self.source_mac,
+                    source_ip=self.source_ip,
+                    destination=domain,
+                    url=self.url,
+                )
+            )
+        return records
+
+
+def subdomain_flux_pool(
+    entity: str, count: int, *, seed: int = 0
+) -> List[str]:
+    """A pool of random subdomains under one registered entity."""
+    require(count >= 1, "count must be at least 1")
+    rng = np.random.default_rng(seed)
+    letters = "abcdefghijklmnopqrstuvwxyz0123456789"
+    pool = []
+    seen = set()
+    while len(pool) < count:
+        label = "".join(
+            letters[i] for i in rng.integers(0, len(letters), size=12)
+        )
+        if label not in seen:
+            seen.add(label)
+            pool.append(f"{label}.{entity}")
+    return pool

@@ -1,0 +1,86 @@
+"""Realistic URL generation for synthetic traffic.
+
+The URL side-channel drives the token filter (Section V-A) and shows up
+in analyst reports, so the synthetic traffic should carry URLs with the
+same statistical texture as real traffic:
+
+- browsing: human-readable paths with occasional query strings,
+- benign periodic services: stable self-describing endpoints with
+  version-ish parameters,
+- C&C gates: short opaque endpoints with high-entropy parameters, or
+  blob-like paths (the paper's Table V domains hide hex blobs).
+
+All generators draw from a caller-supplied :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.utils.validation import require
+
+_PAGE_WORDS = (
+    "home", "news", "article", "story", "video", "gallery", "sports",
+    "weather", "profile", "search", "category", "product", "item",
+    "review", "comments", "archive", "tag", "topic", "help", "about",
+)
+_STATIC_EXTENSIONS = (".html", ".php", "", "/", ".aspx")
+_QUERY_KEYS = ("id", "page", "ref", "q", "utm_source", "sort", "lang")
+_HEX = "0123456789abcdef"
+_B64ISH = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def browsing_url(rng: np.random.Generator) -> str:
+    """A plausible human-browsing URL path."""
+    depth = int(rng.integers(1, 4))
+    words = [
+        _PAGE_WORDS[int(rng.integers(0, len(_PAGE_WORDS)))]
+        for _ in range(depth)
+    ]
+    path = "/" + "/".join(words)
+    path += _STATIC_EXTENSIONS[int(rng.integers(0, len(_STATIC_EXTENSIONS)))]
+    if rng.random() < 0.4:
+        key = _QUERY_KEYS[int(rng.integers(0, len(_QUERY_KEYS)))]
+        path += f"?{key}={int(rng.integers(1, 10_000))}"
+    return path
+
+
+def update_check_url(rng: np.random.Generator, *, product: str = "agent") -> str:
+    """A software-update endpoint: stable path, version parameters."""
+    major = int(rng.integers(1, 12))
+    minor = int(rng.integers(0, 30))
+    build = int(rng.integers(1000, 99_999))
+    return f"/{product}/v{major}/update/check?ver={major}.{minor}&build={build}"
+
+
+def gate_url(rng: np.random.Generator, *, style: str = "php") -> str:
+    """A C&C gate request.
+
+    ``style='php'`` mimics classic Zeus-era gates (``/gate.php?x=...``);
+    ``style='blob'`` hides an encoded payload in the path.
+    """
+    require(style in ("php", "blob"), "style must be 'php' or 'blob'")
+    if style == "php":
+        token = "".join(
+            _HEX[i] for i in rng.integers(0, len(_HEX), size=16)
+        )
+        return f"/gate.php?id={token}"
+    blob = "".join(
+        _B64ISH[i] for i in rng.integers(0, len(_B64ISH), size=32)
+    )
+    return f"/{blob}"
+
+
+def url_entropy(url: str) -> float:
+    """Shannon entropy (bits/char) of a URL — gates run hot."""
+    from repro.utils.stats import shannon_entropy
+
+    return shannon_entropy(url)
+
+
+def browsing_urls(rng: np.random.Generator, count: int) -> List[str]:
+    """A batch of browsing URLs."""
+    require(count >= 0, "count must be non-negative")
+    return [browsing_url(rng) for _ in range(count)]

@@ -1,0 +1,29 @@
+"""Shared utilities: argument validation and small statistical helpers."""
+
+from repro.utils.validation import (
+    require,
+    require_positive,
+    require_in_range,
+    require_probability,
+    as_float_array,
+    as_sorted_timestamps,
+)
+from repro.utils.stats import (
+    one_sample_t_test,
+    shannon_entropy,
+    gzip_compression_ratio,
+    percentile_threshold,
+)
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_in_range",
+    "require_probability",
+    "as_float_array",
+    "as_sorted_timestamps",
+    "one_sample_t_test",
+    "shannon_entropy",
+    "gzip_compression_ratio",
+    "percentile_threshold",
+]

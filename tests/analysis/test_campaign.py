@@ -1,0 +1,112 @@
+"""Tests for campaign correlation."""
+
+import pytest
+
+from repro.analysis.campaign import Campaign, correlate_campaigns
+from repro.core.detector import CandidatePeriod, DetectionResult
+from repro.core.timeseries import ActivitySummary
+from repro.filtering.case import BeaconingCase
+
+
+def make_case(source, destination, period, rank_score=1.0):
+    summary = ActivitySummary.from_timestamps(
+        source, destination, [i * period for i in range(10)]
+    )
+    detection = DetectionResult(
+        periodic=True,
+        candidates=(CandidatePeriod(period, 1 / period, 10.0, 0.9, 0.5),),
+        power_threshold=1.0,
+        n_events=10,
+        duration=9 * period,
+        time_scale=1.0,
+    )
+    return BeaconingCase(
+        summary=summary, detection=detection, rank_score=rank_score
+    )
+
+
+class TestEntityCorrelation:
+    def test_multi_client_destination_is_one_campaign(self):
+        cases = [
+            make_case(f"mac{i}", "c2.evil.com", 300.0) for i in range(5)
+        ]
+        campaigns = correlate_campaigns(cases)
+        assert len(campaigns) == 1
+        assert campaigns[0].host_count == 5
+        assert campaigns[0].correlated_by == "entity"
+
+    def test_subdomain_flux_grouped_by_entity(self):
+        cases = [
+            make_case("mac1", f"{label}.evil.com", 300.0)
+            for label in ("aa", "bb", "cc")
+        ]
+        campaigns = correlate_campaigns(cases)
+        assert len(campaigns) == 1
+        assert len(campaigns[0].destinations) == 3
+
+    def test_distinct_entities_distinct_periods_stay_apart(self):
+        cases = [
+            make_case("mac1", "one.com", 60.0),
+            make_case("mac2", "two.com", 3600.0),
+        ]
+        campaigns = correlate_campaigns(cases)
+        assert len(campaigns) == 2
+
+
+class TestCadenceCorrelation:
+    def test_shared_cadence_across_entities(self):
+        """Two Zbot gates at 180 s (paper Table VI) form one campaign."""
+        cases = [
+            make_case("mac1", "gate-a.com", 180.0),
+            make_case("mac2", "gate-b.net", 181.0),
+            make_case("mac3", "unrelated.org", 900.0),
+        ]
+        campaigns = correlate_campaigns(cases)
+        by_dest_count = sorted(len(c.destinations) for c in campaigns)
+        assert by_dest_count == [1, 2]
+        paired = next(c for c in campaigns if len(c.destinations) == 2)
+        assert paired.correlated_by == "cadence"
+        assert paired.period == pytest.approx(180.0, abs=2.0)
+
+    def test_single_case_is_not_a_cadence_cluster(self):
+        campaigns = correlate_campaigns([make_case("m", "solo.com", 60.0)])
+        assert len(campaigns) == 1
+        assert campaigns[0].correlated_by == "entity"
+
+
+class TestSeverity:
+    def test_ordering_by_spread_and_strength(self):
+        big = [make_case(f"mac{i}", "big.com", 300.0, rank_score=2.0)
+               for i in range(6)]
+        small = [make_case("mac9", "small.com", 60.0, rank_score=2.5)]
+        campaigns = correlate_campaigns(big + small)
+        assert campaigns[0].destinations == ("big.com",)
+        assert campaigns[0].severity > campaigns[1].severity
+
+    def test_describe(self):
+        campaign = correlate_campaigns(
+            [make_case("m1", "x.com", 120.0)]
+        )[0]
+        text = campaign.describe()
+        assert "period~120s" in text
+        assert "1 host(s)" in text
+
+
+class TestEdgeCases:
+    def test_empty_input(self):
+        assert correlate_campaigns([]) == []
+
+    def test_cases_without_periods_dropped(self):
+        summary = ActivitySummary.from_timestamps("m", "d.com", [0.0, 1.0])
+        detection = DetectionResult(
+            periodic=False, candidates=(), power_threshold=1.0,
+            n_events=2, duration=1.0, time_scale=1.0,
+        )
+        case = BeaconingCase(summary=summary, detection=detection)
+        assert correlate_campaigns([case]) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            correlate_campaigns([], period_tolerance=0.0)
+        with pytest.raises(ValueError):
+            correlate_campaigns([], min_cadence_group=1)

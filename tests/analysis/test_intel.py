@@ -1,0 +1,58 @@
+"""Tests for the threat-intel oracle."""
+
+import pytest
+
+from repro.analysis.intel import IntelOracle, perfect_oracle
+from repro.synthetic.enterprise import GroundTruth
+
+
+@pytest.fixture
+def truth():
+    return GroundTruth(
+        malicious_destinations=frozenset({f"bad{i}.com" for i in range(100)}),
+        infected_hosts=frozenset({"mac1"}),
+        benign_periodic_destinations=frozenset({"update.com"}),
+    )
+
+
+class TestIntelOracle:
+    def test_perfect_oracle(self, truth):
+        oracle = perfect_oracle(truth)
+        assert oracle.is_malicious("bad0.com")
+        assert not oracle.is_malicious("good.com")
+        assert oracle.label("bad1.com") == 1
+        assert oracle.label("update.com") == 0
+
+    def test_deterministic_lookups(self, truth):
+        oracle = IntelOracle(truth, coverage=0.5, seed=1)
+        first = [oracle.is_malicious(f"bad{i}.com") for i in range(100)]
+        second = [oracle.is_malicious(f"bad{i}.com") for i in range(100)]
+        assert first == second
+
+    def test_partial_coverage(self, truth):
+        oracle = IntelOracle(truth, coverage=0.5, seed=1)
+        found = sum(oracle.is_malicious(f"bad{i}.com") for i in range(100))
+        assert 30 <= found <= 70
+
+    def test_false_flags(self, truth):
+        oracle = IntelOracle(truth, false_flag_rate=0.3, seed=2)
+        flagged = sum(oracle.is_malicious(f"benign{i}.com") for i in range(200))
+        assert 30 <= flagged <= 90
+
+    def test_feed_overrides(self, truth):
+        oracle = IntelOracle(truth, coverage=0.0)
+        assert not oracle.is_malicious("bad0.com")
+        oracle.add_feed(["bad0.com"])
+        assert oracle.is_malicious("bad0.com")
+
+    def test_query_counter(self, truth):
+        oracle = perfect_oracle(truth)
+        oracle.is_malicious("a.com")
+        oracle.label("b.com")
+        assert oracle.queries == 2
+
+    def test_invalid_rates(self, truth):
+        with pytest.raises(ValueError):
+            IntelOracle(truth, coverage=1.5)
+        with pytest.raises(ValueError):
+            IntelOracle(truth, false_flag_rate=-0.1)

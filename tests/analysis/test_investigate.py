@@ -1,0 +1,122 @@
+"""Tests for the bootstrap investigation workflow."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.investigate import Investigator, case_feature_vector
+from repro.core.detector import CandidatePeriod, DetectionResult
+from repro.core.timeseries import ActivitySummary
+from repro.filtering.case import BeaconingCase
+from repro.ml.features import FEATURE_NAMES
+
+
+def make_case(destination, *, period=300.0, jitter=0.0, lm_score=-1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    intervals = rng.normal(period, max(jitter, 1e-3), size=60)
+    timestamps = np.concatenate([[0.0], np.cumsum(np.maximum(intervals, 1.0))])
+    summary = ActivitySummary.from_timestamps("mac", destination, timestamps)
+    detection = DetectionResult(
+        periodic=True,
+        candidates=(
+            CandidatePeriod(period, 1 / period, 80.0, 0.85 - jitter / 1000, 0.4),
+        ),
+        power_threshold=8.0,
+        n_events=61,
+        duration=float(timestamps[-1]),
+        time_scale=1.0,
+    )
+    return BeaconingCase(
+        summary=summary, detection=detection, lm_score=lm_score
+    )
+
+
+def make_population(n_benign=30, n_malicious=15, seed=0):
+    """Benign cases: natural names, jittery. Malicious: DGA, clockwork."""
+    cases, labels = [], {}
+    for i in range(n_benign):
+        dest = f"news-site-{i}.com"
+        cases.append(
+            make_case(dest, jitter=60.0, lm_score=-1.1, seed=seed + i)
+        )
+        labels[dest] = 0
+    for i in range(n_malicious):
+        dest = f"xqzjk{i}wvp.com"
+        cases.append(
+            make_case(dest, jitter=2.0, lm_score=-2.9, seed=seed + 1000 + i)
+        )
+        labels[dest] = 1
+    return cases, labels
+
+
+class TestFeatureVector:
+    def test_shape_matches_names(self):
+        vec = case_feature_vector(make_case("x.com"))
+        assert vec.size == len(FEATURE_NAMES)
+
+    def test_finite(self):
+        assert np.all(np.isfinite(case_feature_vector(make_case("x.com")))), (
+            "feature vector must be finite"
+        )
+
+
+class TestInvestigator:
+    def test_bootstrap_classifies_correctly(self):
+        train_cases, train_labels = make_population(seed=0)
+        eval_cases, eval_labels = make_population(seed=500)
+        labels = {**train_labels, **eval_labels}
+        investigator = Investigator(lambda d: labels[d], n_trees=30, seed=1)
+        report = investigator.bootstrap(train_cases, eval_cases)
+        assert report.confusion.accuracy > 0.9
+        assert report.n_train == len(train_cases)
+        assert report.n_eval == len(eval_cases)
+
+    def test_uncertainty_order_covers_all_cases(self):
+        train_cases, train_labels = make_population(seed=0)
+        eval_cases, eval_labels = make_population(seed=500)
+        labels = {**train_labels, **eval_labels}
+        investigator = Investigator(lambda d: labels[d], n_trees=20, seed=1)
+        report = investigator.bootstrap(train_cases, eval_cases)
+        assert sorted(report.review_order.tolist()) == list(range(len(eval_cases)))
+
+    def test_fn_curve_monotone(self):
+        train_cases, train_labels = make_population(seed=0)
+        eval_cases, eval_labels = make_population(seed=500)
+        labels = {**train_labels, **eval_labels}
+        investigator = Investigator(lambda d: labels[d], n_trees=20, seed=1)
+        report = investigator.bootstrap(train_cases, eval_cases)
+        assert np.all(np.diff(report.fn_curve) <= 0)
+        assert report.fn_curve[-1] == 0
+
+    def test_reviews_until_fn_below(self):
+        train_cases, train_labels = make_population(seed=0)
+        eval_cases, eval_labels = make_population(seed=500)
+        labels = {**train_labels, **eval_labels}
+        investigator = Investigator(lambda d: labels[d], n_trees=20, seed=1)
+        report = investigator.bootstrap(train_cases, eval_cases)
+        assert report.reviews_until_fn_below(0) == report.cases_to_clear_fn
+        assert report.reviews_until_fn_below(10_000) == 0
+
+    def test_training_requires_both_classes(self):
+        cases, _labels = make_population(n_benign=5, n_malicious=0)
+        investigator = Investigator(lambda d: 0)
+        with pytest.raises(ValueError, match="both classes"):
+            investigator.train(cases)
+
+    def test_classify_requires_training(self):
+        cases, _ = make_population(n_benign=2, n_malicious=2)
+        with pytest.raises(ValueError, match="train"):
+            Investigator(lambda d: 0).classify(cases)
+
+    def test_cross_validate_error_bars(self):
+        cases, labels = make_population(seed=0)
+        investigator = Investigator(lambda d: labels[d], n_trees=15, seed=1)
+        result = investigator.cross_validate(cases, k=3)
+        acc_mean, acc_std = result.accuracy
+        assert acc_mean > 0.8
+        assert "accuracy" in result.summary()
+
+    def test_cross_validate_needs_enough_cases(self):
+        cases, labels = make_population(n_benign=2, n_malicious=1)
+        investigator = Investigator(lambda d: labels[d])
+        with pytest.raises(ValueError):
+            investigator.cross_validate(cases, k=5)

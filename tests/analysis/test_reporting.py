@@ -1,0 +1,99 @@
+"""Tests for analyst-facing case reports."""
+
+import pytest
+
+from repro.analysis.reporting import render_case, render_report
+from repro.core.detector import CandidatePeriod, DetectionResult
+from repro.core.timeseries import ActivitySummary
+from repro.filtering.case import BeaconingCase
+from repro.filtering.pipeline import FunnelStats, PipelineReport
+
+
+@pytest.fixture
+def case():
+    summary = ActivitySummary.from_timestamps(
+        "02:00:00:00:00:01",
+        "xqzjwkvp.com",
+        [i * 300.0 for i in range(60)],
+        urls=["/gate.php"],
+    )
+    detection = DetectionResult(
+        periodic=True,
+        candidates=(
+            CandidatePeriod(300.0, 1 / 300.0, 42.0, 0.91, 0.45),
+        ),
+        power_threshold=4.0,
+        n_events=60,
+        duration=59 * 300.0,
+        time_scale=1.0,
+        scales=(1.0, 4.0),
+    )
+    return BeaconingCase(
+        summary=summary,
+        detection=detection,
+        popularity=0.01,
+        similar_sources=3,
+        lm_score=-2.8,
+        rank_score=2.5,
+    )
+
+
+class TestRenderCase:
+    def test_contains_core_evidence(self, case):
+        text = render_case(case)
+        assert "xqzjwkvp.com" in text
+        assert "300.0 s" in text
+        assert "ACF 0.91" in text
+        assert "/gate.php" in text
+        assert "rank score: 2.50" in text
+
+    def test_indicators_highlighted(self, case):
+        text = render_case(case)
+        assert "DGA-like domain name" in text
+        assert "3 internal hosts affected" in text
+        assert "strong clockwork periodicity" in text
+
+    def test_rank_prefix(self, case):
+        assert render_case(case, rank=4).startswith("#4 case:")
+
+    def test_benign_profile_has_no_aggravating_hints(self, case):
+        from dataclasses import replace
+
+        mild = replace(case, lm_score=-1.0, similar_sources=1, popularity=0.3)
+        mild = replace(
+            mild,
+            detection=replace(
+                case.detection,
+                candidates=(
+                    replace(case.detection.candidates[0], acf_score=0.2),
+                ),
+            ),
+        )
+        assert "no aggravating indicators" in render_case(mild)
+
+
+class TestRenderReport:
+    def make_report(self, case, n=3):
+        funnel = FunnelStats()
+        funnel.record("1 global whitelist", 100, 90)
+        return PipelineReport(
+            ranked_cases=[case] * n,
+            detected_cases=[case] * n,
+            funnel=funnel,
+            population_size=50,
+        )
+
+    def test_full_report(self, case):
+        text = render_report(self.make_report(case))
+        assert "BAYWATCH daily report" in text
+        assert "population: 50 sources" in text
+        assert "global whitelist" in text
+        assert text.count("xqzjwkvp.com") >= 3
+
+    def test_max_cases_truncation(self, case):
+        text = render_report(self.make_report(case, n=5), max_cases=2)
+        assert "and 3 further cases" in text
+
+    def test_funnel_optional(self, case):
+        text = render_report(self.make_report(case), include_funnel=False)
+        assert "global whitelist" not in text

@@ -1,0 +1,92 @@
+"""Tests for the synthetic evaluation harness (Section VIII-A)."""
+
+import pytest
+
+from repro.analysis.synthetic_eval import (
+    EvalResult,
+    evaluate_noise_level,
+    false_alarm_rate,
+    noise_sweep,
+    tolerated_sigma,
+)
+from repro.synthetic.noise import NoiseModel
+
+DAY = 86_400.0
+
+
+class TestEvaluateNoiseLevel:
+    def test_clean_baseline_perfect(self):
+        result = evaluate_noise_level(
+            period=300.0, duration=DAY, noise=NoiseModel(), trials=3
+        )
+        assert result.gamma_d == 0.0
+        assert result.delta_d < 0.01
+        assert result.detection_rate == 1.0
+        assert result.accurate
+
+    def test_extreme_noise_fails(self):
+        noise = NoiseModel(jitter_sigma=150.0, drop_probability=0.75)
+        result = evaluate_noise_level(
+            period=300.0, duration=DAY, noise=noise, trials=3
+        )
+        assert result.gamma_d > 0.5
+
+    def test_deterministic_given_seed(self):
+        noise = NoiseModel(jitter_sigma=30.0)
+        a = evaluate_noise_level(period=300.0, duration=DAY, noise=noise,
+                                 trials=3, seed=5)
+        b = evaluate_noise_level(period=300.0, duration=DAY, noise=noise,
+                                 trials=3, seed=5)
+        assert a == b
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            evaluate_noise_level(period=10.0, duration=100.0,
+                                 noise=NoiseModel(), trials=0)
+
+
+class TestNoiseSweep:
+    def test_sweep_length(self):
+        results = noise_sweep([0.0, 30.0], period=300.0, duration=DAY,
+                              trials=2)
+        assert len(results) == 2
+        assert all(isinstance(r, EvalResult) for r in results)
+
+    def test_degradation_with_sigma(self):
+        results = noise_sweep([0.0, 120.0], period=300.0, duration=DAY,
+                              trials=3)
+        assert results[0].delta_d <= results[1].delta_d
+
+
+class TestToleratedSigma:
+    def make(self, delta, gamma):
+        return EvalResult(n_trials=5, detection_rate=1 - gamma,
+                          delta_d=delta, gamma_d=gamma)
+
+    def test_picks_last_good_level(self):
+        sigmas = [0.0, 10.0, 20.0, 30.0]
+        results = [self.make(0.01, 0.0), self.make(0.02, 0.0),
+                   self.make(0.08, 0.0), self.make(0.01, 0.0)]
+        # Degrades at 20 and never recovers (stop at first failure).
+        assert tolerated_sigma(sigmas, results) == 10.0
+
+    def test_all_good(self):
+        sigmas = [0.0, 10.0]
+        results = [self.make(0.01, 0.0)] * 2
+        assert tolerated_sigma(sigmas, results) == 10.0
+
+    def test_none_good(self):
+        assert tolerated_sigma([5.0], [self.make(0.5, 1.0)]) == 0.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            tolerated_sigma([1.0, 2.0], [self.make(0.0, 0.0)])
+
+
+class TestFalseAlarmRate:
+    def test_poisson_is_quiet(self):
+        assert false_alarm_rate(rate=1 / 300.0, duration=DAY, trials=3) <= 0.34
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            false_alarm_rate(rate=1.0, duration=100.0, trials=0)

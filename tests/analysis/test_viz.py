@@ -1,0 +1,110 @@
+"""Tests for terminal evidence visualization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.viz import (
+    acf_strip,
+    activity_strip,
+    evidence_panel,
+    intensity_strip,
+)
+from repro.core.timeseries import ActivitySummary
+
+
+@pytest.fixture
+def beacon_summary():
+    return ActivitySummary.from_timestamps(
+        "mac1", "evil.com", [i * 300.0 for i in range(200)]
+    )
+
+
+@pytest.fixture
+def bursty_summary(rng):
+    timestamps = np.sort(rng.uniform(0, 60_000.0, size=150))
+    return ActivitySummary.from_timestamps("mac1", "site.com", timestamps)
+
+
+class TestIntensityStrip:
+    def test_width_respected(self):
+        assert len(intensity_strip(range(1000), width=40)) == 40
+
+    def test_short_series_kept_whole(self):
+        assert len(intensity_strip([1, 2, 3], width=40)) == 3
+
+    def test_constant_series_is_flat(self):
+        assert set(intensity_strip([5.0] * 100, width=20)) == {"."}
+
+    def test_empty_series(self):
+        assert intensity_strip([], width=10) == " " * 10
+
+    def test_gradient_orders_characters(self):
+        strip = intensity_strip(range(100), width=10)
+        assert strip[0] == " "
+        assert strip[-1] == "@"
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            intensity_strip([1.0], width=0)
+
+
+class TestActivityStrip:
+    def test_beacon_renders_evenly(self, beacon_summary):
+        strip = activity_strip(beacon_summary, width=32)
+        assert len(strip) == 32
+        # Even cadence: no empty gaps across the strip.
+        assert " " not in strip.strip()
+
+    def test_outage_renders_as_gap(self):
+        timestamps = [i * 300.0 for i in range(50)]
+        timestamps += [40_000.0 + i * 300.0 for i in range(50)]
+        summary = ActivitySummary.from_timestamps("m", "d", timestamps)
+        strip = activity_strip(summary, width=32)
+        assert " " in strip[4:-4], "the outage should show as a dark gap"
+
+
+class TestAcfStrip:
+    def test_periodic_traffic_lights_up(self, beacon_summary):
+        strip = acf_strip(beacon_summary, width=48)
+        bright = sum(1 for ch in strip if ch in "#%@")
+        assert bright >= 2, f"expected periodic columns, got {strip!r}"
+
+    def test_bursty_traffic_stays_dark(self, bursty_summary):
+        strip = acf_strip(bursty_summary, width=48)
+        bright = sum(1 for ch in strip if ch in "%@")
+        # Peak normalization puts the max somewhere; beyond it the strip
+        # must be mostly dark for aperiodic traffic.
+        assert bright <= 6
+
+    def test_invalid_fraction(self, beacon_summary):
+        with pytest.raises(ValueError):
+            acf_strip(beacon_summary, max_lag_fraction=0.0)
+
+
+class TestEvidencePanel:
+    def test_two_rows(self, beacon_summary):
+        panel = evidence_panel(beacon_summary)
+        lines = panel.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("activity |")
+        assert lines[1].startswith("acf      |")
+
+    def test_integrates_with_render_case(self, beacon_summary):
+        from repro.analysis.reporting import render_case
+        from repro.core.detector import CandidatePeriod, DetectionResult
+        from repro.filtering.case import BeaconingCase
+
+        case = BeaconingCase(
+            summary=beacon_summary,
+            detection=DetectionResult(
+                periodic=True,
+                candidates=(CandidatePeriod(300.0, 1 / 300, 10.0, 0.9, 0.5),),
+                power_threshold=1.0,
+                n_events=200,
+                duration=199 * 300.0,
+                time_scale=1.0,
+            ),
+        )
+        text = render_case(case, show_evidence_panel=True)
+        assert "activity |" in text
+        assert "acf      |" in text

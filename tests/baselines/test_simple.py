@@ -1,0 +1,84 @@
+"""Tests for the related-work baseline detectors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AcfBaseline, CvBaseline, FftBaseline
+from repro.synthetic import BeaconSpec, NoiseModel, poisson_trace
+
+DAY = 86_400.0
+
+
+@pytest.fixture(params=[FftBaseline, AcfBaseline, CvBaseline])
+def baseline(request):
+    return request.param()
+
+
+class TestCommonBehaviour:
+    def test_detects_clean_beacon(self, baseline, rng):
+        trace = BeaconSpec(period=300.0, duration=DAY).generate(rng)
+        result = baseline.detect(trace)
+        assert result.periodic
+        assert result.period == pytest.approx(300.0, rel=0.05)
+        assert result.periods() == [result.period]
+
+    def test_rejects_tiny_input(self, baseline):
+        result = baseline.detect([0.0, 1.0])
+        assert not result.periodic
+        assert result.periods() == []
+
+    def test_method_label(self, baseline):
+        assert baseline.detect([0.0, 1.0]).method in {"fft", "acf", "cv"}
+
+
+class TestKnownWeaknesses:
+    """Each baseline has the blind spot the full detector fixes."""
+
+    def test_cv_breaks_under_missing_events(self, rng):
+        noise = NoiseModel(drop_probability=0.4)
+        trace = BeaconSpec(period=300.0, duration=DAY, noise=noise).generate(rng)
+        assert not CvBaseline().detect(trace).periodic
+
+    def test_acf_breaks_under_heavy_jitter_at_fine_scale(self, rng):
+        noise = NoiseModel(jitter_sigma=30.0)
+        trace = BeaconSpec(period=300.0, duration=DAY, noise=noise).generate(rng)
+        assert not AcfBaseline(time_scale=1.0).detect(trace).periodic
+
+    def test_fft_breaks_under_heavy_jitter(self):
+        """Fine-scale jitter spreads the spectral line; with no
+        multi-scale rescaling the fixed-SNR peak fades."""
+        noise = NoiseModel(jitter_sigma=60.0)
+        hits = 0
+        for seed in range(5):
+            trace = BeaconSpec(
+                period=300.0, duration=DAY, noise=noise
+            ).generate(np.random.default_rng(seed))
+            result = FftBaseline().detect(trace)
+            if result.periodic and abs(result.period - 300.0) / 300.0 < 0.1:
+                hits += 1
+        assert hits <= 2
+
+    def test_fft_false_alarms_on_bursty_browsing(self):
+        """A fixed SNR threshold has no answer to session-structured
+        traffic: bursts concentrate low-frequency power."""
+        from repro.synthetic import browsing_trace
+
+        alarms = 0
+        for seed in range(8):
+            trace = browsing_trace(
+                DAY, np.random.default_rng(seed), session_rate=5 / 3600.0
+            )
+            if trace.size >= 4 and FftBaseline().detect(trace).periodic:
+                alarms += 1
+        assert alarms >= 4
+
+
+class TestFalseAlarms:
+    @pytest.mark.parametrize("cls", [FftBaseline, AcfBaseline, CvBaseline])
+    def test_poisson_mostly_quiet(self, cls):
+        alarms = 0
+        for seed in range(5):
+            trace = poisson_trace(1 / 300.0, DAY, np.random.default_rng(seed))
+            if cls().detect(trace).periodic:
+                alarms += 1
+        assert alarms <= 1

@@ -1,0 +1,10 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for test reproducibility."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,110 @@
+"""Unit tests for repro.core.autocorrelation."""
+
+import numpy as np
+import pytest
+
+from repro.core.autocorrelation import (
+    autocorrelation,
+    search_window,
+    validate_candidate,
+)
+
+
+def periodic_signal(period, length):
+    signal = np.zeros(length)
+    signal[::period] = 1.0
+    return signal
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        signal = rng.random(100)
+        acf = autocorrelation(signal)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_periodic_signal_peaks_at_period(self):
+        acf = autocorrelation(periodic_signal(10, 1000))
+        # Lag 10 should be a strong local maximum.
+        assert acf[10] > 0.8
+        assert acf[10] > acf[5]
+        assert acf[10] > acf[13]
+
+    def test_constant_signal_is_flat(self):
+        acf = autocorrelation(np.ones(50))
+        assert acf[0] == 1.0
+        assert np.allclose(acf[1:], 0.0)
+
+    def test_white_noise_decorrelates(self, rng):
+        acf = autocorrelation(rng.normal(size=5000))
+        assert np.max(np.abs(acf[1:])) < 0.1
+
+    def test_values_bounded(self, rng):
+        signal = rng.random(500)
+        acf = autocorrelation(signal)
+        assert np.all(acf <= 1.0 + 1e-9)
+
+    def test_short_signal_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0])
+
+
+class TestSearchWindow:
+    def test_window_contains_period(self):
+        low, high = search_window(period=50.0, n_samples=1000)
+        assert low <= 50 <= high
+
+    def test_window_within_valid_lags(self):
+        low, high = search_window(period=3.0, n_samples=100)
+        assert 1 <= low < high <= 99
+
+    def test_large_period_clipped(self):
+        low, high = search_window(period=99.0, n_samples=100)
+        assert high <= 99
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            search_window(period=0.0, n_samples=100)
+        with pytest.raises(ValueError):
+            search_window(period=10.0, n_samples=2)
+
+
+class TestValidateCandidate:
+    def test_true_period_validates(self):
+        acf = autocorrelation(periodic_signal(20, 2000))
+        result = validate_candidate(acf, 20.0)
+        assert result.valid
+        assert result.refined_period == pytest.approx(20.0, abs=1.0)
+        assert result.acf_score > 0.5
+
+    def test_refinement_corrects_coarse_estimate(self):
+        acf = autocorrelation(periodic_signal(20, 2000))
+        # Candidate slightly off; refined onto the ACF peak.
+        result = validate_candidate(acf, 19.0)
+        assert result.refined_period == pytest.approx(20.0, abs=1.0)
+
+    def test_noise_fails_validation(self, rng):
+        acf = autocorrelation(rng.normal(size=2000))
+        result = validate_candidate(acf, 50.0, min_acf_score=0.2)
+        assert not result.valid
+
+    def test_min_acf_score_enforced(self):
+        acf = autocorrelation(periodic_signal(20, 2000))
+        result = validate_candidate(acf, 20.0, min_acf_score=2.0)
+        assert not result.valid
+
+    def test_explicit_window(self):
+        acf = autocorrelation(periodic_signal(20, 2000))
+        result = validate_candidate(acf, 20.0, window=(15, 25))
+        assert result.valid
+        assert 15 <= result.refined_period <= 25
+
+    def test_invalid_window_rejected(self):
+        acf = autocorrelation(periodic_signal(20, 200))
+        with pytest.raises(ValueError):
+            validate_candidate(acf, 20.0, window=(10, 5))
+
+    def test_hill_slopes_reported(self):
+        acf = autocorrelation(periodic_signal(25, 1000))
+        result = validate_candidate(acf, 25.0)
+        if result.valid:
+            assert result.left_slope >= 0 or result.right_slope <= 0

@@ -1,0 +1,28 @@
+"""Tests for the batched periodogram helper."""
+
+import numpy as np
+import pytest
+
+from repro.core.periodogram import batch_max_power, max_power
+
+
+class TestBatchMaxPower:
+    def test_matches_per_row_computation(self, rng):
+        signals = rng.random((5, 256))
+        batched = batch_max_power(signals)
+        individual = np.array([max_power(row) for row in signals])
+        assert np.allclose(batched, individual)
+
+    def test_periodic_row_stands_out(self, rng):
+        noise = (rng.random((3, 1000)) < 0.05).astype(float)
+        periodic = np.zeros(1000)
+        periodic[::10] = 1.0
+        signals = np.vstack([noise, periodic[None, :]])
+        powers = batch_max_power(signals)
+        assert powers[-1] > 3 * powers[:-1].max()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            batch_max_power(np.zeros(10))  # 1-D
+        with pytest.raises(ValueError):
+            batch_max_power(np.zeros((3, 2)))  # too short

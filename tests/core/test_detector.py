@@ -1,0 +1,174 @@
+"""Integration tests for the full periodicity detector (Section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DetectorConfig, PeriodicityDetector
+from repro.core.timeseries import ActivitySummary
+from repro.synthetic import (
+    BeaconSpec,
+    NoiseModel,
+    conficker_spec,
+    poisson_trace,
+    tdss_spec,
+    zeus_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return PeriodicityDetector(DetectorConfig(seed=7))
+
+
+DAY = 86_400.0
+
+
+class TestCleanBeacons:
+    @pytest.mark.parametrize("period", [30.0, 60.0, 300.0, 901.0, 3600.0])
+    def test_detects_clean_periods(self, detector, period):
+        rng = np.random.default_rng(int(period))
+        trace = BeaconSpec(period=period, duration=DAY).generate(rng)
+        result = detector.detect(trace)
+        assert result.periodic
+        assert result.dominant_period == pytest.approx(period, rel=0.05)
+
+    def test_reports_candidates_ranked(self, detector, rng):
+        trace = BeaconSpec(period=120.0, duration=DAY).generate(rng)
+        result = detector.detect(trace)
+        scores = [c.acf_score for c in result.candidates]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestNoisyBeacons:
+    def test_gaussian_jitter(self, detector, rng):
+        noise = NoiseModel(jitter_sigma=15.0)
+        trace = BeaconSpec(period=300.0, duration=DAY, noise=noise).generate(rng)
+        result = detector.detect(trace)
+        assert result.periodic
+        assert result.dominant_period == pytest.approx(300.0, rel=0.05)
+
+    def test_missing_events(self, detector, rng):
+        noise = NoiseModel(drop_probability=0.4)
+        trace = BeaconSpec(period=300.0, duration=DAY, noise=noise).generate(rng)
+        result = detector.detect(trace)
+        assert result.periodic
+        assert min(result.periods()) == pytest.approx(300.0, rel=0.05)
+
+    def test_added_events(self, detector, rng):
+        noise = NoiseModel(add_rate=1.0 / 900.0)
+        trace = BeaconSpec(period=300.0, duration=DAY, noise=noise).generate(rng)
+        result = detector.detect(trace)
+        assert result.periodic
+        assert any(abs(p - 300.0) / 300.0 < 0.05 for p in result.periods())
+
+    def test_combined_noise(self, detector, rng):
+        noise = NoiseModel(
+            jitter_sigma=10.0, drop_probability=0.2, add_rate=1.0 / 1800.0
+        )
+        trace = BeaconSpec(period=300.0, duration=DAY, noise=noise).generate(rng)
+        result = detector.detect(trace)
+        assert result.periodic
+
+    def test_outage_gap(self, detector, rng):
+        noise = NoiseModel(gaps=((20_000.0, 40_000.0),))
+        trace = BeaconSpec(period=300.0, duration=DAY, noise=noise).generate(rng)
+        result = detector.detect(trace)
+        assert result.periodic
+        assert result.dominant_period == pytest.approx(300.0, rel=0.05)
+
+
+class TestBotnetBehaviours:
+    def test_tdss(self, detector, rng):
+        result = detector.detect(tdss_spec().generate(rng))
+        assert result.periodic
+        assert any(abs(p - 387.0) / 387.0 < 0.05 for p in result.periods())
+
+    def test_conficker_multi_period(self, detector, rng):
+        result = detector.detect(conficker_spec().generate(rng))
+        assert result.periodic
+        periods = result.periods()
+        assert any(p < 10.0 for p in periods), "burst period missing"
+        assert any(p > 9_000.0 for p in periods), "macro period missing"
+
+    def test_zeus(self, detector, rng):
+        result = detector.detect(zeus_spec(period=63.0).generate(rng))
+        assert result.periodic
+        assert min(result.periods()) == pytest.approx(63.0, rel=0.05)
+
+
+class TestNegativeControls:
+    @pytest.mark.parametrize("rate", [1 / 600.0, 1 / 120.0, 1 / 30.0])
+    def test_poisson_not_periodic(self, detector, rate):
+        rng = np.random.default_rng(int(1 / rate))
+        result = detector.detect(poisson_trace(rate, DAY, rng))
+        assert not result.periodic
+
+    def test_bursty_browsing_not_periodic(self, detector, rng):
+        from repro.synthetic import browsing_trace
+
+        trace = browsing_trace(DAY, rng, session_rate=5 / 3600.0)
+        if trace.size >= 4:
+            result = detector.detect(trace)
+            assert not result.periodic
+
+
+class TestEdgeCases:
+    def test_too_few_events(self, detector):
+        result = detector.detect([0.0, 100.0])
+        assert not result.periodic
+        assert "fewer than" in result.rejection_reason
+
+    def test_single_slot(self, detector):
+        result = detector.detect([5.0, 5.1, 5.2, 5.3])
+        assert not result.periodic
+
+    def test_empty_input(self, detector):
+        result = detector.detect([])
+        assert not result.periodic
+
+    def test_unsorted_input_handled(self, detector, rng):
+        trace = BeaconSpec(period=60.0, duration=DAY).generate(rng)
+        shuffled = rng.permutation(trace)
+        result = detector.detect(shuffled)
+        assert result.periodic
+        assert result.dominant_period == pytest.approx(60.0, rel=0.05)
+
+    def test_deterministic_given_seed(self, rng):
+        trace = BeaconSpec(
+            period=300.0, duration=DAY, noise=NoiseModel(jitter_sigma=20.0)
+        ).generate(rng)
+        det = PeriodicityDetector(DetectorConfig(seed=42))
+        a = det.detect(trace)
+        b = det.detect(trace)
+        assert a.periods() == b.periods()
+
+
+class TestDetectSummary:
+    def test_summary_roundtrip(self, detector, rng):
+        trace = BeaconSpec(period=300.0, duration=DAY).generate(rng)
+        summary = ActivitySummary.from_timestamps("s", "d", trace)
+        result = detector.detect_summary(summary)
+        assert result.periodic
+        assert result.dominant_period == pytest.approx(300.0, rel=0.05)
+
+    def test_coarse_summary_analyzed_at_own_scale(self, detector, rng):
+        trace = BeaconSpec(period=3600.0, duration=7 * DAY).generate(rng)
+        summary = ActivitySummary.from_timestamps("s", "d", trace, time_scale=60.0)
+        result = detector.detect_summary(summary)
+        assert result.periodic
+        assert result.dominant_period == pytest.approx(3600.0, rel=0.05)
+        assert result.time_scale == 60.0
+
+
+class TestConfigValidation:
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(confidence=1.5)
+
+    def test_bad_scale_factor(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(scale_factor=1.0)
+
+    def test_bad_min_events(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(min_events=1)

@@ -1,0 +1,118 @@
+"""Configuration-path tests for the detector."""
+
+import numpy as np
+import pytest
+
+from repro.core import DetectorConfig, PeriodicityDetector
+from repro.core.permutation import ThresholdCache
+from repro.synthetic import BeaconSpec, NoiseModel
+
+DAY = 86_400.0
+
+
+def beacon(rng, period=300.0, **noise_kwargs):
+    return BeaconSpec(
+        period=period, duration=DAY, noise=NoiseModel(**noise_kwargs)
+    ).generate(rng)
+
+
+class TestConfigVariants:
+    def test_count_signal_detects(self, rng):
+        detector = PeriodicityDetector(
+            DetectorConfig(seed=0, binary_signal=False)
+        )
+        result = detector.detect(beacon(rng))
+        assert result.periodic
+        assert result.dominant_period == pytest.approx(300.0, rel=0.05)
+
+    def test_gmm_disabled_still_detects_simple_beacons(self, rng):
+        detector = PeriodicityDetector(DetectorConfig(seed=0, use_gmm=False))
+        result = detector.detect(beacon(rng))
+        assert result.periodic
+        assert result.mixture is None
+
+    def test_fold_disabled_still_detects_clean(self, rng):
+        detector = PeriodicityDetector(
+            DetectorConfig(seed=0, fold_intervals=False)
+        )
+        assert detector.detect(beacon(rng)).periodic
+
+    def test_signal_length_guard_skips_fine_scales(self, rng):
+        # max_signal_length below the 1 s slot count: the 1 s scale is
+        # skipped but coarser scales still resolve the 300 s beacon.
+        detector = PeriodicityDetector(
+            DetectorConfig(seed=0, max_signal_length=40_000)
+        )
+        result = detector.detect(beacon(rng))
+        assert result.periodic
+        assert all(s > 2.0 for s in result.scales)
+
+    def test_everything_skipped_is_rejected(self, rng):
+        detector = PeriodicityDetector(
+            DetectorConfig(seed=0, max_scales=1, max_signal_length=64)
+        )
+        result = detector.detect(beacon(rng))
+        assert not result.periodic
+
+    def test_higher_alpha_prunes_more(self, rng):
+        trace = beacon(rng, jitter_sigma=20.0)
+        strict = PeriodicityDetector(DetectorConfig(seed=0, alpha=0.4))
+        lax = PeriodicityDetector(DetectorConfig(seed=0, alpha=0.01))
+        assert len(strict.detect(trace).candidates) <= len(
+            lax.detect(trace).candidates
+        ) + 1
+
+    def test_min_support_one_rejects_noisy(self, rng):
+        trace = beacon(rng, add_rate=1 / 600.0)
+        detector = PeriodicityDetector(DetectorConfig(seed=0, min_support=1.0))
+        result = detector.detect(trace)
+        # With added events, no DFT candidate explains *all* intervals;
+        # only GMM candidates (support-exempt) may survive.
+        assert all(c.origin == "gmm" for c in result.candidates)
+
+
+class TestThresholdCache:
+    def test_cache_reused_across_similar_pairs(self, rng):
+        cache = ThresholdCache()
+        detector = PeriodicityDetector(DetectorConfig(seed=0),
+                                       threshold_cache=cache)
+        for seed in range(3):
+            detector.detect(beacon(np.random.default_rng(seed)))
+        assert cache.hits > 0
+
+    def test_cache_detection_agrees_with_exact(self, rng):
+        trace = beacon(rng, jitter_sigma=10.0)
+        exact = PeriodicityDetector(DetectorConfig(seed=0)).detect(trace)
+        cached = PeriodicityDetector(
+            DetectorConfig(seed=0), threshold_cache=ThresholdCache()
+        ).detect(trace)
+        assert exact.periodic == cached.periodic
+        assert cached.dominant_period == pytest.approx(
+            exact.dominant_period, rel=0.02
+        )
+
+    def test_cache_threshold_close_to_exact(self):
+        from repro.core.permutation import permutation_threshold
+
+        cache = ThresholdCache()
+        signal = np.zeros(10_000)
+        signal[:500] = 1.0
+        rng = np.random.default_rng(0)
+        shuffled = rng.permutation(signal)
+        exact = permutation_threshold(
+            shuffled, rng=np.random.default_rng(1)
+        ).threshold
+        approx = cache.threshold(10_000, 500)
+        assert approx == pytest.approx(exact, rel=0.35)
+
+    def test_cache_validates_inputs(self):
+        cache = ThresholdCache()
+        with pytest.raises(ValueError):
+            cache.threshold(2, 1)
+
+    def test_cache_counts(self):
+        cache = ThresholdCache()
+        cache.threshold(1000, 100)
+        cache.threshold(1000, 100)
+        assert cache.misses == 1
+        assert cache.hits == 1

@@ -1,0 +1,93 @@
+"""Unit tests for repro.core.gmm."""
+
+import numpy as np
+import pytest
+
+from repro.core.gmm import fit_gmm, select_gmm
+
+
+@pytest.fixture
+def two_cluster_data(rng):
+    """Intervals mimicking Conficker: many ~5 s, some ~175 s."""
+    fast = rng.normal(5.0, 0.5, size=400)
+    slow = rng.normal(175.0, 3.0, size=100)
+    return np.concatenate([fast, slow])
+
+
+class TestFitGmm:
+    def test_single_component_recovers_mean(self, rng):
+        data = rng.normal(50.0, 2.0, size=500)
+        model = fit_gmm(data, 1)
+        assert model.components[0].mean == pytest.approx(50.0, abs=0.5)
+        assert model.components[0].weight == pytest.approx(1.0)
+
+    def test_two_components_recover_clusters(self, two_cluster_data):
+        model = fit_gmm(two_cluster_data, 2)
+        means = sorted(c.mean for c in model.components)
+        assert means[0] == pytest.approx(5.0, abs=1.0)
+        assert means[1] == pytest.approx(175.0, abs=5.0)
+
+    def test_weights_sum_to_one(self, two_cluster_data):
+        model = fit_gmm(two_cluster_data, 3)
+        assert sum(c.weight for c in model.components) == pytest.approx(1.0)
+
+    def test_variance_floor_respected(self):
+        data = [5.0] * 20  # zero-variance data
+        model = fit_gmm(data, 1)
+        assert model.components[0].variance >= 1e-4
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_gmm([1.0], 2)
+
+    def test_invalid_component_count(self):
+        with pytest.raises(ValueError):
+            fit_gmm([1.0, 2.0], 0)
+
+    def test_deterministic_with_seed(self, two_cluster_data):
+        a = fit_gmm(two_cluster_data, 2, rng=np.random.default_rng(1))
+        b = fit_gmm(two_cluster_data, 2, rng=np.random.default_rng(1))
+        assert a.log_likelihood == b.log_likelihood
+
+
+class TestSelectGmm:
+    def test_bic_picks_two_for_two_clusters(self, two_cluster_data):
+        model = select_gmm(two_cluster_data, max_components=4)
+        assert model.n_components == 2
+
+    def test_bic_picks_one_for_unimodal(self, rng):
+        data = rng.normal(60.0, 1.0, size=300)
+        model = select_gmm(data, max_components=4)
+        assert model.n_components == 1
+
+    def test_candidate_periods_heaviest_first(self, two_cluster_data):
+        model = select_gmm(two_cluster_data, max_components=4)
+        periods = model.candidate_periods()
+        assert periods[0] == pytest.approx(5.0, abs=1.0)
+
+    def test_min_count_keeps_rare_component(self, rng):
+        # 500 fast intervals, only 8 slow ones (weight 1.6%).
+        data = np.concatenate(
+            [rng.normal(7.5, 0.2, size=500), rng.normal(10800.0, 10.0, size=8)]
+        )
+        model = select_gmm(data, max_components=4)
+        by_weight_only = model.candidate_periods(min_weight=0.1)
+        with_count = model.candidate_periods(min_weight=0.1, min_count=6)
+        assert any(p > 10_000 for p in with_count)
+        assert len(with_count) >= len(by_weight_only)
+
+    def test_respects_sample_minimum(self):
+        with pytest.raises(ValueError):
+            select_gmm([1.0])
+
+
+class TestResponsibilities:
+    def test_hard_assignment_separates_clusters(self, two_cluster_data):
+        model = fit_gmm(two_cluster_data, 2)
+        assignment = model.assign([5.0, 175.0])
+        assert assignment[0] != assignment[1]
+
+    def test_responsibilities_rows_sum_to_one(self, two_cluster_data):
+        model = fit_gmm(two_cluster_data, 3)
+        resp = model.responsibilities(two_cluster_data[:50])
+        assert np.allclose(resp.sum(axis=1), 1.0)

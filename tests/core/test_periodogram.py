@@ -1,0 +1,100 @@
+"""Unit tests for repro.core.periodogram."""
+
+import numpy as np
+import pytest
+
+from repro.core.periodogram import (
+    candidate_peaks,
+    max_power,
+    power_spectrum,
+    spectrum_frequencies,
+)
+
+
+def periodic_signal(period, length):
+    """A binary spike train with one spike every ``period`` slots."""
+    signal = np.zeros(length)
+    signal[::period] = 1.0
+    return signal
+
+
+class TestPowerSpectrum:
+    def test_length_matches_frequencies(self):
+        signal = periodic_signal(10, 1000)
+        power = power_spectrum(signal)
+        freqs = spectrum_frequencies(1000)
+        assert power.size == freqs.size == 500
+
+    def test_pure_sinusoid_concentrates_power(self):
+        n = 1024
+        t = np.arange(n)
+        signal = np.sin(2 * np.pi * t / 64)
+        power = power_spectrum(signal)
+        freqs = spectrum_frequencies(n)
+        peak_freq = freqs[np.argmax(power)]
+        assert peak_freq == pytest.approx(1 / 64, rel=0.02)
+
+    def test_dc_component_removed(self):
+        constant = np.ones(64) * 5.0
+        power = power_spectrum(constant)
+        assert np.allclose(power, 0.0)
+
+    def test_mean_invariance(self):
+        signal = periodic_signal(8, 256)
+        shifted = signal + 100.0
+        assert np.allclose(power_spectrum(signal), power_spectrum(shifted))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            power_spectrum([1.0, 0.0, 1.0])
+
+
+class TestMaxPower:
+    def test_periodic_has_higher_max_than_constant(self):
+        periodic = periodic_signal(10, 500)
+        assert max_power(periodic) > 0
+
+    def test_periodic_beats_shuffled(self, rng):
+        periodic = periodic_signal(10, 1000)
+        shuffled = rng.permutation(periodic)
+        assert max_power(periodic) > 2 * max_power(shuffled)
+
+
+class TestCandidatePeaks:
+    def test_finds_true_period(self):
+        # An impulse train spreads power equally over all harmonics of
+        # the fundamental; the fundamental must be among the top peaks.
+        signal = periodic_signal(20, 2000)
+        peaks = candidate_peaks(signal, power_threshold=0.0, max_candidates=120)
+        assert peaks, "expected at least one peak"
+        assert any(abs(p.period - 20.0) / 20.0 < 0.05 for p in peaks)
+
+    def test_sinusoid_strongest_peak_is_fundamental(self):
+        n = 2048
+        signal = np.sin(2 * np.pi * np.arange(n) / 32)
+        peaks = candidate_peaks(signal, power_threshold=0.0, max_candidates=5)
+        assert peaks[0].period == pytest.approx(32.0, rel=0.05)
+
+    def test_ordering_strongest_first(self):
+        signal = periodic_signal(16, 1024)
+        peaks = candidate_peaks(signal, power_threshold=0.0, max_candidates=10)
+        powers = [p.power for p in peaks]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_threshold_filters_everything(self):
+        signal = periodic_signal(16, 1024)
+        assert candidate_peaks(signal, power_threshold=1e12) == []
+
+    def test_max_candidates_respected(self):
+        signal = periodic_signal(16, 1024)
+        peaks = candidate_peaks(signal, power_threshold=0.0, max_candidates=3)
+        assert len(peaks) == 3
+
+    def test_frequency_period_consistency(self):
+        signal = periodic_signal(10, 500)
+        for peak in candidate_peaks(signal, 0.0, max_candidates=8):
+            assert peak.period == pytest.approx(1.0 / peak.frequency)
+
+    def test_invalid_max_candidates(self):
+        with pytest.raises(ValueError):
+            candidate_peaks(periodic_signal(10, 100), 0.0, max_candidates=0)

@@ -1,0 +1,60 @@
+"""Unit tests for repro.core.permutation."""
+
+import numpy as np
+import pytest
+
+from repro.core.periodogram import max_power
+from repro.core.permutation import permutation_threshold
+
+
+def periodic_signal(period, length):
+    signal = np.zeros(length)
+    signal[::period] = 1.0
+    return signal
+
+
+class TestPermutationThreshold:
+    def test_periodic_signal_exceeds_threshold(self, rng):
+        signal = periodic_signal(10, 1000)
+        result = permutation_threshold(signal, rng=rng)
+        assert max_power(signal) > result.threshold
+
+    def test_random_signal_mostly_below_threshold(self, rng):
+        signal = (rng.random(1000) < 0.1).astype(float)
+        result = permutation_threshold(signal, confidence=0.95, rng=rng)
+        # The original random signal's max power should not dramatically
+        # exceed the permutation threshold (same distribution).
+        assert max_power(signal) < 3 * result.threshold
+
+    def test_result_records_parameters(self, rng):
+        result = permutation_threshold(
+            periodic_signal(5, 200), permutations=7, confidence=0.9, rng=rng
+        )
+        assert result.permutations == 7
+        assert result.confidence == 0.9
+        assert len(result.max_powers) == 7
+
+    def test_threshold_is_an_observed_maximum(self, rng):
+        result = permutation_threshold(periodic_signal(5, 200), rng=rng)
+        assert result.threshold in result.max_powers
+
+    def test_higher_confidence_higher_threshold(self, rng):
+        signal = periodic_signal(10, 500)
+        seed_rng = lambda: np.random.default_rng(7)
+        low = permutation_threshold(signal, confidence=0.5, rng=seed_rng())
+        high = permutation_threshold(signal, confidence=1.0, rng=seed_rng())
+        assert high.threshold >= low.threshold
+
+    def test_deterministic_with_seeded_rng(self):
+        signal = periodic_signal(10, 500)
+        a = permutation_threshold(signal, rng=np.random.default_rng(3))
+        b = permutation_threshold(signal, rng=np.random.default_rng(3))
+        assert a.threshold == b.threshold
+
+    def test_invalid_permutations(self, rng):
+        with pytest.raises(ValueError):
+            permutation_threshold(periodic_signal(5, 100), permutations=0, rng=rng)
+
+    def test_short_signal_rejected(self, rng):
+        with pytest.raises(ValueError):
+            permutation_threshold([1.0, 0.0], rng=rng)

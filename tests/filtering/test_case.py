@@ -1,0 +1,51 @@
+"""Tests for the BeaconingCase record."""
+
+import pytest
+
+from repro.core.detector import CandidatePeriod, DetectionResult
+from repro.core.timeseries import ActivitySummary
+from repro.filtering.case import BeaconingCase
+
+
+def make_case(periods=(300.0, 60.0)):
+    summary = ActivitySummary.from_timestamps(
+        "mac9", "dst.example.com", [i * 60.0 for i in range(10)]
+    )
+    candidates = tuple(
+        CandidatePeriod(p, 1 / p, 10.0, 0.9 - i * 0.1, 0.5)
+        for i, p in enumerate(periods)
+    )
+    detection = DetectionResult(
+        periodic=bool(candidates),
+        candidates=candidates,
+        power_threshold=1.0,
+        n_events=10,
+        duration=540.0,
+        time_scale=1.0,
+    )
+    return BeaconingCase(summary=summary, detection=detection)
+
+
+class TestBeaconingCase:
+    def test_endpoint_properties(self):
+        case = make_case()
+        assert case.source == "mac9"
+        assert case.destination == "dst.example.com"
+
+    def test_dominant_vs_smallest_period(self):
+        case = make_case(periods=(300.0, 60.0))
+        assert case.dominant_period == 300.0
+        assert case.smallest_period == 60.0
+        assert case.periods == (300.0, 60.0)
+
+    def test_no_periods(self):
+        case = make_case(periods=())
+        assert case.dominant_period is None
+        assert case.smallest_period is None
+
+    def test_with_rank_score_is_a_copy(self):
+        case = make_case()
+        scored = case.with_rank_score(3.5)
+        assert scored.rank_score == 3.5
+        assert case.rank_score == 0.0
+        assert scored.summary is case.summary

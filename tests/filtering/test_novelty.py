@@ -1,0 +1,53 @@
+"""Tests for the novelty (change-detection) filter."""
+
+from repro.filtering.novelty import NoveltyStore
+
+
+class TestNoveltyStore:
+    def test_fresh_destination_is_novel(self):
+        store = NoveltyStore()
+        assert store.is_novel("src1", "evil.com")
+
+    def test_reported_destination_not_novel(self):
+        store = NoveltyStore()
+        store.record("src1", "evil.com")
+        assert not store.is_novel("src1", "evil.com")
+        # ... even from another source (destination-level suppression).
+        assert not store.is_novel("src2", "evil.com")
+
+    def test_check_and_record_first_wins(self):
+        store = NoveltyStore()
+        assert store.check_and_record("s1", "d1")
+        assert not store.check_and_record("s2", "d1")
+        assert store.check_and_record("s1", "d2")
+
+    def test_suppressed_cases_logged(self):
+        store = NoveltyStore()
+        store.check_and_record("s1", "d1")
+        store.check_and_record("s2", "d1")
+        assert store.suppressed == [("s2", "d1")]
+
+    def test_len_counts_pairs(self):
+        store = NoveltyStore()
+        store.record("s1", "d1")
+        store.record("s2", "d2")
+        assert len(store) == 2
+
+    def test_persistence_roundtrip(self, tmp_path):
+        store = NoveltyStore()
+        store.record("s1", "d1")
+        store.record("s2", "d2")
+        path = tmp_path / "novelty.json"
+        store.save(path)
+        loaded = NoveltyStore.load(path)
+        assert not loaded.is_novel("s1", "d1")
+        assert not loaded.is_novel("anyone", "d2")
+        assert loaded.is_novel("s1", "d3")
+        assert len(loaded) == 2
+
+    def test_reported_destinations_copy(self):
+        store = NoveltyStore()
+        store.record("s", "d")
+        dests = store.reported_destinations
+        dests.add("other")
+        assert "other" not in store.reported_destinations

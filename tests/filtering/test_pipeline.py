@@ -1,0 +1,109 @@
+"""Integration tests for the 8-step pipeline."""
+
+import pytest
+
+from repro.filtering import (
+    BaywatchPipeline,
+    GlobalWhitelist,
+    NoveltyStore,
+    PipelineConfig,
+)
+from repro.synthetic import (
+    EnterpriseConfig,
+    EnterpriseSimulator,
+    ImplantSpec,
+)
+
+
+@pytest.fixture(scope="module")
+def enterprise():
+    config = EnterpriseConfig(
+        n_hosts=25,
+        n_sites=50,
+        duration=86_400.0 / 4,
+        implants=(
+            ImplantSpec("zbot", "zeus", n_infected=2, period=90.0),
+            ImplantSpec("tdss", "tdss", n_infected=1),
+        ),
+        seed=21,
+    )
+    return EnterpriseSimulator(config).generate()
+
+
+@pytest.fixture(scope="module")
+def report(enterprise):
+    records, _truth = enterprise
+    pipeline = BaywatchPipeline(
+        PipelineConfig(local_whitelist_threshold=0.15, ranking_percentile=0.5)
+    )
+    return pipeline.run_records(records)
+
+
+class TestPipeline:
+    def test_finds_all_malicious_destinations(self, enterprise, report):
+        _records, truth = enterprise
+        detected = {case.destination for case in report.detected_cases}
+        assert truth.malicious_destinations <= detected
+
+    def test_malicious_ranked_on_top(self, enterprise, report):
+        _records, truth = enterprise
+        top = report.reported_destinations[: len(truth.malicious_destinations)]
+        assert set(top) == truth.malicious_destinations
+
+    def test_funnel_monotonically_decreases(self, report):
+        for _name, pairs_in, pairs_out in report.funnel.steps:
+            assert pairs_out <= pairs_in
+
+    def test_funnel_has_all_eight_steps(self, report):
+        names = " ".join(name for name, _i, _o in report.funnel.steps)
+        for marker in ("1 ", "2 ", "3-5", "6 ", "7 ", "8 "):
+            assert marker in names
+
+    def test_popular_services_whitelisted(self, enterprise, report):
+        """High-adoption services (os updates, AV) never reach detection."""
+        _records, truth = enterprise
+        detected = {case.destination for case in report.detected_cases}
+        assert "updates.osvendor.com" not in detected
+        assert "sig.avshield.com" not in detected
+
+    def test_funnel_text_renders(self, report):
+        text = report.funnel.as_text()
+        assert "global whitelist" in text
+
+    def test_population_counted(self, enterprise, report):
+        assert report.population_size == 25
+
+
+class TestPipelineComponentsInjection:
+    def test_global_whitelist_suppresses(self, enterprise):
+        records, truth = enterprise
+        malicious = sorted(truth.malicious_destinations)
+        whitelist = GlobalWhitelist(list(malicious))
+        pipeline = BaywatchPipeline(
+            PipelineConfig(local_whitelist_threshold=0.15),
+            global_whitelist=whitelist,
+        )
+        report = pipeline.run_records(records)
+        detected = {case.destination for case in report.detected_cases}
+        assert not (set(malicious) & detected)
+
+    def test_novelty_suppresses_second_run(self, enterprise):
+        records, truth = enterprise
+        novelty = NoveltyStore()
+        config = PipelineConfig(
+            local_whitelist_threshold=0.15, ranking_percentile=0.0
+        )
+        first = BaywatchPipeline(config, novelty=novelty).run_records(records)
+        second = BaywatchPipeline(config, novelty=novelty).run_records(records)
+        first_dests = {case.destination for case in first.ranked_cases}
+        second_dests = {case.destination for case in second.ranked_cases}
+        assert truth.malicious_destinations <= first_dests
+        assert not (truth.malicious_destinations & second_dests)
+
+    def test_min_events_prefilter(self, enterprise):
+        records, _truth = enterprise
+        config = PipelineConfig(
+            local_whitelist_threshold=0.15, min_events=10_000
+        )
+        report = BaywatchPipeline(config).run_records(records)
+        assert report.detected_cases == []

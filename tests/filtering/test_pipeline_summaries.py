@@ -1,0 +1,88 @@
+"""Pipeline behaviour on prebuilt summaries and report surfaces."""
+
+import pytest
+
+from repro.core.timeseries import ActivitySummary
+from repro.filtering import BaywatchPipeline, PipelineConfig
+
+
+def beacon_summary(source, destination, period=120.0, count=100, urls=()):
+    return ActivitySummary.from_timestamps(
+        source, destination, [i * period for i in range(count)], urls=urls
+    )
+
+
+@pytest.fixture
+def pipeline():
+    return BaywatchPipeline(
+        PipelineConfig(local_whitelist_threshold=0.5, ranking_percentile=0.0)
+    )
+
+
+class TestRunSummaries:
+    def test_detects_prebuilt_beacon(self, pipeline):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        summaries = [
+            beacon_summary("mac1", "xqzwvkpj.com"),
+            ActivitySummary.from_timestamps(
+                "mac2", "www.dailynews-site.com",
+                sorted(rng.uniform(0, 86_400, size=100)),
+            ),
+        ]
+        report = pipeline.run_summaries(summaries)
+        detected = {c.destination for c in report.detected_cases}
+        assert "xqzwvkpj.com" in detected
+        assert "www.dailynews-site.com" not in detected
+
+    def test_reported_destinations_deduped_in_order(self, pipeline):
+        summaries = [
+            beacon_summary("mac1", "xqzwvkpj.com"),
+            beacon_summary("mac2", "xqzwvkpj.com"),
+            beacon_summary("mac3", "qqwjzkvx.net", period=300.0),
+        ]
+        report = pipeline.run_summaries(summaries)
+        dests = report.reported_destinations
+        assert len(dests) == len(set(dests))
+        assert set(dests) <= {"xqzwvkpj.com", "qqwjzkvx.net"}
+
+    def test_same_destination_consolidated(self, pipeline):
+        summaries = [
+            beacon_summary("mac1", "xqzwvkpj.com", count=50),
+            beacon_summary("mac2", "xqzwvkpj.com", count=200),
+        ]
+        report = pipeline.run_summaries(summaries)
+        ranked = [c for c in report.ranked_cases
+                  if c.destination == "xqzwvkpj.com"]
+        assert len(ranked) == 1
+        # The strongest case (more events) represents the destination.
+        assert ranked[0].summary.event_count == 200
+
+    def test_token_filter_uses_summary_urls(self, pipeline):
+        summaries = [
+            beacon_summary(
+                "mac1", "updates-provider.com",
+                urls=tuple(["/v1/update/check"] * 10),
+            ),
+        ]
+        report = pipeline.run_summaries(summaries)
+        assert report.detected_cases  # detection fires...
+        assert report.ranked_cases == []  # ...but tokens suppress it
+
+    def test_empty_summaries(self, pipeline):
+        report = pipeline.run_summaries([])
+        assert report.ranked_cases == []
+        assert report.population_size == 0
+
+
+class TestOperationsDefaults:
+    def test_default_cadences_shape(self):
+        from repro.operations import DEFAULT_CADENCES
+
+        names = [c.name for c in DEFAULT_CADENCES]
+        assert names == ["daily", "weekly", "monthly"]
+        scales = [c.time_scale for c in DEFAULT_CADENCES]
+        assert scales == sorted(scales), "coarser cadence, coarser scale"
+        windows = [c.window_days for c in DEFAULT_CADENCES]
+        assert windows == sorted(windows)

@@ -1,0 +1,137 @@
+"""Tests for the weighted ranking filter."""
+
+import pytest
+
+from repro.core.detector import CandidatePeriod, DetectionResult
+from repro.core.timeseries import ActivitySummary
+from repro.filtering.case import BeaconingCase
+from repro.filtering.ranking import (
+    RankingWeights,
+    lm_anomaly,
+    periodicity_strength,
+    rank_cases,
+    rank_score,
+    rarity,
+    regularity,
+)
+
+
+def make_case(
+    *,
+    period=300.0,
+    acf=0.8,
+    lm_score=-1.0,
+    popularity=0.001,
+    n_events=100,
+    jitter=0.0,
+    duration=86_400.0,
+):
+    timestamps = [i * period + (jitter * (i % 3 - 1)) for i in range(n_events)]
+    summary = ActivitySummary.from_timestamps("src", "dst.com", timestamps)
+    candidate = CandidatePeriod(
+        period=period, frequency=1 / period, power=100.0, acf_score=acf, p_value=0.5
+    )
+    detection = DetectionResult(
+        periodic=True,
+        candidates=(candidate,),
+        power_threshold=10.0,
+        n_events=n_events,
+        duration=duration,
+        time_scale=1.0,
+    )
+    return BeaconingCase(
+        summary=summary,
+        detection=detection,
+        popularity=popularity,
+        similar_sources=1,
+        lm_score=lm_score,
+    )
+
+
+class TestIndicators:
+    def test_periodicity_strength_bounds(self):
+        assert 0.0 <= periodicity_strength(make_case()) <= 1.0
+
+    def test_clockwork_beats_jittery(self):
+        assert periodicity_strength(make_case(jitter=0.0)) >= periodicity_strength(
+            make_case(jitter=60.0)
+        )
+
+    def test_lm_anomaly_dga_beats_benign(self):
+        weights = RankingWeights()
+        dga = lm_anomaly(make_case(lm_score=-3.0), weights)
+        benign = lm_anomaly(make_case(lm_score=-1.0), weights)
+        assert dga > benign
+        assert benign == 0.0
+
+    def test_lm_extreme_bonus_applies(self):
+        weights = RankingWeights(lm_extreme_bonus=0.5, lm_extreme_threshold=-2.2)
+        below = lm_anomaly(make_case(lm_score=-2.3), weights)
+        above = lm_anomaly(make_case(lm_score=-2.1), weights)
+        assert below > above + 0.4
+
+    def test_rarity_decays_with_popularity(self):
+        assert rarity(make_case(popularity=0.0)) == 1.0
+        assert rarity(make_case(popularity=0.5)) < 0.1
+
+    def test_regularity_grows_with_cycles(self):
+        few = regularity(make_case(period=40_000.0, duration=86_400.0))
+        many = regularity(make_case(period=60.0, duration=86_400.0))
+        assert many > few
+
+    def test_no_detection_zero_strength(self):
+        case = make_case()
+        empty = BeaconingCase(
+            summary=case.summary,
+            detection=DetectionResult(
+                periodic=False, candidates=(), power_threshold=1.0,
+                n_events=4, duration=100.0, time_scale=1.0,
+            ),
+        )
+        assert periodicity_strength(empty) == 0.0
+        assert regularity(empty) == 0.0
+
+
+class TestRankScore:
+    def test_malicious_profile_outranks_benign_profile(self):
+        malicious = make_case(lm_score=-3.0, popularity=0.0, acf=0.9)
+        benign = make_case(lm_score=-1.0, popularity=0.2, acf=0.5)
+        assert rank_score(malicious) > rank_score(benign)
+
+    def test_weights_zeroing(self):
+        case = make_case(lm_score=-3.0)
+        no_lm = RankingWeights(lm=0.0, lm_extreme_bonus=0.0)
+        assert rank_score(case, no_lm) < rank_score(case)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            RankingWeights(periodicity=-1.0)
+
+
+class TestRankCases:
+    def test_ordering_and_threshold(self):
+        cases = [
+            make_case(lm_score=-3.0, acf=0.9),  # clearly malicious profile
+            make_case(lm_score=-1.0, acf=0.3, popularity=0.1),
+            make_case(lm_score=-1.1, acf=0.4, popularity=0.05),
+            make_case(lm_score=-2.8, acf=0.8),
+        ]
+        ranked = rank_cases(cases, percentile=0.5)
+        assert len(ranked) <= len(cases)
+        scores = [case.rank_score for case in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert ranked[0].lm_score in (-3.0, -2.8)
+
+    def test_empty_input(self):
+        assert rank_cases([]) == []
+
+    def test_percentile_zero_keeps_all(self):
+        cases = [make_case(), make_case(lm_score=-2.5)]
+        assert len(rank_cases(cases, percentile=0.0)) == 2
+
+    def test_single_case_kept(self):
+        assert len(rank_cases([make_case()], percentile=0.99)) == 1
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            rank_cases([make_case()], percentile=1.5)

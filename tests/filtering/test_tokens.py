@@ -1,0 +1,45 @@
+"""Tests for the URL token filter."""
+
+from repro.filtering.tokens import BENIGN_TOKENS, TokenFilter, tokenize_url
+
+
+class TestTokenizeUrl:
+    def test_path_tokens(self):
+        assert tokenize_url("/v2/check?build=17134") == ("v2", "check", "build", "17134")
+
+    def test_case_folding(self):
+        assert "update" in tokenize_url("/UPDATE/Check")
+
+    def test_empty(self):
+        assert tokenize_url("/") == ()
+
+
+class TestTokenFilter:
+    def test_update_urls_are_benign(self):
+        f = TokenFilter()
+        assert f.url_is_benign("/v2/update/check?build=10")
+        assert f.url_is_benign("/signatures/latest/version.txt")
+        assert f.url_is_benign("/ews/poll")
+
+    def test_gate_urls_are_not_benign(self):
+        f = TokenFilter()
+        assert not f.url_is_benign("/gate.php")
+        assert not f.url_is_benign("/a8f3bc0d")
+        assert not f.url_is_benign("/images/logo.png")
+
+    def test_case_verdict_by_fraction(self):
+        f = TokenFilter(min_benign_fraction=0.5)
+        assert f.is_likely_benign(["/update", "/update", "/other"])
+        assert not f.is_likely_benign(["/update", "/x", "/y", "/z"])
+
+    def test_no_urls_passes_through(self):
+        assert not TokenFilter().is_likely_benign([])
+
+    def test_custom_tokens(self):
+        f = TokenFilter(benign_tokens={"telemetry"})
+        assert f.url_is_benign("/telemetry/upload")
+        assert not f.url_is_benign("/update/check")
+
+    def test_default_tokens_exported(self):
+        assert "heartbeat" in BENIGN_TOKENS
+        assert "gate" not in BENIGN_TOKENS

@@ -1,0 +1,117 @@
+"""Tests for global and local whitelists."""
+
+import pytest
+
+from repro.filtering.whitelist import GlobalWhitelist, LocalWhitelist
+
+
+class TestGlobalWhitelist:
+    def test_default_contains_popular_domains(self):
+        wl = GlobalWhitelist()
+        assert "google.com" in wl
+        assert "evil-dga-xyz123.com" not in wl
+
+    def test_subdomain_matching(self):
+        wl = GlobalWhitelist(["example.com"])
+        assert "cdn.example.com" in wl
+        assert "a.b.example.com" in wl
+        assert "example.org" not in wl
+
+    def test_add_and_discard(self):
+        wl = GlobalWhitelist([])
+        assert "corp.internal.com" not in wl
+        wl.add("corp.internal.com")
+        assert "corp.internal.com" in wl
+        wl.discard("corp.internal.com")
+        assert "corp.internal.com" not in wl
+
+    def test_len(self):
+        assert len(GlobalWhitelist(["a.com", "b.com", "www.a.com"])) == 2
+
+
+class TestLocalWhitelist:
+    def build(self, threshold=0.1, min_sources=3):
+        wl = LocalWhitelist(threshold, min_sources=min_sources)
+        # 20 hosts; "popular.com" contacted by 10, "rare.com" by 1,
+        # "pair.com" by 2.
+        for i in range(20):
+            wl.observe(f"host{i}", "filler.com" if i else "x.com")
+        for i in range(10):
+            wl.observe(f"host{i}", "popular.com")
+        wl.observe("host0", "rare.com")
+        wl.observe("host0", "pair.com")
+        wl.observe("host1", "pair.com")
+        return wl
+
+    def test_population_size(self):
+        assert self.build().population_size == 20
+
+    def test_popularity(self):
+        wl = self.build()
+        assert wl.popularity("popular.com") == pytest.approx(0.5)
+        assert wl.popularity("rare.com") == pytest.approx(0.05)
+        assert wl.popularity("never-seen.com") == 0.0
+
+    def test_contains_popular(self):
+        wl = self.build()
+        assert "popular.com" in wl
+        assert "rare.com" not in wl
+
+    def test_min_sources_guard(self):
+        # pair.com has popularity 0.1 > threshold 0.05 but only 2 sources.
+        wl = self.build(threshold=0.05, min_sources=3)
+        assert "pair.com" not in wl
+        wl2 = self.build(threshold=0.05, min_sources=2)
+        assert "pair.com" in wl2
+
+    def test_similar_sources(self):
+        wl = self.build()
+        assert wl.similar_sources("popular.com") == 10
+        assert wl.similar_sources("never-seen.com") == 0
+
+    def test_whitelisted_destinations(self):
+        wl = self.build()
+        assert "popular.com" in wl.whitelisted_destinations()
+        assert "rare.com" not in wl.whitelisted_destinations()
+
+    def test_empty_store_raises_on_contains(self):
+        wl = LocalWhitelist()
+        with pytest.raises(ValueError):
+            "x.com" in wl
+
+    def test_observe_pairs_chaining(self):
+        wl = LocalWhitelist().observe_pairs([("h1", "d1"), ("h2", "d1")])
+        assert wl.similar_sources("d1") == 2
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            LocalWhitelist(threshold=1.5)
+
+    def test_persistence_roundtrip(self, tmp_path):
+        wl = self.build()
+        path = tmp_path / "local.json"
+        wl.save(path)
+        loaded = LocalWhitelist.load(path)
+        assert loaded.population_size == wl.population_size
+        assert loaded.popularity("popular.com") == wl.popularity("popular.com")
+        assert "popular.com" in loaded
+        assert "rare.com" not in loaded
+
+    def test_loaded_whitelist_accepts_new_observations(self, tmp_path):
+        wl = self.build()
+        path = tmp_path / "local.json"
+        wl.save(path)
+        loaded = LocalWhitelist.load(path)
+        loaded.observe("brand-new-host", "popular.com")
+        assert loaded.similar_sources("popular.com") == 11
+
+
+class TestGlobalWhitelistPersistence:
+    def test_roundtrip(self, tmp_path):
+        wl = GlobalWhitelist(["a.com", "b.org"])
+        path = tmp_path / "global.json"
+        wl.save(path)
+        loaded = GlobalWhitelist.load(path)
+        assert "cdn.a.com" in loaded
+        assert "c.net" not in loaded
+        assert len(loaded) == 2

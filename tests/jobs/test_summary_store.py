@@ -1,0 +1,95 @@
+"""Tests for the persistent summary store."""
+
+import pytest
+
+from repro.core.timeseries import ActivitySummary
+from repro.jobs import SummaryStore
+
+DAY = 86_400.0
+
+
+def day_summary(day, pair=("mac1", "evil.com"), period=300.0):
+    start = day * DAY
+    return ActivitySummary.from_timestamps(
+        pair[0], pair[1],
+        [start + i * period for i in range(20)],
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SummaryStore(tmp_path / "summaries")
+
+
+class TestSummaryStore:
+    def test_append_and_load_day(self, store):
+        assert store.append_day(0, [day_summary(0)]) == 1
+        loaded = store.load_day(0)
+        assert len(loaded) == 1
+        assert loaded[0].pair == ("mac1", "evil.com")
+
+    def test_days_listing(self, store):
+        store.append_day(2, [day_summary(2)])
+        store.append_day(0, [day_summary(0)])
+        assert store.days() == [0, 2]
+
+    def test_missing_day_is_empty(self, store):
+        assert store.load_day(7) == []
+
+    def test_window_merges_per_pair(self, store):
+        for day in range(3):
+            store.append_day(day, [day_summary(day)])
+        window = store.load_window(end_day=2, window_days=3)
+        assert len(window) == 1
+        assert window[0].event_count == 60
+
+    def test_window_clips_to_available_days(self, store):
+        store.append_day(0, [day_summary(0)])
+        store.append_day(1, [day_summary(1)])
+        window = store.load_window(end_day=1, window_days=10)
+        assert window[0].event_count == 40
+
+    def test_window_excludes_out_of_range_days(self, store):
+        for day in range(5):
+            store.append_day(day, [day_summary(day)])
+        window = store.load_window(end_day=4, window_days=2)
+        assert window[0].event_count == 40  # days 3 and 4 only
+
+    def test_window_rescales(self, store):
+        store.append_day(0, [day_summary(0)])
+        window = store.load_window(end_day=0, window_days=1, time_scale=60.0)
+        assert window[0].time_scale == 60.0
+
+    def test_multiple_pairs_sorted(self, store):
+        store.append_day(0, [
+            day_summary(0, pair=("mac2", "b.com")),
+            day_summary(0, pair=("mac1", "a.com")),
+        ])
+        window = store.load_window(end_day=0, window_days=1)
+        assert [s.pair for s in window] == [("mac1", "a.com"), ("mac2", "b.com")]
+
+    def test_default_end_day_is_latest(self, store):
+        store.append_day(0, [day_summary(0)])
+        store.append_day(3, [day_summary(3)])
+        window = store.load_window(window_days=1)
+        assert window[0].first_timestamp >= 3 * DAY
+
+    def test_clear(self, store):
+        store.append_day(0, [day_summary(0)])
+        store.clear()
+        assert store.load_day(0) == []
+
+    def test_empty_store_window(self, store):
+        assert store.load_window() == []
+
+    def test_detection_from_stored_window(self, store):
+        """End to end: raw logs extracted once, detection from the store."""
+        from repro.core import DetectorConfig, PeriodicityDetector
+
+        for day in range(3):
+            store.append_day(day, [day_summary(day)])
+        window = store.load_window(window_days=3, time_scale=60.0)
+        detector = PeriodicityDetector(DetectorConfig(seed=0))
+        result = detector.detect_summary(window[0])
+        assert result.periodic
+        assert result.dominant_period == pytest.approx(300.0, rel=0.05)

@@ -1,0 +1,98 @@
+"""Tests for domain scoring and the bundled corpus."""
+
+import pytest
+
+from repro.lm.corpus import POPULAR_DOMAINS, expand_corpus, training_corpus
+from repro.lm.domains import DomainScorer, default_scorer, registered_domain
+from repro.synthetic.dga import generate_pool
+
+
+@pytest.fixture(scope="module")
+def scorer():
+    return default_scorer()
+
+
+class TestRegisteredDomain:
+    @pytest.mark.parametrize(
+        "hostname,expected",
+        [
+            ("google.com", "google.com"),
+            ("www.google.com", "google.com"),
+            ("cdn.assets.google.com", "google.com"),
+            ("example.co.uk", "example.co.uk"),
+            ("www.example.co.uk", "example.co.uk"),
+            ("localhost", "localhost"),
+            ("10.0.0.1", "10.0.0.1"),
+            ("GOOGLE.COM", "google.com"),
+            ("google.com.", "google.com"),
+        ],
+    )
+    def test_extraction(self, hostname, expected):
+        assert registered_domain(hostname) == expected
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            registered_domain("")
+
+
+class TestCorpus:
+    def test_popular_domains_nonempty_and_unique(self):
+        assert len(POPULAR_DOMAINS) > 300
+        assert len(set(POPULAR_DOMAINS)) == len(POPULAR_DOMAINS)
+
+    def test_expand_corpus_deterministic(self):
+        assert expand_corpus(500) == expand_corpus(500)
+
+    def test_expand_corpus_size(self):
+        assert len(expand_corpus(1234)) == 1234
+
+    def test_training_corpus_combines(self):
+        corpus = training_corpus(1000)
+        assert len(corpus) == len(POPULAR_DOMAINS) + 1000
+
+
+class TestDomainScorer:
+    def test_paper_example_separation(self, scorer):
+        """The paper: google.com ~ -7.4 vs 22-char DGA ~ -45."""
+        benign = scorer.score("google.com")
+        dga = scorer.score("skmnikrzhrrzcjcxwfprgt.com")
+        assert benign > -15
+        assert dga < -45
+        assert benign - dga > 30
+
+    def test_subdomain_stripping(self, scorer):
+        long_blob = "cdn.5f75b1c54f8ab29ccd2d4.com"
+        assert scorer.score(long_blob) == scorer.score("5f75b1c54f8ab29ccd2d4.com")
+
+    def test_dga_families_flagged(self, scorer):
+        # Uniform-random labels occasionally come out pronounceable, so
+        # the bound for "random" is a little looser than hex/consonant.
+        for family, bound in (("random", 15), ("hex", 19), ("consonant", 19)):
+            pool = generate_pool(20, family=family, seed=5)
+            flagged = sum(scorer.is_suspicious(d) for d in pool)
+            assert flagged >= bound, f"{family}: only {flagged}/20 flagged"
+
+    def test_benign_not_flagged(self, scorer):
+        flagged = sum(scorer.is_suspicious(d) for d in POPULAR_DOMAINS[:150])
+        assert flagged == 0
+
+    def test_word_dga_is_the_hard_case(self, scorer):
+        """Word-composition DGAs evade the LM (by design of the threat)."""
+        pool = generate_pool(20, family="words", seed=5)
+        flagged = sum(scorer.is_suspicious(d) for d in pool)
+        assert flagged <= 5
+
+    def test_score_many_sorted(self, scorer):
+        scored = scorer.score_many(["google.com", "xqzjwkvpllrw.com", "amazon.com"])
+        values = [v for _d, v in scored]
+        assert values == sorted(values)
+        assert scored[0][0] == "xqzjwkvpllrw.com"
+
+    def test_default_scorer_cached(self):
+        assert default_scorer() is default_scorer()
+
+    def test_custom_corpus(self):
+        scorer = DomainScorer(corpus=["aaa.com", "aab.com", "aba.com"] * 10)
+        assert scorer.normalized_score("aaa.com") > scorer.normalized_score(
+            "zzz.com"
+        )

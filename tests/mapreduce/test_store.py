@@ -1,0 +1,49 @@
+"""Tests for the partitioned on-disk store."""
+
+import pytest
+
+from repro.mapreduce.store import PartitionedStore
+
+
+class TestPartitionedStore:
+    def test_write_read_roundtrip(self, tmp_path):
+        store = PartitionedStore(tmp_path / "data", n_partitions=4)
+        records = [("k1", 1), ("k2", 2), ("k3", 3)]
+        assert store.write(records, key_of=lambda r: r[0]) == 3
+        assert sorted(store.read_all()) == sorted(records)
+
+    def test_append_semantics(self, tmp_path):
+        store = PartitionedStore(tmp_path / "data", n_partitions=2)
+        store.write([1, 2])
+        store.write([3])
+        assert sorted(store.read_all()) == [1, 2, 3]
+
+    def test_same_key_same_partition(self, tmp_path):
+        store = PartitionedStore(tmp_path / "data", n_partitions=8)
+        store.write([("dup", i) for i in range(10)], key_of=lambda r: r[0])
+        sizes = store.partition_sizes()
+        assert sum(1 for s in sizes if s > 0) == 1
+
+    def test_read_missing_partition_is_empty(self, tmp_path):
+        store = PartitionedStore(tmp_path / "data", n_partitions=4)
+        assert list(store.read_partition(2)) == []
+
+    def test_partition_out_of_range(self, tmp_path):
+        store = PartitionedStore(tmp_path / "data", n_partitions=4)
+        with pytest.raises(ValueError):
+            list(store.read_partition(4))
+
+    def test_clear(self, tmp_path):
+        store = PartitionedStore(tmp_path / "data", n_partitions=4)
+        store.write([1, 2, 3])
+        store.clear()
+        assert list(store.read_all()) == []
+
+    def test_complex_records(self, tmp_path):
+        from repro.core.timeseries import ActivitySummary
+
+        store = PartitionedStore(tmp_path / "data")
+        summary = ActivitySummary.from_timestamps("s", "d", [0.0, 60.0])
+        store.write([summary], key_of=lambda s: s.pair)
+        loaded = list(store.read_all())
+        assert loaded == [summary]

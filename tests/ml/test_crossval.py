@@ -1,0 +1,73 @@
+"""Tests for stratified cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.crossval import cross_validate, stratified_folds
+from repro.ml.forest import RandomForestClassifier
+
+
+@pytest.fixture
+def separable(rng):
+    X0 = rng.normal(0.0, 0.6, size=(60, 3))
+    X1 = rng.normal(3.0, 0.6, size=(30, 3))
+    X = np.vstack([X0, X1])
+    y = np.concatenate([np.zeros(60, dtype=int), np.ones(30, dtype=int)])
+    return X, y
+
+
+class TestStratifiedFolds:
+    def test_partition_is_complete_and_disjoint(self):
+        y = [0] * 20 + [1] * 10
+        folds = stratified_folds(y, 5, seed=1)
+        all_indices = sorted(i for fold in folds for i in fold)
+        assert all_indices == list(range(30))
+
+    def test_class_ratio_preserved(self):
+        y = np.array([0] * 20 + [1] * 10)
+        for fold in stratified_folds(y, 5, seed=1):
+            labels = y[fold]
+            assert (labels == 1).sum() == 2
+            assert (labels == 0).sum() == 4
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            stratified_folds([0, 1], 1)
+
+
+class TestCrossValidate:
+    def fit(self, X, y):
+        return RandomForestClassifier(n_estimators=10, seed=0).fit(X, y)
+
+    def test_high_accuracy_on_separable_data(self, separable):
+        X, y = separable
+        result = cross_validate(self.fit, X, y, k=5, seed=0)
+        acc_mean, acc_std = result.accuracy
+        assert acc_mean > 0.9
+        assert acc_std < 0.2
+        assert len(result.folds) == 5
+
+    def test_summary_renders(self, separable):
+        X, y = separable
+        result = cross_validate(self.fit, X, y, k=3, seed=0)
+        text = result.summary()
+        assert "accuracy" in text and "FPR" in text
+
+    def test_metrics_are_mean_std_pairs(self, separable):
+        X, y = separable
+        result = cross_validate(self.fit, X, y, k=3, seed=0)
+        for metric in (result.accuracy, result.recall,
+                       result.false_positive_rate):
+            mean, std = metric
+            assert 0.0 <= mean <= 1.0
+            assert std >= 0.0
+
+    def test_single_class_rejected(self):
+        X = np.zeros((10, 2))
+        y = np.zeros(10, dtype=int)
+        with pytest.raises(ValueError, match="no usable folds"):
+            cross_validate(self.fit, X, y, k=2)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            cross_validate(self.fit, np.zeros((4, 2)), [0, 1], k=2)

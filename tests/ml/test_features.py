@@ -1,0 +1,112 @@
+"""Unit tests for Table II feature extraction and symbolization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.features import (
+    FEATURE_NAMES,
+    TRIGRAMS,
+    extract_case_features,
+    symbolize_intervals,
+    trigram_histogram,
+)
+
+
+class TestSymbolization:
+    def test_periodic_intervals_map_to_x(self):
+        symbols = symbolize_intervals([100, 101, 99, 100], [100.0])
+        assert symbols == "xxxx"
+
+    def test_zero_intervals_map_to_y(self):
+        symbols = symbolize_intervals([0, 100, 0], [100.0])
+        assert symbols == "yxy"
+
+    def test_other_intervals_map_to_z(self):
+        # 555 rounds to the 6th multiple of 100 — beyond the 4x cap — and
+        # 130 is within no multiple's 15% band.
+        symbols = symbolize_intervals([100, 555, 130], [100.0])
+        assert symbols == "xzz"
+
+    def test_missed_beacon_multiples_count_as_periodic(self):
+        symbols = symbolize_intervals([100, 200, 300, 400], [100.0])
+        assert symbols == "xxxx"
+
+    def test_multiple_periods(self):
+        symbols = symbolize_intervals([7.5, 7.4, 10800.0], [7.5, 10800.0])
+        assert symbols == "xxx"
+
+    def test_no_periods_all_z(self):
+        symbols = symbolize_intervals([10, 20, 0], [])
+        assert symbols == "zzy"
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            symbolize_intervals([1.0], [1.0], tolerance=0.0)
+
+
+class TestTrigramHistogram:
+    def test_short_series_gives_zero_vector(self):
+        assert trigram_histogram("xy").sum() == 0.0
+
+    def test_uniform_series(self):
+        hist = trigram_histogram("xxxxx")
+        assert hist[TRIGRAMS.index("xxx")] == pytest.approx(1.0)
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_histogram_normalized(self):
+        hist = trigram_histogram("xyzxyzxyz")
+        assert hist.sum() == pytest.approx(1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="xyz", min_size=3, max_size=60))
+    def test_histogram_sums_to_one(self, symbols):
+        assert trigram_histogram(symbols).sum() == pytest.approx(1.0)
+
+
+class TestCaseFeatures:
+    def make(self, intervals, periods, **kwargs):
+        return extract_case_features(intervals, periods, **kwargs)
+
+    def test_vector_length_matches_names(self):
+        features = self.make([100.0] * 10, [100.0])
+        assert features.vector().size == len(FEATURE_NAMES)
+
+    def test_clockwork_beacon_low_entropy_high_compressibility(self, rng):
+        beacon = self.make(rng.normal(300, 2, size=100).tolist(), [300.0])
+        random_case = self.make(
+            rng.exponential(300, size=100).tolist(), [300.0]
+        )
+        assert beacon.entropy < random_case.entropy
+        assert beacon.compressibility < random_case.compressibility
+
+    def test_dominant_period_recorded(self):
+        features = self.make([60.0] * 5, [60.0, 120.0])
+        assert features.dominant_period == 60.0
+        assert features.period_count == 2
+
+    def test_interval_statistics(self):
+        features = self.make([100.0, 100.0, 100.0], [100.0])
+        assert features.interval_mean == pytest.approx(100.0)
+        assert features.interval_cv == pytest.approx(0.0)
+
+    def test_no_periods(self):
+        features = self.make([5.0, 9.0], [])
+        assert features.dominant_period == 0.0
+        assert features.period_count == 0
+
+    def test_similar_sources_and_lm_passthrough(self):
+        features = self.make(
+            [60.0] * 4, [60.0], similar_sources=19, lm_score=-2.9
+        )
+        assert features.similar_sources == 19
+        assert features.lm_score == -2.9
+
+    def test_negative_similar_sources_rejected(self):
+        with pytest.raises(ValueError):
+            self.make([60.0], [60.0], similar_sources=-1)
+
+    def test_vector_is_finite(self, rng):
+        features = self.make(rng.exponential(100, size=50).tolist(), [100.0])
+        assert np.all(np.isfinite(features.vector()))

@@ -1,0 +1,77 @@
+"""Unit tests for the random forest classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+
+
+@pytest.fixture
+def noisy_data(rng):
+    """Two overlapping blobs — a single tree overfits, a forest smooths."""
+    X0 = rng.normal(0.0, 1.0, size=(150, 5))
+    X1 = rng.normal(1.2, 1.0, size=(150, 5))
+    X = np.vstack([X0, X1])
+    y = np.concatenate([np.zeros(150, dtype=int), np.ones(150, dtype=int)])
+    return X, y
+
+
+class TestForest:
+    def test_fits_and_predicts(self, noisy_data):
+        X, y = noisy_data
+        forest = RandomForestClassifier(n_estimators=25, seed=0).fit(X, y)
+        accuracy = (forest.predict(X) == y).mean()
+        assert accuracy > 0.85
+
+    def test_generalizes_to_held_out(self, noisy_data, rng):
+        X, y = noisy_data
+        forest = RandomForestClassifier(n_estimators=40, seed=0).fit(X, y)
+        X_test = np.vstack(
+            [rng.normal(0.0, 1.0, size=(100, 5)), rng.normal(1.2, 1.0, size=(100, 5))]
+        )
+        y_test = np.concatenate([np.zeros(100, dtype=int), np.ones(100, dtype=int)])
+        assert (forest.predict(X_test) == y_test).mean() > 0.70
+
+    def test_probabilities_sum_to_one(self, noisy_data):
+        X, y = noisy_data
+        forest = RandomForestClassifier(n_estimators=10, seed=0).fit(X, y)
+        proba = forest.predict_proba(X[:20])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_deterministic_given_seed(self, noisy_data):
+        X, y = noisy_data
+        a = RandomForestClassifier(n_estimators=10, seed=5).fit(X, y)
+        b = RandomForestClassifier(n_estimators=10, seed=5).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_number_of_trees(self, noisy_data):
+        X, y = noisy_data
+        forest = RandomForestClassifier(n_estimators=7, seed=0).fit(X, y)
+        assert len(forest.trees_) == 7
+
+    def test_invalid_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))
+
+
+class TestUncertainty:
+    def test_uncertainty_bounds(self, noisy_data):
+        X, y = noisy_data
+        forest = RandomForestClassifier(n_estimators=20, seed=0).fit(X, y)
+        u = forest.uncertainty(X)
+        assert np.all(u >= -1e-9)
+        assert np.all(u <= 1.0 + 1e-9)
+
+    def test_boundary_points_more_uncertain(self, rng):
+        X0 = rng.normal(0.0, 0.5, size=(200, 2))
+        X1 = rng.normal(4.0, 0.5, size=(200, 2))
+        X = np.vstack([X0, X1])
+        y = np.concatenate([np.zeros(200, dtype=int), np.ones(200, dtype=int)])
+        forest = RandomForestClassifier(n_estimators=30, seed=0).fit(X, y)
+        clear = forest.uncertainty(np.array([[0.0, 0.0], [4.0, 4.0]]))
+        boundary = forest.uncertainty(np.array([[2.0, 2.0]]))
+        assert boundary[0] > clear.max()

@@ -1,0 +1,80 @@
+"""Tests for Gini feature importances."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+@pytest.fixture
+def labelled_by_feature_two(rng):
+    """Only feature 2 carries signal; 0, 1, 3 are noise."""
+    X = rng.normal(size=(300, 4))
+    y = (X[:, 2] > 0).astype(int)
+    return X, y
+
+
+class TestTreeImportances:
+    def test_informative_feature_dominates(self, labelled_by_feature_two):
+        X, y = labelled_by_feature_two
+        tree = DecisionTreeClassifier(seed=0).fit(X, y)
+        assert int(np.argmax(tree.feature_importances_)) == 2
+        assert tree.feature_importances_[2] > 0.8
+
+    def test_importances_normalized(self, labelled_by_feature_two):
+        X, y = labelled_by_feature_two
+        tree = DecisionTreeClassifier(seed=0).fit(X, y)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_stump_has_zero_importances(self):
+        X = np.ones((10, 3))
+        y = np.zeros(10, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.feature_importances_.sum() == 0.0
+
+
+class TestForestImportances:
+    def test_informative_feature_dominates(self, labelled_by_feature_two):
+        X, y = labelled_by_feature_two
+        forest = RandomForestClassifier(n_estimators=20, seed=0).fit(X, y)
+        importances = forest.feature_importances_
+        assert int(np.argmax(importances)) == 2
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_top_features(self, labelled_by_feature_two):
+        X, y = labelled_by_feature_two
+        forest = RandomForestClassifier(n_estimators=20, seed=0).fit(X, y)
+        top = forest.top_features(["a", "b", "signal", "d"], k=2)
+        assert top[0][0] == "signal"
+        assert len(top) == 2
+
+    def test_requires_fit(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier().feature_importances_
+
+    def test_names_must_align(self, labelled_by_feature_two):
+        X, y = labelled_by_feature_two
+        forest = RandomForestClassifier(n_estimators=5, seed=0).fit(X, y)
+        with pytest.raises(ValueError):
+            forest.top_features(["only", "three", "names"])
+
+
+class TestCalibration:
+    def test_calibrated_threshold_controls_fpr(self):
+        from repro.lm.corpus import POPULAR_DOMAINS
+        from repro.lm.domains import default_scorer
+
+        scorer = default_scorer()
+        sample = POPULAR_DOMAINS[:200]
+        threshold = scorer.calibrate_threshold(sample, target_fpr=0.01)
+        flagged = sum(
+            scorer.normalized_score(d) < threshold for d in sample
+        )
+        assert flagged <= max(2, int(0.02 * len(sample)))
+
+    def test_needs_enough_samples(self):
+        from repro.lm.domains import default_scorer
+
+        with pytest.raises(ValueError):
+            default_scorer().calibrate_threshold(["a.com"] * 5)

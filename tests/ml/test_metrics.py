@@ -1,0 +1,89 @@
+"""Unit tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    ConfusionMatrix,
+    confusion_matrix,
+    false_negatives_vs_reviewed,
+    precision_at_k,
+)
+
+
+class TestConfusionMatrix:
+    def test_paper_table_iv_values(self):
+        """The paper's confusion matrix: 2163 / 0 / 41 / 148."""
+        cm = ConfusionMatrix(2163, 0, 41, 148)
+        assert cm.total == 2352
+        assert cm.false_positive_rate == 0.0
+        assert cm.accuracy == pytest.approx((2163 + 148) / 2352)
+        assert cm.precision == 1.0
+        assert cm.recall == pytest.approx(148 / 189)
+
+    def test_from_labels(self):
+        cm = confusion_matrix([0, 0, 1, 1, 1], [0, 1, 1, 0, 1])
+        assert (cm.tn, cm.fp, cm.fn, cm.tp) == (1, 1, 1, 2)
+
+    def test_degenerate_all_benign(self):
+        cm = confusion_matrix([0, 0], [0, 0])
+        assert cm.recall == 1.0
+        assert cm.precision == 1.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 1], [0])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 2], [0, 1])
+
+    def test_as_table_renders(self):
+        table = ConfusionMatrix(2163, 0, 41, 148).as_table()
+        assert "2163" in table and "148" in table
+        assert "true malicious" in table
+
+
+class TestPrecisionAtK:
+    def test_paper_96_percent(self):
+        """48 of the top 50 confirmed malicious."""
+        ranked = [1] * 48 + [0] * 2 + [0] * 50
+        assert precision_at_k(ranked, 50) == pytest.approx(0.96)
+
+    def test_k_larger_than_list(self):
+        assert precision_at_k([1, 1], 10) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], 0)
+
+
+class TestFalseNegativeCurve:
+    def test_reviews_clear_false_negatives(self):
+        y_true = [1, 1, 0, 1, 0]
+        y_pred = [0, 1, 0, 0, 0]  # cases 0 and 3 are FNs
+        order = [0, 2, 3, 1, 4]
+        curve = false_negatives_vs_reviewed(y_true, y_pred, order)
+        assert curve.tolist() == [2, 1, 1, 0, 0, 0]
+
+    def test_no_false_negatives(self):
+        curve = false_negatives_vs_reviewed([1, 0], [1, 0], [0, 1])
+        assert curve.tolist() == [0, 0, 0]
+
+    def test_uncertainty_order_beats_random(self, rng):
+        """Reviewing most-uncertain-first should clear FNs faster than a
+        pessimal order that visits all true negatives first."""
+        n = 100
+        y_true = np.zeros(n, dtype=int)
+        y_true[:10] = 1
+        y_pred = np.zeros(n, dtype=int)  # all FNs among positives
+        fn_first = list(range(n))
+        fn_last = list(range(n))[::-1]
+        curve_good = false_negatives_vs_reviewed(y_true, y_pred, fn_first)
+        curve_bad = false_negatives_vs_reviewed(y_true, y_pred, fn_last)
+        assert curve_good[10] == 0
+        assert curve_bad[10] == 10
+
+    def test_partial_review(self):
+        curve = false_negatives_vs_reviewed([1, 1], [0, 0], [0])
+        assert curve.tolist() == [2, 1]

@@ -1,0 +1,102 @@
+"""Unit tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier
+
+
+@pytest.fixture
+def separable_data(rng):
+    """Two Gaussian blobs, linearly separable on feature 0."""
+    X0 = rng.normal(0.0, 0.5, size=(100, 3))
+    X1 = rng.normal(0.0, 0.5, size=(100, 3))
+    X1[:, 0] += 5.0
+    X = np.vstack([X0, X1])
+    y = np.concatenate([np.zeros(100, dtype=int), np.ones(100, dtype=int)])
+    return X, y
+
+
+class TestFit:
+    def test_perfect_fit_on_separable_data(self, separable_data):
+        X, y = separable_data
+        tree = DecisionTreeClassifier(seed=0).fit(X, y)
+        assert (tree.predict(X) == y).all()
+
+    def test_xor_requires_depth_two(self, rng):
+        X = rng.uniform(-1, 1, size=(400, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        tree = DecisionTreeClassifier(seed=0).fit(X, y)
+        accuracy = (tree.predict(X) == y).mean()
+        assert accuracy > 0.95
+        assert tree.depth >= 2
+
+    def test_max_depth_respected(self, separable_data):
+        X, y = separable_data
+        tree = DecisionTreeClassifier(max_depth=1, seed=0).fit(X, y)
+        assert tree.depth <= 1
+
+    def test_min_samples_leaf(self, separable_data):
+        X, y = separable_data
+        tree = DecisionTreeClassifier(min_samples_leaf=50, seed=0).fit(X, y)
+        # With 200 samples and leaves of >= 50, depth is limited.
+        assert tree.depth <= 2
+
+    def test_single_class_gives_stump(self):
+        X = np.zeros((10, 2))
+        y = np.zeros(10, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth == 0
+        assert (tree.predict(X) == 0).all()
+
+    def test_constant_features_give_stump(self):
+        X = np.ones((10, 3))
+        y = np.array([0, 1] * 5)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth == 0
+
+    def test_multiclass(self, rng):
+        X = np.vstack([rng.normal(c * 4, 0.5, size=(50, 2)) for c in range(3)])
+        y = np.repeat(np.arange(3), 50)
+        tree = DecisionTreeClassifier(seed=0).fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.98
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((5, 2)), np.zeros(4, dtype=int))
+
+    def test_empty_training_set(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_wrong_feature_count_at_predict(self, separable_data):
+        X, y = separable_data
+        tree = DecisionTreeClassifier(seed=0).fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((1, 7)))
+
+
+class TestProbabilities:
+    def test_probabilities_sum_to_one(self, separable_data):
+        X, y = separable_data
+        tree = DecisionTreeClassifier(max_depth=2, seed=0).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_confident_on_pure_leaves(self, separable_data):
+        X, y = separable_data
+        tree = DecisionTreeClassifier(seed=0).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.max(axis=1).min() > 0.99
+
+    def test_deterministic_given_seed(self, separable_data):
+        X, y = separable_data
+        a = DecisionTreeClassifier(max_features="sqrt", seed=3).fit(X, y)
+        b = DecisionTreeClassifier(max_features="sqrt", seed=3).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))

@@ -1,0 +1,81 @@
+"""Tests for benign background traffic models."""
+
+import numpy as np
+import pytest
+
+from repro.synthetic.background import (
+    DEFAULT_SERVICES,
+    PeriodicService,
+    browsing_trace,
+)
+
+DAY = 86_400.0
+
+
+class TestBrowsingTrace:
+    def test_produces_sessions(self, rng):
+        trace = browsing_trace(DAY, rng, session_rate=4 / 3600.0)
+        assert trace.size > 50
+        assert np.all(np.diff(trace) >= 0)
+
+    def test_events_within_duration(self, rng):
+        trace = browsing_trace(3600.0, rng, session_rate=10 / 3600.0,
+                               start=500.0)
+        assert trace.min() >= 500.0
+        assert trace.max() <= 500.0 + 3600.0
+
+    def test_zero_sessions_possible(self):
+        rng = np.random.default_rng(0)
+        trace = browsing_trace(10.0, rng, session_rate=1e-9)
+        assert trace.size == 0
+
+    def test_bursty_structure(self, rng):
+        trace = browsing_trace(DAY, rng, session_rate=2 / 3600.0,
+                               intra_session_gap=2.0)
+        intervals = np.diff(trace)
+        if intervals.size > 20:
+            short = (intervals < 30).sum()
+            long = (intervals > 300).sum()
+            assert short > 0 and long > 0, "expected bursts separated by gaps"
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            browsing_trace(0.0, rng)
+        with pytest.raises(ValueError):
+            browsing_trace(100.0, rng, session_rate=0.0)
+
+
+class TestPeriodicService:
+    def test_beacon_spec_inherits_parameters(self):
+        service = PeriodicService(
+            "svc", "svc.example.com", period=600.0, adoption=0.5,
+            jitter_fraction=0.05, drop_probability=0.1,
+        )
+        spec = service.beacon_spec(DAY)
+        assert spec.period == 600.0
+        assert spec.noise.jitter_sigma == pytest.approx(30.0)
+        assert spec.noise.drop_probability == 0.1
+
+    def test_generated_trace_is_near_periodic(self, rng):
+        service = PeriodicService("svc", "svc.example.com",
+                                  period=300.0, adoption=1.0)
+        trace = service.beacon_spec(DAY).generate(rng)
+        intervals = np.diff(trace)
+        assert np.median(intervals) == pytest.approx(300.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicService("x", "d.com", period=0.0, adoption=0.5)
+        with pytest.raises(ValueError):
+            PeriodicService("x", "d.com", period=10.0, adoption=1.5)
+
+    def test_default_catalogue_well_formed(self):
+        assert len(DEFAULT_SERVICES) >= 5
+        domains = [service.domain for service in DEFAULT_SERVICES]
+        assert len(set(domains)) == len(domains)
+        assert any(s.adoption > 0.5 for s in DEFAULT_SERVICES), (
+            "the catalogue needs org-wide services for the local whitelist"
+        )
+        assert any(s.adoption < 0.05 for s in DEFAULT_SERVICES), (
+            "the catalogue needs niche services that evade whitelisting"
+        )

@@ -1,0 +1,117 @@
+"""Unit tests for repro.synthetic.beacon and botnet specs."""
+
+import numpy as np
+import pytest
+
+from repro.synthetic.beacon import (
+    BeaconSpec,
+    MultiPhaseBeaconSpec,
+    Phase,
+    poisson_trace,
+)
+from repro.synthetic.botnet import (
+    BOTNET_CATALOGUE,
+    conficker_spec,
+    tdss_spec,
+    zeus_spec,
+)
+
+
+class TestBeaconSpec:
+    def test_clean_trace_is_strictly_periodic(self):
+        spec = BeaconSpec(period=60.0, duration=600.0)
+        trace = spec.clean()
+        assert np.allclose(np.diff(trace), 60.0)
+        assert trace[0] == 0.0
+
+    def test_event_count(self):
+        spec = BeaconSpec(period=60.0, duration=600.0)
+        assert spec.event_count == 11
+        assert spec.clean().size == 11
+
+    def test_start_offset(self):
+        spec = BeaconSpec(period=60.0, duration=600.0, start=1000.0)
+        assert spec.clean()[0] == 1000.0
+
+    def test_generate_applies_noise(self, rng):
+        from repro.synthetic.noise import NoiseModel
+
+        spec = BeaconSpec(
+            period=60.0, duration=6000.0, noise=NoiseModel(drop_probability=0.5)
+        )
+        assert spec.generate(rng).size < spec.event_count
+
+    def test_duration_must_cover_period(self):
+        with pytest.raises(ValueError):
+            BeaconSpec(period=600.0, duration=60.0)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            BeaconSpec(period=0.0, duration=60.0)
+
+
+class TestMultiPhaseBeacon:
+    def test_conficker_shape(self):
+        spec = MultiPhaseBeaconSpec(
+            phases=(Phase(7.5, 120.0), Phase(10800.0, 10800.0)),
+            duration=86_400.0,
+        )
+        trace = spec.clean()
+        intervals = np.diff(trace)
+        # Mostly ~7.5 s with a few ~3 h jumps.
+        assert (np.abs(intervals - 7.5) < 1.0).sum() > 100
+        assert (intervals > 10_000).sum() >= 6
+
+    def test_respects_duration(self):
+        spec = MultiPhaseBeaconSpec(
+            phases=(Phase(10.0, 100.0),), duration=1000.0
+        )
+        trace = spec.clean()
+        assert trace.max() < 1000.0
+
+    def test_needs_at_least_one_phase(self):
+        with pytest.raises(ValueError):
+            MultiPhaseBeaconSpec(phases=(), duration=100.0)
+
+    def test_invalid_phase(self):
+        with pytest.raises(ValueError):
+            Phase(period=-1.0, length=10.0)
+
+
+class TestPoissonTrace:
+    def test_expected_count(self, rng):
+        trace = poisson_trace(0.1, 100_000.0, rng)
+        assert trace.size == pytest.approx(10_000, rel=0.1)
+
+    def test_sorted_within_bounds(self, rng):
+        trace = poisson_trace(0.01, 10_000.0, rng, start=500.0)
+        assert np.all(np.diff(trace) >= 0)
+        assert trace.min() >= 500.0
+        assert trace.max() <= 10_500.0
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            poisson_trace(0.0, 100.0, rng)
+
+
+class TestBotnetCatalogue:
+    def test_catalogue_entries_generate(self, rng):
+        for name, factory in BOTNET_CATALOGUE.items():
+            trace = factory(86_400.0).generate(rng)
+            assert trace.size > 2, f"{name} produced a trivial trace"
+
+    def test_tdss_cadence(self, rng):
+        trace = tdss_spec(86_400.0).generate(rng)
+        intervals = np.diff(trace)
+        median = np.median(intervals)
+        assert median == pytest.approx(387.0, rel=0.15)
+
+    def test_zeus_period_override(self, rng):
+        trace = zeus_spec(86_400.0, period=63.0).generate(rng)
+        assert np.median(np.diff(trace)) == pytest.approx(63.0, rel=0.1)
+
+    def test_conficker_burst_structure(self, rng):
+        trace = conficker_spec(86_400.0).generate(rng)
+        intervals = np.diff(trace)
+        assert (intervals < 10).sum() > 100
+        assert (intervals > 10_000).sum() >= 5

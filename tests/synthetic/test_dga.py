@@ -1,0 +1,71 @@
+"""Unit tests for repro.synthetic.dga."""
+
+import numpy as np
+import pytest
+
+from repro.synthetic.dga import (
+    consonant_heavy,
+    dga_families,
+    generate_pool,
+    hex_label,
+    pseudo_words,
+    random_chars,
+)
+
+
+class TestGenerators:
+    def test_random_chars_shape(self, rng):
+        domain = random_chars(rng, length=20)
+        label, tld = domain.rsplit(".", 1)
+        assert len(label) == 20
+        assert label.isalpha() and label.islower()
+        assert tld == "com"
+
+    def test_hex_label_alphabet(self, rng):
+        domain = hex_label(rng, length=24)
+        label = domain.rsplit(".", 1)[0]
+        assert set(label) <= set("0123456789abcdef")
+
+    def test_hex_label_with_prefix(self, rng):
+        domain = hex_label(rng, prefix="cdn")
+        assert domain.startswith("cdn.")
+
+    def test_consonant_heavy_has_no_vowels(self, rng):
+        domain = consonant_heavy(rng)
+        label = domain.rsplit(".", 1)[0]
+        assert not set(label) & set("aeiouy")
+
+    def test_pseudo_words_concatenates_fragments(self, rng):
+        domain = pseudo_words(rng, fragments=3)
+        assert domain.endswith(".com")
+        assert len(domain) > 6
+
+    def test_invalid_length(self, rng):
+        with pytest.raises(ValueError):
+            random_chars(rng, length=0)
+
+
+class TestGeneratePool:
+    def test_pool_size_and_uniqueness(self):
+        pool = generate_pool(50, family="random", seed=3)
+        assert len(pool) == 50
+        assert len(set(pool)) == 50
+
+    def test_deterministic_given_seed(self):
+        assert generate_pool(10, seed=1) == generate_pool(10, seed=1)
+
+    def test_different_seeds_differ(self):
+        assert generate_pool(10, seed=1) != generate_pool(10, seed=2)
+
+    def test_all_families_work(self):
+        for family in dga_families():
+            pool = generate_pool(5, family=family, seed=0)
+            assert len(pool) == 5
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown DGA family"):
+            generate_pool(5, family="nonexistent")
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_pool(0)

@@ -1,0 +1,140 @@
+"""Unit tests for repro.synthetic.noise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synthetic.noise import (
+    NoiseModel,
+    add_events,
+    drop_events,
+    gaussian_jitter,
+    insert_gaps,
+)
+
+
+@pytest.fixture
+def beacon():
+    return np.arange(0.0, 3600.0, 60.0)  # 60 events, 60 s apart
+
+
+class TestGaussianJitter:
+    def test_zero_sigma_is_identity(self, beacon, rng):
+        out = gaussian_jitter(beacon, 0.0, rng)
+        assert np.array_equal(out, beacon)
+
+    def test_preserves_event_count(self, beacon, rng):
+        out = gaussian_jitter(beacon, 5.0, rng)
+        assert out.size == beacon.size
+
+    def test_output_sorted(self, beacon, rng):
+        out = gaussian_jitter(beacon, 20.0, rng)
+        assert np.all(np.diff(out) > 0)
+
+    def test_mean_interval_approximately_preserved(self, rng):
+        long_beacon = np.arange(0.0, 360_000.0, 60.0)
+        out = gaussian_jitter(long_beacon, 5.0, rng)
+        assert np.diff(out).mean() == pytest.approx(60.0, rel=0.02)
+
+    def test_negative_sigma_rejected(self, beacon, rng):
+        with pytest.raises(ValueError):
+            gaussian_jitter(beacon, -1.0, rng)
+
+
+class TestDropEvents:
+    def test_zero_probability_keeps_all(self, beacon, rng):
+        out = drop_events(beacon, 0.0, rng)
+        assert np.array_equal(out, beacon)
+
+    def test_first_event_always_kept(self, beacon, rng):
+        out = drop_events(beacon, 0.99, rng)
+        assert out[0] == beacon[0]
+
+    def test_expected_fraction_dropped(self, rng):
+        big = np.arange(0.0, 100_000.0, 10.0)
+        out = drop_events(big, 0.5, rng)
+        assert out.size == pytest.approx(big.size * 0.5, rel=0.1)
+
+    def test_invalid_probability(self, beacon, rng):
+        with pytest.raises(ValueError):
+            drop_events(beacon, 1.5, rng)
+
+
+class TestAddEvents:
+    def test_zero_rate_is_identity(self, beacon, rng):
+        out = add_events(beacon, 0.0, rng)
+        assert np.array_equal(out, beacon)
+
+    def test_adds_expected_count(self, beacon, rng):
+        out = add_events(beacon, 0.1, rng)  # ~360 extra over 3600 s
+        added = out.size - beacon.size
+        assert added == pytest.approx(360, rel=0.3)
+
+    def test_result_sorted(self, beacon, rng):
+        out = add_events(beacon, 0.05, rng)
+        assert np.all(np.diff(out) >= 0)
+
+    def test_explicit_span(self, rng):
+        out = add_events([100.0], 0.1, rng, span=(0.0, 1000.0))
+        assert out.min() >= 0.0
+        assert out.max() <= 1000.0
+
+    def test_missing_span_with_single_event(self, rng):
+        with pytest.raises(ValueError):
+            add_events([1.0], 0.1, rng)
+
+
+class TestInsertGaps:
+    def test_removes_gap_events(self, beacon):
+        out = insert_gaps(beacon, [(600.0, 1200.0)])
+        assert not np.any((out >= 600.0) & (out < 1200.0))
+
+    def test_keeps_outside_events(self, beacon):
+        out = insert_gaps(beacon, [(600.0, 1200.0)])
+        assert out[0] == 0.0
+        assert beacon.size - out.size == 10
+
+    def test_multiple_gaps(self, beacon):
+        out = insert_gaps(beacon, [(0.0, 120.0), (3000.0, 3600.0)])
+        assert out.min() >= 120.0
+        assert out.max() < 3000.0
+
+    def test_invalid_gap(self, beacon):
+        with pytest.raises(ValueError):
+            insert_gaps(beacon, [(100.0, 50.0)])
+
+
+class TestNoiseModel:
+    def test_clean_model_is_identity(self, beacon, rng):
+        model = NoiseModel()
+        assert model.is_clean
+        assert np.array_equal(model.apply(beacon, rng), beacon)
+
+    def test_composite_application(self, beacon, rng):
+        model = NoiseModel(jitter_sigma=2.0, drop_probability=0.2, add_rate=0.01)
+        out = model.apply(beacon, rng)
+        assert not model.is_clean
+        assert out.size > 0
+        assert np.all(np.diff(out) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(jitter_sigma=-1.0)
+        with pytest.raises(ValueError):
+            NoiseModel(drop_probability=2.0)
+        with pytest.raises(ValueError):
+            NoiseModel(add_rate=-0.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sigma=st.floats(min_value=0.0, max_value=10.0),
+        drop=st.floats(min_value=0.0, max_value=0.9),
+        rate=st.floats(min_value=0.0, max_value=0.05),
+    )
+    def test_output_always_sorted(self, sigma, drop, rate):
+        rng = np.random.default_rng(0)
+        beacon = np.arange(0.0, 3600.0, 60.0)
+        model = NoiseModel(jitter_sigma=sigma, drop_probability=drop, add_rate=rate)
+        out = model.apply(beacon, rng)
+        assert np.all(np.diff(out) >= 0)

@@ -1,0 +1,64 @@
+"""Tests for synthetic URL generation."""
+
+import pytest
+
+from repro.filtering.tokens import TokenFilter
+from repro.synthetic.urls import (
+    browsing_url,
+    browsing_urls,
+    gate_url,
+    update_check_url,
+    url_entropy,
+)
+
+
+class TestBrowsingUrls:
+    def test_paths_are_readable(self, rng):
+        url = browsing_url(rng)
+        assert url.startswith("/")
+        assert url_entropy(url) < 4.5
+
+    def test_batch(self, rng):
+        urls = browsing_urls(rng, 20)
+        assert len(urls) == 20
+        assert len(set(urls)) > 5  # variety
+
+    def test_invalid_count(self, rng):
+        with pytest.raises(ValueError):
+            browsing_urls(rng, -1)
+
+
+class TestUpdateCheckUrls:
+    def test_carries_benign_tokens(self, rng):
+        url = update_check_url(rng)
+        assert TokenFilter().url_is_benign(url)
+
+    def test_versioned(self, rng):
+        assert "ver=" in update_check_url(rng)
+
+
+class TestGateUrls:
+    def test_php_style(self, rng):
+        url = gate_url(rng, style="php")
+        assert url.startswith("/gate.php?id=")
+        assert not TokenFilter().url_is_benign(url)
+
+    def test_blob_style_high_entropy(self, rng):
+        url = gate_url(rng, style="blob")
+        assert len(url) == 33
+        assert url_entropy(url) > 4.0
+        assert not TokenFilter().url_is_benign(url)
+
+    def test_invalid_style(self, rng):
+        with pytest.raises(ValueError):
+            gate_url(rng, style="exotic")
+
+
+class TestTokenFilterInteraction:
+    def test_filter_separates_the_three_classes(self, rng):
+        """The token filter's job, on realistic URL batches."""
+        token_filter = TokenFilter()
+        updates = [update_check_url(rng) for _ in range(10)]
+        gates = [gate_url(rng) for _ in range(10)]
+        assert token_filter.is_likely_benign(updates)
+        assert not token_filter.is_likely_benign(gates)

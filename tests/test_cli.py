@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    out = tmp_path / "trace.tsv"
+    truth = tmp_path / "truth.json"
+    code = main([
+        "simulate", str(out), "--hosts", "12", "--sites", "25",
+        "--hours", "6", "--seed", "3", "--truth", str(truth),
+    ])
+    assert code == 0
+    return out, truth
+
+
+class TestSimulate:
+    def test_writes_log_and_truth(self, trace_path):
+        out, truth = trace_path
+        assert out.stat().st_size > 0
+        payload = json.loads(truth.read_text())
+        assert payload["malicious_destinations"]
+        assert payload["infected_hosts"]
+
+    def test_gzip_output(self, tmp_path):
+        out = tmp_path / "trace.tsv.gz"
+        assert main(["simulate", str(out), "--hosts", "5", "--sites", "10",
+                     "--hours", "2"]) == 0
+        assert out.read_bytes()[:2] == b"\x1f\x8b"
+
+
+class TestDetect:
+    def test_periodic_input(self, tmp_path, capsys):
+        ts = tmp_path / "ts.txt"
+        ts.write_text("\n".join(str(60.0 * i) for i in range(100)))
+        assert main(["detect", str(ts)]) == 0
+        output = capsys.readouterr().out
+        assert "periodic: True" in output
+        assert "60.0" in output
+
+    def test_non_periodic_exit_code(self, tmp_path, capsys):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        ts = tmp_path / "ts.txt"
+        ts.write_text("\n".join(
+            str(t) for t in sorted(rng.uniform(0, 86_400, size=200))
+        ))
+        assert main(["detect", str(ts)]) == 1
+        assert "periodic: False" in capsys.readouterr().out
+
+
+class TestPipeline:
+    def test_end_to_end(self, trace_path, capsys):
+        out, truth = trace_path
+        code = main([
+            "pipeline", str(out), "--tau-p", "0.25", "--percentile", "0.0",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "global whitelist" in text
+        payload = json.loads(truth.read_text())
+        assert any(d in text for d in payload["malicious_destinations"])
+
+
+class TestScore:
+    def test_scores_and_flags(self, capsys):
+        assert main(["score", "google.com", "xqzjwkvbblrwpq.com"]) == 0
+        text = capsys.readouterr().out
+        assert "SUSPICIOUS" in text
+        assert "google.com" in text
+
+
+class TestReport:
+    def test_analyst_report_to_file(self, trace_path, tmp_path, capsys):
+        log, _truth = trace_path
+        out = tmp_path / "report.txt"
+        code = main([
+            "report", str(log), "--tau-p", "0.25",
+            "--percentile", "0.0", "--output", str(out),
+        ])
+        assert code == 0
+        text = out.read_text()
+        assert "BAYWATCH daily report" in text
+        assert "rank score" in text
+
+    def test_analyst_report_to_stdout(self, trace_path, capsys):
+        log, _truth = trace_path
+        assert main(["report", str(log), "--tau-p", "0.25",
+                     "--percentile", "0.0"]) == 0
+        assert "BAYWATCH daily report" in capsys.readouterr().out

@@ -1,0 +1,100 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.validation import (
+    as_float_array,
+    as_sorted_timestamps,
+    require,
+    require_in_range,
+    require_positive,
+    require_probability,
+)
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        require_positive(0.5, "x")
+
+    @pytest.mark.parametrize("value", [0, -1, -0.001])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            require_positive(value, "x")
+
+
+class TestRequireInRange:
+    def test_inclusive_bounds_accepted(self):
+        require_in_range(0.0, "x", 0.0, 1.0)
+        require_in_range(1.0, "x", 0.0, 1.0)
+
+    def test_exclusive_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            require_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="x must be in"):
+            require_in_range(1.5, "x", 0.0, 1.0)
+
+
+class TestRequireProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_probabilities(self, value):
+        require_probability(value, "p")
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_outside_unit_interval(self, value):
+        with pytest.raises(ValueError):
+            require_probability(value, "p")
+
+
+class TestAsFloatArray:
+    def test_converts_list(self):
+        out = as_float_array([1, 2, 3], "xs")
+        assert out.dtype == float
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            as_float_array([1.0, float("nan")], "xs")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            as_float_array([float("inf")], "xs")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            as_float_array(np.zeros((2, 2)), "xs")
+
+    def test_empty_ok(self):
+        assert as_float_array([], "xs").size == 0
+
+
+class TestAsSortedTimestamps:
+    def test_sorts_unsorted_input(self):
+        out = as_sorted_timestamps([3.0, 1.0, 2.0])
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_preserves_sorted_input(self):
+        out = as_sorted_timestamps([1.0, 2.0, 3.0])
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_allows_duplicates(self):
+        out = as_sorted_timestamps([2.0, 2.0, 1.0])
+        assert out.tolist() == [1.0, 2.0, 2.0]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), max_size=50))
+    def test_output_always_non_decreasing(self, values):
+        out = as_sorted_timestamps(values)
+        assert np.all(np.diff(out) >= 0)
