@@ -1,11 +1,18 @@
 """Command-line interface.
 
-Four subcommands cover the operational surface:
+The subcommands cover the operational surface:
 
 - ``simulate`` — generate a labelled synthetic enterprise trace,
 - ``detect``   — run the core detector on a timestamp list,
 - ``pipeline`` — run the 8-step methodology over a proxy log,
-- ``score``    — score domain names under the language model.
+- ``score``    — score domain names under the language model,
+- ``report``   — run the pipeline and emit an analyst report,
+- ``stats``    — render a run report from saved telemetry.
+
+``pipeline`` and ``report`` accept ``--telemetry <dir>`` to collect
+per-stage metrics and write ``report.txt`` / ``metrics.jsonl`` /
+``metrics.prom`` (see ``docs/OBSERVABILITY.md``).  ``-v`` turns on INFO
+logging, ``-vv`` DEBUG.
 
 Run ``python -m repro <command> --help`` for the options.
 """
@@ -14,21 +21,40 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.detector import DetectorConfig, PeriodicityDetector
-from repro.filtering.pipeline import BaywatchPipeline, PipelineConfig
+from repro.filtering.pipeline import (
+    BaywatchPipeline,
+    PipelineConfig,
+    PipelineReport,
+)
 from repro.lm.domains import default_scorer
+from repro.obs import (
+    MetricsRegistry,
+    configure_logging,
+    from_jsonl,
+    render_run_report,
+    scoped_registry,
+    write_telemetry,
+)
 from repro.synthetic.enterprise import EnterpriseConfig, EnterpriseSimulator
 from repro.synthetic.logs import read_log, write_log
+
+logger = logging.getLogger(__name__)
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="BAYWATCH beaconing detection (DSN 2016 reproduction)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="-v: INFO logging, -vv: DEBUG (to stderr)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -59,6 +85,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="ranking score percentile to report")
     pipe.add_argument("--top", type=int, default=20,
                       help="print at most this many ranked cases")
+    pipe.add_argument(
+        "--telemetry", type=Path, default=None, metavar="DIR",
+        help="collect run telemetry and write report.txt/metrics.jsonl/"
+             "metrics.prom into DIR",
+    )
 
     score = sub.add_parser("score", help="score domains under the 3-gram LM")
     score.add_argument("domains", nargs="+", help="domain names to score")
@@ -72,7 +103,43 @@ def _build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--max-cases", type=int, default=10)
     rep.add_argument("--output", type=Path, default=None,
                      help="write the report here instead of stdout")
+    rep.add_argument(
+        "--telemetry", type=Path, default=None, metavar="DIR",
+        help="collect run telemetry and write report.txt/metrics.jsonl/"
+             "metrics.prom into DIR",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="render a run report from saved telemetry"
+    )
+    stats.add_argument(
+        "path", type=Path,
+        help="telemetry directory (or metrics.jsonl file) written by "
+             "--telemetry",
+    )
     return parser
+
+
+def _run_instrumented(
+    telemetry: Optional[Path], run: Callable[[], PipelineReport]
+) -> Tuple[PipelineReport, Optional[Path]]:
+    """Run ``run()``, collecting and writing telemetry when requested.
+
+    Returns the report and the telemetry directory (None when telemetry
+    was not requested).
+    """
+    if telemetry is None:
+        return run(), None
+    if telemetry.exists() and not telemetry.is_dir():
+        raise SystemExit(
+            f"error: --telemetry target {telemetry} exists and is not a "
+            f"directory"
+        )
+    registry = MetricsRegistry()
+    with scoped_registry(registry):
+        report = run()
+    write_telemetry(telemetry, registry, funnel=report.funnel)
+    return report, telemetry
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -130,7 +197,9 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         local_whitelist_threshold=args.tau_p,
         ranking_percentile=args.percentile,
     )
-    report = BaywatchPipeline(config).run_records(records)
+    report, telemetry_dir = _run_instrumented(
+        args.telemetry, lambda: BaywatchPipeline(config).run_records(records)
+    )
     print(report.funnel.as_text())
     print()
     print(f"{'rank':>4s}  {'score':>6s}  {'period':>10s}  {'clients':>7s}  domain")
@@ -140,6 +209,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             f"{rank:>4d}  {case.rank_score:>6.2f}  {period:>10s}  "
             f"{case.similar_sources:>7d}  {case.destination}"
         )
+    if telemetry_dir is not None:
+        print(f"wrote telemetry to {telemetry_dir}")
     return 0
 
 
@@ -159,13 +230,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
         local_whitelist_threshold=args.tau_p,
         ranking_percentile=args.percentile,
     )
-    pipeline_report = BaywatchPipeline(config).run_records(records)
+    pipeline_report, telemetry_dir = _run_instrumented(
+        args.telemetry, lambda: BaywatchPipeline(config).run_records(records)
+    )
     text = render_report(pipeline_report, max_cases=args.max_cases)
     if args.output is not None:
         args.output.write_text(text, encoding="utf-8")
         print(f"wrote report to {args.output}")
     else:
         print(text)
+    if telemetry_dir is not None:
+        print(f"wrote telemetry to {telemetry_dir}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    path = args.path
+    if path.is_dir():
+        path = path / "metrics.jsonl"
+    if not path.exists():
+        print(f"no telemetry found at {path}", file=sys.stderr)
+        return 1
+    registry, funnel = from_jsonl(path.read_text(encoding="utf-8"))
+    print(render_run_report(registry, funnel=funnel or None), end="")
     return 0
 
 
@@ -175,12 +262,17 @@ _COMMANDS = {
     "pipeline": _cmd_pipeline,
     "score": _cmd_score,
     "report": _cmd_report,
+    "stats": _cmd_stats,
 }
+
+_LOG_LEVELS = {0: logging.WARNING, 1: logging.INFO}
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    configure_logging(_LOG_LEVELS.get(args.verbose, logging.DEBUG))
+    logger.info("running command %r", args.command)
     return _COMMANDS[args.command](args)
 
 

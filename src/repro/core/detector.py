@@ -40,6 +40,7 @@ from repro.core.periodogram import candidate_peaks, power_spectrum
 from repro.core.permutation import ThresholdCache, permutation_threshold
 from repro.core.pruning import fold_intervals, prune_candidates
 from repro.core.timeseries import ActivitySummary, bin_series, intervals_from_timestamps
+from repro.obs.registry import get_registry
 from repro.utils.validation import (
     as_sorted_timestamps,
     require,
@@ -215,6 +216,8 @@ class PeriodicityDetector:
     def detect(self, timestamps: Sequence[float]) -> DetectionResult:
         """Detect periodicities in a raw timestamp sequence (seconds)."""
         cfg = self.config
+        registry = get_registry()
+        registry.counter("detector.pairs_total").inc()
         ts = as_sorted_timestamps(timestamps)
         if ts.size < cfg.min_events:
             return self._rejected(ts, f"fewer than {cfg.min_events} events")
@@ -224,7 +227,11 @@ class PeriodicityDetector:
         scales = self._choose_scales(duration)
         if not scales:
             return self._rejected(ts, "window too short at every analysis scale")
-        return self._detect_multi_scale(ts, duration, scales)
+        with registry.timer("detector.detect.seconds"):
+            result = self._detect_multi_scale(ts, duration, scales)
+        if result.periodic:
+            registry.counter("detector.pairs_periodic").inc()
+        return result
 
     def detect_summary(self, summary: ActivitySummary) -> DetectionResult:
         """Detect periodicities in an :class:`ActivitySummary`.
@@ -263,6 +270,7 @@ class PeriodicityDetector:
         return scales
 
     def _rejected(self, ts: np.ndarray, reason: str) -> DetectionResult:
+        get_registry().counter("detector.pairs_rejected_early").inc()
         duration = float(ts[-1] - ts[0]) if ts.size >= 2 else 0.0
         return DetectionResult(
             periodic=False,
@@ -345,25 +353,29 @@ class PeriodicityDetector:
     ) -> List[CandidatePeriod]:
         """Run steps 1-3 at a single granularity; periods in seconds."""
         cfg = self.config
+        registry = get_registry()
+        registry.counter("detector.scales_analyzed").inc()
         signal = bin_series(ts, scale, binary=cfg.binary_signal)
         if signal.size < cfg.min_slots:
             return []
 
-        if self.threshold_cache is not None and cfg.binary_signal:
-            threshold = self.threshold_cache.threshold(
-                signal.size, int(signal.sum())
-            )
-        else:
-            threshold = permutation_threshold(
-                signal,
-                permutations=cfg.permutations,
-                confidence=cfg.confidence,
-                rng=rng,
-            ).threshold
+        with registry.timer("detector.permutation.seconds"):
+            if self.threshold_cache is not None and cfg.binary_signal:
+                threshold = self.threshold_cache.threshold(
+                    signal.size, int(signal.sum())
+                )
+            else:
+                threshold = permutation_threshold(
+                    signal,
+                    permutations=cfg.permutations,
+                    confidence=cfg.confidence,
+                    rng=rng,
+                ).threshold
         thresholds.append(threshold)
-        peaks = candidate_peaks(
-            signal, threshold, max_candidates=cfg.max_candidates
-        )
+        with registry.timer("detector.dft.seconds"):
+            peaks = candidate_peaks(
+                signal, threshold, max_candidates=cfg.max_candidates
+            )
 
         # (period_seconds, power, origin, tolerance); GMM candidates are
         # attached to the scale(s) able to resolve them.  A DFT
@@ -407,17 +419,19 @@ class PeriodicityDetector:
             return []
 
         periods = [entry[0] for entry in raw]
-        decisions = prune_candidates(
-            periods,
-            intervals,
-            duration=duration,
-            alpha=cfg.alpha,
-            min_cycles=cfg.min_cycles,
-            min_events=cfg.min_events,
-            mixture=mixture,
-            fold=cfg.fold_intervals,
-            tolerances=[entry[3] for entry in raw],
-        )
+        registry.counter("detector.candidates_raw").inc(len(raw))
+        with registry.timer("detector.pruning.seconds"):
+            decisions = prune_candidates(
+                periods,
+                intervals,
+                duration=duration,
+                alpha=cfg.alpha,
+                min_cycles=cfg.min_cycles,
+                min_events=cfg.min_events,
+                mixture=mixture,
+                fold=cfg.fold_intervals,
+                tolerances=[entry[3] for entry in raw],
+            )
         survivors = [
             (entry, decision)
             for entry, decision in zip(raw, decisions)
@@ -446,7 +460,8 @@ class PeriodicityDetector:
             ):
                 continue
             if acf is None:
-                acf = autocorrelation(signal)
+                with registry.timer("detector.acf.seconds"):
+                    acf = autocorrelation(signal)
             validation = validate_candidate(
                 acf, period_slots, min_acf_score=cfg.min_acf_score
             )
@@ -468,6 +483,7 @@ class PeriodicityDetector:
                     time_scale=scale,
                 )
             )
+        registry.counter("detector.candidates_verified").inc(len(out))
         return out
 
     def _has_support(

@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.periodogram import batch_max_power
+from repro.obs.registry import get_registry
 from repro.utils.stats import percentile_threshold
 from repro.utils.validation import as_float_array, require, require_probability
 
@@ -112,8 +113,10 @@ class ThresholdCache:
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
+            get_registry().counter("detector.threshold_cache.hits").inc()
             return cached
         self.misses += 1
+        get_registry().counter("detector.threshold_cache.misses").inc()
         # Representative signal at the bucket's geometric center.
         rep_n = max(4, int(round(self.ratio ** key[0])))
         rep_k = min(rep_n, max(1, int(round(self.ratio ** key[1]))))

@@ -34,6 +34,7 @@ from repro.core.permutation import ThresholdCache
 from repro.core.timeseries import ActivitySummary
 from repro.filtering.case import BeaconingCase
 from repro.filtering.novelty import NoveltyStore
+from repro.obs import get_registry, span
 from repro.filtering.ranking import (
     RankingWeights,
     rank_cases,
@@ -89,6 +90,37 @@ class FunnelStats:
             lines.append(f"{name:34s} {pairs_in:>8d} {pairs_out:>8d}")
         return "\n".join(lines)
 
+    def validate(self, *, strict: bool = False) -> List[str]:
+        """Check the funnel invariant: counts never increase.
+
+        Every step is a pure filter, so within a step ``out <= in`` and
+        across consecutive steps the next input cannot exceed the
+        previous output.  A violation means a wiring bug (a stage fed
+        the wrong survivor list).  Returns the violation messages;
+        ``strict=True`` raises instead, otherwise each is logged at
+        WARNING.
+        """
+        problems: List[str] = []
+        previous_out: Optional[int] = None
+        for name, pairs_in, pairs_out in self.steps:
+            label = name.strip()
+            if pairs_out > pairs_in:
+                problems.append(
+                    f"step {label!r} emitted more pairs than it received "
+                    f"({pairs_in} -> {pairs_out})"
+                )
+            if previous_out is not None and pairs_in > previous_out:
+                problems.append(
+                    f"step {label!r} received {pairs_in} pairs but the "
+                    f"previous step only emitted {previous_out}"
+                )
+            previous_out = pairs_out
+        if problems and strict:
+            raise ValueError("funnel is not monotonic: " + "; ".join(problems))
+        for problem in problems:
+            logger.warning("funnel inconsistency: %s", problem)
+        return problems
+
 
 @dataclass
 class PipelineReport:
@@ -98,6 +130,9 @@ class PipelineReport:
     detected_cases: List[BeaconingCase]
     funnel: FunnelStats
     population_size: int
+
+    def __post_init__(self) -> None:
+        self.funnel.validate()
 
     @property
     def reported_destinations(self) -> List[str]:
@@ -149,33 +184,46 @@ class BaywatchPipeline:
 
     def run_records(self, records: Iterable[ProxyLogRecord]) -> PipelineReport:
         """Run the pipeline on raw proxy-log records."""
-        summaries = records_to_summaries(
-            records,
-            time_scale=self.config.time_scale,
-            aggregate_entities=self.config.aggregate_entities,
-        )
+        with span("records_to_summaries"):
+            summaries = records_to_summaries(
+                records,
+                time_scale=self.config.time_scale,
+                aggregate_entities=self.config.aggregate_entities,
+            )
         return self.run_summaries(summaries)
 
     def run_summaries(
         self, summaries: Sequence[ActivitySummary]
     ) -> PipelineReport:
         """Run the pipeline on prebuilt activity summaries."""
+        with span("pipeline"):
+            return self._run_summaries(summaries)
+
+    def _run_summaries(
+        self, summaries: Sequence[ActivitySummary]
+    ) -> PipelineReport:
+        registry = get_registry()
+        registry.counter("pipeline.runs").inc()
         funnel = FunnelStats()
-        local = LocalWhitelist(self.config.local_whitelist_threshold)
-        for summary in summaries:
-            local.observe(summary.source, summary.destination)
+        with span("local_whitelist_build"):
+            local = LocalWhitelist(self.config.local_whitelist_threshold)
+            for summary in summaries:
+                local.observe(summary.source, summary.destination)
         population = local.population_size
+        registry.gauge("pipeline.population_size").set(population)
 
         # Step 1: global whitelist.
         n_in = len(summaries)
-        survivors = [
-            s for s in summaries if s.destination not in self.global_whitelist
-        ]
+        with span("step1_global_whitelist"):
+            survivors = [
+                s for s in summaries if s.destination not in self.global_whitelist
+            ]
         funnel.record("1 global whitelist", n_in, len(survivors))
 
         # Step 2: local (popularity) whitelist.
         n_in = len(survivors)
-        survivors = [s for s in survivors if s.destination not in local]
+        with span("step2_local_whitelist"):
+            survivors = [s for s in survivors if s.destination not in local]
         funnel.record("2 local whitelist", n_in, len(survivors))
 
         # Pre-filter: pairs without enough events cannot beacon.
@@ -188,54 +236,58 @@ class BaywatchPipeline:
         # Steps 3-5: periodicity detection (DFT, pruning, verification).
         n_in = len(survivors)
         detected: List[BeaconingCase] = []
-        for summary in survivors:
-            result = self.detector.detect_summary(summary)
-            if result.periodic:
-                detected.append(
-                    BeaconingCase(
-                        summary=summary,
-                        detection=result,
-                        popularity=local.popularity(summary.destination),
-                        similar_sources=local.similar_sources(summary.destination),
-                        lm_score=self.scorer.normalized_score(summary.destination),
+        with span("step3_5_periodicity_detection"):
+            for summary in survivors:
+                result = self.detector.detect_summary(summary)
+                if result.periodic:
+                    detected.append(
+                        BeaconingCase(
+                            summary=summary,
+                            detection=result,
+                            popularity=local.popularity(summary.destination),
+                            similar_sources=local.similar_sources(summary.destination),
+                            lm_score=self.scorer.normalized_score(summary.destination),
+                        )
                     )
-                )
         funnel.record("3-5 periodicity detection", n_in, len(detected))
 
         # Step 6: URL token analysis.
         n_in = len(detected)
-        cases = [
-            case
-            for case in detected
-            if not self.token_filter.is_likely_benign(case.summary.urls)
-        ]
+        with span("step6_token_filter"):
+            cases = [
+                case
+                for case in detected
+                if not self.token_filter.is_likely_benign(case.summary.urls)
+            ]
         funnel.record("6 token filter", n_in, len(cases))
 
         # Step 7: novelty analysis — suppress destinations reported in
         # previous runs, consolidate same-destination cases within this
         # run (keeping the strongest), and record the survivors.
         n_in = len(cases)
-        scored = [
-            case.with_rank_score(rank_score(case, self.config.ranking_weights))
-            for case in cases
-        ]
-        fresh = [
-            case
-            for case in scored
-            if self.novelty.is_novel(case.source, case.destination)
-        ]
-        consolidated = strongest_per_destination(fresh)
-        for case in consolidated:
-            self.novelty.record(case.source, case.destination)
+        with span("step7_novelty_filter"):
+            scored = [
+                case.with_rank_score(rank_score(case, self.config.ranking_weights))
+                for case in cases
+            ]
+            fresh = [
+                case
+                for case in scored
+                if self.novelty.is_novel(case.source, case.destination)
+            ]
+            consolidated = strongest_per_destination(fresh)
+            for case in consolidated:
+                self.novelty.record(case.source, case.destination)
         funnel.record("7 novelty filter", n_in, len(consolidated))
 
         # Step 8: percentile threshold over the score distribution.
         n_in = len(consolidated)
-        ranked = rank_cases(
-            consolidated,
-            weights=self.config.ranking_weights,
-            percentile=self.config.ranking_percentile,
-        )
+        with span("step8_weighted_ranking"):
+            ranked = rank_cases(
+                consolidated,
+                weights=self.config.ranking_weights,
+                percentile=self.config.ranking_percentile,
+            )
         funnel.record("8 weighted ranking", n_in, len(ranked))
 
         logger.info(

@@ -13,6 +13,7 @@ front ends are interchangeable for analysis and benchmarking.
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.timeseries import ActivitySummary
@@ -29,7 +30,10 @@ from repro.jobs.rescaling import RescaleMergeJob
 from repro.jobs.records import DetectionCase
 from repro.lm.domains import DomainScorer, default_scorer
 from repro.mapreduce.engine import MapReduceEngine
+from repro.obs import get_registry, span
 from repro.synthetic.logs import ProxyLogRecord
+
+logger = logging.getLogger(__name__)
 
 
 class BaywatchRunner:
@@ -67,31 +71,34 @@ class BaywatchRunner:
         self, records: Iterable[ProxyLogRecord]
     ) -> List[ActivitySummary]:
         """Phase A: raw records -> per-pair ActivitySummaries."""
-        job = DataExtractionJob(time_scale=self.config.time_scale)
-        output = self.engine.run(job, enumerate(records))
-        return [summary for _pair, summary in output]
+        with span("extract"):
+            job = DataExtractionJob(time_scale=self.config.time_scale)
+            output = self.engine.run(job, enumerate(records))
+            return [summary for _pair, summary in output]
 
     def rescale_merge(
         self, summaries: Iterable[ActivitySummary], new_time_scale: float
     ) -> List[ActivitySummary]:
         """Phase B: rescale to a coarser granularity and merge windows."""
-        job = RescaleMergeJob(new_time_scale)
-        output = self.engine.run(
-            job, [(summary.pair, summary) for summary in summaries]
-        )
-        return [summary for _pair, summary in output]
+        with span("rescale_merge"):
+            job = RescaleMergeJob(new_time_scale)
+            output = self.engine.run(
+                job, [(summary.pair, summary) for summary in summaries]
+            )
+            return [summary for _pair, summary in output]
 
     def popularity(
         self, summaries: List[ActivitySummary]
     ) -> Tuple[Dict[str, float], Dict[str, int], int]:
         """Phase C: destination popularity ratios and source counts."""
-        job = DestinationPopularityJob()
-        counts = self.engine.run(
-            job, [(summary.pair, summary) for summary in summaries]
-        )
-        population = len({summary.source for summary in summaries})
-        ratios = popularity_table(counts, population)
-        return ratios, dict(counts), population
+        with span("popularity"):
+            job = DestinationPopularityJob()
+            counts = self.engine.run(
+                job, [(summary.pair, summary) for summary in summaries]
+            )
+            population = len({summary.source for summary in summaries})
+            ratios = popularity_table(counts, population)
+            return ratios, dict(counts), population
 
     def detect(
         self,
@@ -99,16 +106,17 @@ class BaywatchRunner:
         skip_destinations: frozenset,
     ) -> List[DetectionCase]:
         """Phase D: periodicity detection over non-whitelisted pairs."""
-        job = BeaconingDetectionJob(
-            self.config.detector,
-            skip_destinations=skip_destinations,
-            min_events=self.config.min_events,
-            use_threshold_cache=self.config.use_threshold_cache,
-        )
-        output = self.engine.run(
-            job, [(summary.pair, summary) for summary in summaries]
-        )
-        return [case for _pair, case in output]
+        with span("detect"):
+            job = BeaconingDetectionJob(
+                self.config.detector,
+                skip_destinations=skip_destinations,
+                min_events=self.config.min_events,
+                use_threshold_cache=self.config.use_threshold_cache,
+            )
+            output = self.engine.run(
+                job, [(summary.pair, summary) for summary in summaries]
+            )
+            return [case for _pair, case in output]
 
     def rank(
         self,
@@ -117,24 +125,29 @@ class BaywatchRunner:
         similar_sources: Dict[str, int],
     ) -> List[DetectionCase]:
         """Phase E: token/novelty filtering, scoring, global ranking."""
-        lm_scores = {
-            destination: self.scorer.normalized_score(destination)
-            for destination in {case.summary.destination for case in cases}
-        }
-        job = RankingJob(
-            popularity=popularity,
-            similar_sources=similar_sources,
-            lm_scores=lm_scores,
-            reported_destinations=frozenset(self.novelty.reported_destinations),
-            token_filter=self.token_filter,
-            weights=self.config.ranking_weights,
-            percentile=self.config.ranking_percentile,
-        )
-        output = self.engine.run(job, [(case.pair, case) for case in cases])
-        ranked = [case for _rank, case in sorted(output, key=lambda kv: kv[0])]
-        for case in ranked:
-            self.novelty.record(case.summary.source, case.summary.destination)
-        return ranked
+        with span("rank"):
+            lm_scores = {
+                destination: self.scorer.normalized_score(destination)
+                for destination in {case.summary.destination for case in cases}
+            }
+            job = RankingJob(
+                popularity=popularity,
+                similar_sources=similar_sources,
+                lm_scores=lm_scores,
+                reported_destinations=frozenset(self.novelty.reported_destinations),
+                token_filter=self.token_filter,
+                weights=self.config.ranking_weights,
+                percentile=self.config.ranking_percentile,
+            )
+            output = self.engine.run(job, [(case.pair, case) for case in cases])
+            ranked = [
+                case for _rank, case in sorted(output, key=lambda kv: kv[0])
+            ]
+            for case in ranked:
+                self.novelty.record(
+                    case.summary.source, case.summary.destination
+                )
+            return ranked
 
     # -- end to end ----------------------------------------------------------
 
@@ -145,11 +158,23 @@ class BaywatchRunner:
         analysis_time_scale: Optional[float] = None,
     ) -> PipelineReport:
         """Run all phases; optionally rescale before detection."""
+        with span("runner"):
+            return self._run(records, analysis_time_scale=analysis_time_scale)
+
+    def _run(
+        self,
+        records: Iterable[ProxyLogRecord],
+        *,
+        analysis_time_scale: Optional[float] = None,
+    ) -> PipelineReport:
+        registry = get_registry()
+        registry.counter("runner.runs").inc()
         funnel = FunnelStats()
         summaries = self.extract(records)
         if analysis_time_scale is not None:
             summaries = self.rescale_merge(summaries, analysis_time_scale)
         ratios, counts, population = self.popularity(summaries)
+        registry.gauge("runner.population_size").set(population)
 
         n_in = len(summaries)
         not_global = [
@@ -188,6 +213,11 @@ class BaywatchRunner:
                 )
             return out
 
+        logger.info(
+            "runner run: %d pairs in, %d periodic, %d reported "
+            "(population %d)",
+            len(summaries), len(detected), len(ranked), population,
+        )
         return PipelineReport(
             ranked_cases=[_to_case(case) for case in ranked],
             detected_cases=[bridge(case) for case in detected],

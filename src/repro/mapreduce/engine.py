@@ -10,12 +10,16 @@ then be picklable, exactly as Hadoop requires them to be serializable.
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.mapreduce.job import KeyValue, MapReduceJob
+from repro.obs import MetricsRegistry, get_registry, scoped_registry, span
 from repro.utils.validation import require
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -47,6 +51,21 @@ def _reduce_partition(
     for key, values in grouped:
         out.extend(job.reduce(key, values))
     return out
+
+
+def _run_task_with_telemetry(func, job: MapReduceJob, task):
+    """Run one worker task under a fresh child registry.
+
+    Executed inside a worker process when the parent collects telemetry:
+    the child registry captures everything the task records (detector
+    timers, threshold-cache hits, ...) and ships it back as a picklable
+    snapshot for the parent to merge — the local analogue of Hadoop
+    counters flowing from task attempts to the job tracker.
+    """
+    registry = MetricsRegistry()
+    with scoped_registry(registry):
+        result = func(job, task)
+    return result, registry.snapshot()
 
 
 def _chunked(items: Sequence, n_chunks: int) -> List[Sequence]:
@@ -92,12 +111,20 @@ class MapReduceEngine:
         while True:
             try:
                 return func(*args)
-            except Exception:
+            except Exception as exc:
                 failures += 1
                 if failures > self.max_retries:
                     raise
+                logger.warning(
+                    "task %s failed (attempt %d of %d): %s; retrying",
+                    getattr(func, "__name__", str(func)),
+                    failures,
+                    self.max_retries + 1,
+                    exc,
+                )
                 if self.last_stats is not None:
                     self.last_stats.task_retries += 1
+                get_registry().counter("mapreduce.task_retries").inc()
 
     def _get_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -127,67 +154,125 @@ class MapReduceEngine:
         records = list(inputs)
         stats = JobStats(input_records=len(records))
         self.last_stats = stats
+        job_name = type(job).__name__
         parallel = (
             self.n_workers > 1 and len(records) >= self.min_parallel_records
         )
 
-        # -- map phase ---------------------------------------------------
-        if not parallel:
-            chunks = (
-                _chunked(records, max(1, len(records) // 64))
-                if self.max_retries
-                else [records]
-            )
-            tagged = [
-                item
-                for chunk in chunks
-                for item in self._attempt(_map_chunk, job, chunk)
-            ]
-        else:
-            chunks = _chunked(records, self.n_workers * 4)
-            results = self._parallel_tasks(_map_chunk, job, chunks)
-            tagged = [item for chunk_out in results for item in chunk_out]
-        stats.mapped_records = len(tagged)
+        with span(f"mapreduce.{job_name}"):
+            # -- map phase ---------------------------------------------------
+            with span("map"):
+                if not parallel:
+                    chunks = (
+                        _chunked(records, max(1, len(records) // 64))
+                        if self.max_retries
+                        else [records]
+                    )
+                    tagged = [
+                        item
+                        for chunk in chunks
+                        for item in self._attempt(_map_chunk, job, chunk)
+                    ]
+                else:
+                    chunks = _chunked(records, self.n_workers * 4)
+                    results = self._parallel_tasks(_map_chunk, job, chunks)
+                    tagged = [item for chunk_out in results for item in chunk_out]
+            stats.mapped_records = len(tagged)
 
-        # -- shuffle: partition -> key -> [values] -------------------------
-        partitions: Dict[int, Dict[Any, List[Any]]] = {}
-        for partition, (key, value) in tagged:
-            partitions.setdefault(partition, {}).setdefault(key, []).append(value)
-        stats.distinct_keys = sum(len(p) for p in partitions.values())
-        stats.partitions_used = len(partitions)
+            # -- shuffle: partition -> key -> [values] -------------------------
+            with span("shuffle"):
+                partitions: Dict[int, Dict[Any, List[Any]]] = {}
+                for partition, (key, value) in tagged:
+                    partitions.setdefault(partition, {}).setdefault(
+                        key, []
+                    ).append(value)
+                stats.distinct_keys = sum(len(p) for p in partitions.values())
+                stats.partitions_used = len(partitions)
 
-        grouped_per_partition: List[List[Tuple[Any, List[Any]]]] = [
-            sorted(partitions[p].items(), key=lambda item: repr(item[0]))
-            for p in sorted(partitions)
-        ]
+                grouped_per_partition: List[List[Tuple[Any, List[Any]]]] = [
+                    sorted(partitions[p].items(), key=lambda item: repr(item[0]))
+                    for p in sorted(partitions)
+                ]
 
-        # -- reduce phase ---------------------------------------------------
-        if not parallel or len(grouped_per_partition) <= 1:
-            output: List[KeyValue] = []
-            for grouped in grouped_per_partition:
-                output.extend(self._attempt(_reduce_partition, job, grouped))
-        else:
-            results = self._parallel_tasks(
-                _reduce_partition, job, grouped_per_partition
-            )
-            output = [item for part in results for item in part]
+            # -- reduce phase ---------------------------------------------------
+            with span("reduce"):
+                if not parallel or len(grouped_per_partition) <= 1:
+                    output: List[KeyValue] = []
+                    for grouped in grouped_per_partition:
+                        output.extend(
+                            self._attempt(_reduce_partition, job, grouped)
+                        )
+                else:
+                    results = self._parallel_tasks(
+                        _reduce_partition, job, grouped_per_partition
+                    )
+                    output = [item for part in results for item in part]
 
         stats.output_records = len(output)
+        self._record_stats(job_name, stats)
+        logger.debug(
+            "job %s: %d in, %d mapped, %d keys, %d out (%d retries)",
+            job_name, stats.input_records, stats.mapped_records,
+            stats.distinct_keys, stats.output_records, stats.task_retries,
+        )
         return output
 
+    def _record_stats(self, job_name: str, stats: JobStats) -> None:
+        """Surface :class:`JobStats` into the run's metrics registry."""
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        prefix = f"mapreduce.{job_name}"
+        registry.counter(f"{prefix}.input_records").inc(stats.input_records)
+        registry.counter(f"{prefix}.mapped_records").inc(stats.mapped_records)
+        registry.counter(f"{prefix}.distinct_keys").inc(stats.distinct_keys)
+        registry.counter(f"{prefix}.output_records").inc(stats.output_records)
+        registry.gauge(f"{prefix}.partitions_used").set(stats.partitions_used)
+        registry.gauge("mapreduce.n_workers").set(self.n_workers)
+        if stats.task_retries:
+            registry.counter(f"{prefix}.task_retries").inc(stats.task_retries)
+
     def _parallel_tasks(self, func, job: MapReduceJob, tasks: Sequence) -> List:
-        """Dispatch tasks on the pool; retry failures in-process."""
+        """Dispatch tasks on the pool; retry failures in-process.
+
+        When the parent collects telemetry, each task runs under a fresh
+        child registry in its worker and returns a snapshot that is
+        merged here — so detector timers and cache counters recorded
+        inside worker processes are not lost.
+        """
+        registry = get_registry()
+        collect = registry.enabled
         pool = self._get_pool()
-        futures = [pool.submit(func, job, task) for task in tasks]
+        if collect:
+            futures = [
+                pool.submit(_run_task_with_telemetry, func, job, task)
+                for task in tasks
+            ]
+        else:
+            futures = [pool.submit(func, job, task) for task in tasks]
         results = []
         for future, task in zip(futures, tasks):
             try:
-                results.append(future.result())
-            except Exception:
+                outcome = future.result()
+                if collect:
+                    result, snapshot = outcome
+                    registry.merge(snapshot)
+                    results.append(result)
+                else:
+                    results.append(outcome)
+            except Exception as exc:
                 if self.max_retries < 1:
                     raise
+                logger.warning(
+                    "parallel task %s failed (attempt 1 of %d): %s; "
+                    "retrying in-process",
+                    getattr(func, "__name__", str(func)),
+                    self.max_retries + 1,
+                    exc,
+                )
                 if self.last_stats is not None:
                     self.last_stats.task_retries += 1
+                registry.counter("mapreduce.task_retries").inc()
                 # One parallel attempt is spent; the serial retry path
                 # covers the rest of the budget.
                 previous = self.max_retries

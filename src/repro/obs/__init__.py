@@ -1,0 +1,108 @@
+"""Pipeline-wide telemetry: metrics registry, span tracing, exporters.
+
+BAYWATCH is an operational system — the paper accounts for every filter
+stage's data-volume reduction (Table 3) and for where cluster time is
+spent.  This package gives the reproduction the same visibility:
+
+- :mod:`repro.obs.registry` — counters, gauges, histograms (p50/p95/p99)
+  and timers, scoped per run, with snapshot/merge aggregation across
+  threads and MapReduce worker processes;
+- :mod:`repro.obs.tracing` — nested wall-clock (and optional
+  peak-memory) spans over the 8 filter stages, the MapReduce phases,
+  and the detector's internal steps;
+- :mod:`repro.obs.export` — the human run report (funnel + stage
+  latency tables), JSON lines, and Prometheus text format.
+
+Telemetry is **off by default** and free when off: the active registry
+is a shared no-op unless ``REPRO_TELEMETRY=1`` is set or a caller
+installs a real one (``scoped_registry(MetricsRegistry())`` or the CLI's
+``--telemetry <dir>``).
+
+See ``docs/OBSERVABILITY.md`` for metric/span naming and how to read
+the run report.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+from repro.obs.export import (
+    TELEMETRY_FILES,
+    from_jsonl,
+    render_run_report,
+    to_jsonl,
+    to_prometheus,
+    write_telemetry,
+)
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Timer,
+    get_registry,
+    scoped_registry,
+    set_registry,
+    telemetry_enabled,
+)
+from repro.obs.tracing import Span, current_span_path, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "scoped_registry",
+    "telemetry_enabled",
+    "Span",
+    "span",
+    "current_span_path",
+    "render_run_report",
+    "to_jsonl",
+    "from_jsonl",
+    "to_prometheus",
+    "write_telemetry",
+    "TELEMETRY_FILES",
+    "configure_logging",
+    "LOG_FORMAT",
+]
+
+#: One consistent line format across every repro module.
+LOG_FORMAT = "%(asctime)s %(levelname)-8s %(name)s: %(message)s"
+LOG_DATE_FORMAT = "%Y-%m-%d %H:%M:%S"
+
+_HANDLER_MARK = "_repro_obs_handler"
+
+
+def configure_logging(
+    level: int = logging.INFO, *, stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Attach one consistently formatted handler to the ``repro`` logger.
+
+    Idempotent: calling it again only adjusts the level (and stream, if
+    given), so libraries and the CLI can both call it safely.  Returns
+    the package logger.  Logs go to ``stderr`` by default so they never
+    corrupt report output on ``stdout``.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    for handler in logger.handlers:
+        if getattr(handler, _HANDLER_MARK, False):
+            if stream is not None:
+                handler.setStream(stream)  # type: ignore[attr-defined]
+            return logger
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT, LOG_DATE_FORMAT))
+    setattr(handler, _HANDLER_MARK, True)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

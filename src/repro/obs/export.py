@@ -1,0 +1,291 @@
+"""Exporters: run report (text), JSON lines, Prometheus text format.
+
+Three consumers, three formats:
+
+- :func:`render_run_report` — the analyst-facing summary: the funnel
+  table (the paper's Table 3 data-volume-reduction view), a stage
+  latency table built from span histograms, and the raw counters and
+  gauges (cache hit rates, MapReduce job stats, retry counts).
+- :func:`to_jsonl` — one JSON object per line for machine consumption;
+  :func:`from_jsonl` round-trips it (this is what ``repro stats``
+  reads).
+- :func:`to_prometheus` — Prometheus-style text exposition (counters as
+  ``_total``, histograms as ``_count``/``_sum`` plus quantile samples)
+  for scraping into an existing monitoring stack.
+
+:func:`write_telemetry` writes all three into a directory:
+``report.txt``, ``metrics.jsonl``, ``metrics.prom``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "render_run_report",
+    "to_jsonl",
+    "from_jsonl",
+    "to_prometheus",
+    "write_telemetry",
+    "TELEMETRY_FILES",
+]
+
+#: Files produced by :func:`write_telemetry` in the target directory.
+TELEMETRY_FILES = ("report.txt", "metrics.jsonl", "metrics.prom")
+
+#: A funnel is a FunnelStats-like object (with ``.steps``) or the raw
+#: list of (step_name, pairs_in, pairs_out) triples.
+FunnelLike = Union[Any, Sequence[Tuple[str, int, int]]]
+
+_SPAN_SECONDS = re.compile(r"^span\.(?P<path>.+)\.seconds$")
+
+
+def _funnel_steps(funnel: Optional[FunnelLike]) -> List[Tuple[str, int, int]]:
+    if funnel is None:
+        return []
+    steps = getattr(funnel, "steps", funnel)
+    return [(str(name), int(n_in), int(n_out)) for name, n_in, n_out in steps]
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:9.3f}s"
+    return f"{seconds * 1e3:8.2f}ms"
+
+
+# -- human-readable run report ---------------------------------------------
+
+
+def render_run_report(
+    registry: MetricsRegistry,
+    *,
+    funnel: Optional[FunnelLike] = None,
+    title: str = "BAYWATCH run report",
+) -> str:
+    """The analyst-facing text report (funnel + latency + counters)."""
+    lines: List[str] = [f"== {title} =="]
+
+    steps = _funnel_steps(funnel)
+    if steps:
+        lines.append("")
+        lines.append("-- funnel: data volume reduction (Table 3 view) --")
+        lines.append(f"{'step':34s} {'in':>10s} {'out':>10s} {'kept':>7s}")
+        for name, n_in, n_out in steps:
+            kept = f"{100.0 * n_out / n_in:6.2f}%" if n_in else "     -"
+            lines.append(f"{name:34s} {n_in:>10d} {n_out:>10d} {kept:>7s}")
+        first_in = steps[0][1]
+        last_out = steps[-1][2]
+        if first_in:
+            lines.append(
+                f"{'total reduction':34s} {first_in:>10d} {last_out:>10d} "
+                f"{100.0 * last_out / first_in:6.2f}%"
+            )
+
+    latency_rows = []
+    other_histograms = []
+    for histogram in registry.histograms():
+        match = _SPAN_SECONDS.match(histogram.name)
+        if match:
+            latency_rows.append((match.group("path"), histogram))
+        else:
+            other_histograms.append(histogram)
+
+    if latency_rows:
+        lines.append("")
+        lines.append("-- stage latency (wall clock) --")
+        lines.append(
+            f"{'span':44s} {'calls':>6s} {'total':>10s} {'mean':>10s} "
+            f"{'p50':>10s} {'p95':>10s} {'p99':>10s}"
+        )
+        for path, h in latency_rows:
+            q = h.percentiles()
+            lines.append(
+                f"{path:44s} {h.count:>6d} {_fmt_seconds(h.total):>10s} "
+                f"{_fmt_seconds(h.mean):>10s} {_fmt_seconds(q['p50']):>10s} "
+                f"{_fmt_seconds(q['p95']):>10s} {_fmt_seconds(q['p99']):>10s}"
+            )
+
+    counters = list(registry.counters())
+    if counters:
+        lines.append("")
+        lines.append("-- counters --")
+        for name, value in counters:
+            lines.append(f"{name:58s} {value:>12d}")
+
+    gauges = list(registry.gauges())
+    if gauges:
+        lines.append("")
+        lines.append("-- gauges --")
+        for name, value in gauges:
+            lines.append(f"{name:58s} {value:>12g}")
+
+    if other_histograms:
+        lines.append("")
+        lines.append("-- distributions --")
+        lines.append(
+            f"{'histogram':44s} {'count':>6s} {'mean':>10s} {'p50':>10s} "
+            f"{'p95':>10s} {'p99':>10s} {'max':>10s}"
+        )
+        for h in other_histograms:
+            q = h.percentiles()
+            maximum = h.max if h.count else 0.0
+            lines.append(
+                f"{h.name:44s} {h.count:>6d} {h.mean:>10.3f} "
+                f"{q['p50']:>10.3f} {q['p95']:>10.3f} {q['p99']:>10.3f} "
+                f"{maximum:>10.3f}"
+            )
+
+    if len(lines) == 1:
+        lines.append("(no telemetry recorded)")
+    return "\n".join(lines) + "\n"
+
+
+# -- JSON lines -------------------------------------------------------------
+
+
+def to_jsonl(
+    registry: MetricsRegistry, *, funnel: Optional[FunnelLike] = None
+) -> str:
+    """One JSON object per metric (and per funnel step), one per line."""
+    records: List[Dict[str, Any]] = []
+    for index, (name, n_in, n_out) in enumerate(_funnel_steps(funnel)):
+        records.append(
+            {
+                "type": "funnel_step",
+                "index": index,
+                "step": name,
+                "pairs_in": n_in,
+                "pairs_out": n_out,
+            }
+        )
+    for name, value in registry.counters():
+        records.append({"type": "counter", "name": name, "value": value})
+    for name, value in registry.gauges():
+        records.append({"type": "gauge", "name": name, "value": value})
+    for h in registry.histograms():
+        records.append(
+            {
+                "type": "histogram",
+                "name": h.name,
+                "count": h.count,
+                "total": h.total,
+                "min": h.min if h.count else None,
+                "max": h.max if h.count else None,
+                "mean": h.mean,
+                **h.percentiles(),
+                "samples": list(h.samples),
+            }
+        )
+    return "".join(json.dumps(record, sort_keys=True) + "\n" for record in records)
+
+
+def from_jsonl(
+    text: str,
+) -> Tuple[MetricsRegistry, List[Tuple[str, int, int]]]:
+    """Rebuild a registry (and funnel steps) from :func:`to_jsonl` output."""
+    registry = MetricsRegistry()
+    steps: List[Tuple[int, str, int, int]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("type")
+        if kind == "counter":
+            registry.counter(record["name"]).inc(record["value"])
+        elif kind == "gauge":
+            registry.gauge(record["name"]).set(record["value"])
+        elif kind == "histogram":
+            histogram = registry.histogram(record["name"])
+            histogram.count = record["count"]
+            histogram.total = record["total"]
+            histogram.min = (
+                record["min"] if record["min"] is not None else math.inf
+            )
+            histogram.max = (
+                record["max"] if record["max"] is not None else -math.inf
+            )
+            histogram.samples = [float(v) for v in record.get("samples", [])]
+        elif kind == "funnel_step":
+            steps.append(
+                (
+                    int(record.get("index", len(steps))),
+                    record["step"],
+                    record["pairs_in"],
+                    record["pairs_out"],
+                )
+            )
+    steps.sort()
+    return registry, [(name, n_in, n_out) for _i, name, n_in, n_out in steps]
+
+
+# -- Prometheus text format -------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = "_" + cleaned
+    return f"repro_{cleaned}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus-style text exposition of the registry."""
+    lines: List[str] = []
+    for name, value in registry.counters():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom}_total counter")
+        lines.append(f"{prom}_total {value}")
+    for name, value in registry.gauges():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {value}")
+    for h in registry.histograms():
+        prom = _prom_name(h.name)
+        lines.append(f"# TYPE {prom} summary")
+        for quantile, value in (
+            ("0.5", h.quantile(0.5)),
+            ("0.95", h.quantile(0.95)),
+            ("0.99", h.quantile(0.99)),
+        ):
+            lines.append(f'{prom}{{quantile="{quantile}"}} {value}')
+        lines.append(f"{prom}_sum {h.total}")
+        lines.append(f"{prom}_count {h.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- one-stop writer --------------------------------------------------------
+
+
+def write_telemetry(
+    directory: Union[str, Path],
+    registry: MetricsRegistry,
+    *,
+    funnel: Optional[FunnelLike] = None,
+    title: str = "BAYWATCH run report",
+) -> Dict[str, Path]:
+    """Write report.txt / metrics.jsonl / metrics.prom into ``directory``.
+
+    Creates the directory if needed; returns the written paths keyed by
+    file name.
+    """
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    outputs = {
+        "report.txt": render_run_report(registry, funnel=funnel, title=title),
+        "metrics.jsonl": to_jsonl(registry, funnel=funnel),
+        "metrics.prom": to_prometheus(registry),
+    }
+    written: Dict[str, Path] = {}
+    for name, payload in outputs.items():
+        path = target / name
+        path.write_text(payload, encoding="utf-8")
+        written[name] = path
+    return written

@@ -1,0 +1,125 @@
+"""Lightweight span tracing for the 8-step funnel.
+
+A *span* measures one named unit of work — a filter stage, a MapReduce
+phase, a detector step — as a context manager:
+
+>>> from repro.obs import span
+>>> with span("pipeline.run"):
+...     with span("step1_global_whitelist"):
+...         pass
+
+Spans nest: the inner span above is recorded under the dotted path
+``pipeline.run.step1_global_whitelist``, so the run report's latency
+table shows both the whole and its parts.  Nesting is tracked per
+thread; worker processes start their own stacks and their measurements
+flow back through registry snapshots (see :mod:`repro.obs.registry`).
+
+Each completed span observes its wall-clock duration into the current
+registry's histogram ``span.<path>.seconds``.  With ``trace_memory=True``
+(or ``REPRO_TELEMETRY_MEMORY=1``) the span also records the
+:mod:`tracemalloc` peak during the block into ``span.<path>.peak_kb`` —
+useful for sizing rescale/merge windows, but markedly slower, so it is
+opt-in per span.
+
+When telemetry is off (the NullRegistry is current) a span costs two
+function calls and records nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import tracemalloc
+from typing import Any, List, Optional
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+__all__ = ["Span", "span", "current_span_path"]
+
+_stack = threading.local()
+
+
+def _path_stack() -> List[str]:
+    stack = getattr(_stack, "names", None)
+    if stack is None:
+        stack = _stack.names = []
+    return stack
+
+
+def current_span_path() -> str:
+    """The dotted path of the innermost open span ('' outside any)."""
+    return ".".join(_path_stack())
+
+
+def _memory_default() -> bool:
+    return os.environ.get("REPRO_TELEMETRY_MEMORY", "").strip() not in (
+        "", "0", "false",
+    )
+
+
+class Span:
+    """One traced block; see module docstring.  Not reusable."""
+
+    __slots__ = ("name", "path", "seconds", "peak_kb", "_registry",
+                 "_memory", "_start", "_started_tracemalloc")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        trace_memory: Optional[bool] = None,
+    ) -> None:
+        self.name = name
+        self.path = ""
+        self.seconds = 0.0
+        self.peak_kb: Optional[float] = None
+        self._registry = registry
+        self._memory = trace_memory
+        self._start = 0.0
+        self._started_tracemalloc = False
+
+    def __enter__(self) -> "Span":
+        registry = self._registry if self._registry is not None else get_registry()
+        self._registry = registry
+        if not registry.enabled:
+            return self
+        stack = _path_stack()
+        stack.append(self.name)
+        self.path = ".".join(stack)
+        memory = self._memory if self._memory is not None else _memory_default()
+        if memory:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracemalloc = True
+            tracemalloc.reset_peak()
+            self._memory = True
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        registry = self._registry
+        if registry is None or not registry.enabled:
+            return
+        self.seconds = time.perf_counter() - self._start
+        if self._memory:
+            _current, peak = tracemalloc.get_traced_memory()
+            self.peak_kb = peak / 1024.0
+            if self._started_tracemalloc:
+                tracemalloc.stop()
+            registry.histogram(f"span.{self.path}.peak_kb").observe(self.peak_kb)
+        registry.histogram(f"span.{self.path}.seconds").observe(self.seconds)
+        stack = _path_stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+
+
+def span(
+    name: str,
+    *,
+    registry: Optional[MetricsRegistry] = None,
+    trace_memory: Optional[bool] = None,
+) -> Span:
+    """Open a span named ``name`` on the current (or given) registry."""
+    return Span(name, registry=registry, trace_memory=trace_memory)

@@ -15,14 +15,18 @@ reported daily is not re-reported weekly.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.timeseries import ActivitySummary, merge, rescale
 from repro.filtering.novelty import NoveltyStore
 from repro.filtering.pipeline import BaywatchPipeline, PipelineConfig, PipelineReport
+from repro.obs import get_registry, span
 from repro.synthetic.logs import ProxyLogRecord, records_to_summaries
 from repro.utils.validation import require, require_positive
+
+logger = logging.getLogger(__name__)
 
 DAY = 86_400.0
 
@@ -99,22 +103,33 @@ class MultiTimescaleOperator:
         paper's no-reprocessing property); coarser cadences consume
         rescaled merges of the stored summaries.
         """
-        summaries = records_to_summaries(
-            records, time_scale=self.config.time_scale
-        )
+        registry = get_registry()
+        with span("operations.ingest_day"):
+            summaries = records_to_summaries(
+                records, time_scale=self.config.time_scale
+            )
         self._daily_summaries.append(summaries)
         day_index = self.days_fed
+        registry.gauge("operations.days_fed").set(day_index)
         fired: List[Tuple[str, PipelineReport]] = []
         for cadence in self.cadences:
             if day_index % cadence.every_days != 0:
                 continue
-            window = (
-                summaries
-                if cadence.window_days == 1 and cadence.time_scale
-                == self.config.time_scale
-                else self._window_summaries(cadence)
+            with span(f"operations.cadence.{cadence.name}"):
+                window = (
+                    summaries
+                    if cadence.window_days == 1 and cadence.time_scale
+                    == self.config.time_scale
+                    else self._window_summaries(cadence)
+                )
+                report = self._pipelines[cadence.name].run_summaries(window)
+            registry.counter(f"operations.cadence.{cadence.name}.runs").inc()
+            logger.info(
+                "cadence %s fired on day %d: %d pairs in window, "
+                "%d cases reported",
+                cadence.name, day_index, len(window),
+                len(report.ranked_cases),
             )
-            report = self._pipelines[cadence.name].run_summaries(window)
             self.runs.append((cadence.name, day_index, report))
             fired.append((cadence.name, report))
         return fired

@@ -1,0 +1,126 @@
+"""Tests for the run-report, JSONL, and Prometheus exporters."""
+
+import json
+import logging
+
+import pytest
+
+from repro.obs import (
+    TELEMETRY_FILES,
+    MetricsRegistry,
+    configure_logging,
+    from_jsonl,
+    render_run_report,
+    to_jsonl,
+    to_prometheus,
+    write_telemetry,
+)
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("detector.threshold_cache.hits").inc(7)
+    registry.counter("detector.threshold_cache.misses").inc(3)
+    registry.gauge("pipeline.population_size").set(42)
+    for value in (0.1, 0.2, 0.3):
+        registry.histogram("span.pipeline.seconds").observe(value)
+    registry.histogram("detector.detect.seconds").observe(0.05)
+    return registry
+
+
+FUNNEL = [
+    ("1 global whitelist", 100, 60),
+    ("2 local whitelist", 60, 20),
+    ("8 weighted ranking", 20, 5),
+]
+
+
+class TestRunReport:
+    def test_contains_funnel_rows(self, registry):
+        text = render_run_report(registry, funnel=FUNNEL)
+        assert "1 global whitelist" in text
+        assert "100" in text and "60" in text
+        assert "total reduction" in text
+        assert "5.00%" in text  # 5 of 100 kept overall
+
+    def test_contains_latency_and_counters(self, registry):
+        text = render_run_report(registry, funnel=FUNNEL)
+        assert "stage latency" in text
+        assert "pipeline" in text
+        assert "detector.threshold_cache.hits" in text
+        assert "pipeline.population_size" in text
+        assert "detector.detect.seconds" in text
+
+    def test_empty_registry(self):
+        text = render_run_report(MetricsRegistry())
+        assert "no telemetry recorded" in text
+
+    def test_accepts_funnel_stats_object(self, registry):
+        from repro.filtering.pipeline import FunnelStats
+
+        funnel = FunnelStats()
+        funnel.record("1 global whitelist", 10, 4)
+        text = render_run_report(registry, funnel=funnel)
+        assert "1 global whitelist" in text
+
+
+class TestJsonl:
+    def test_lines_are_valid_json(self, registry):
+        lines = to_jsonl(registry, funnel=FUNNEL).splitlines()
+        records = [json.loads(line) for line in lines]
+        kinds = {record["type"] for record in records}
+        assert kinds == {"funnel_step", "counter", "gauge", "histogram"}
+
+    def test_round_trip(self, registry):
+        payload = to_jsonl(registry, funnel=FUNNEL)
+        rebuilt, steps = from_jsonl(payload)
+        assert steps == FUNNEL
+        assert dict(rebuilt.counters()) == dict(registry.counters())
+        assert dict(rebuilt.gauges()) == dict(registry.gauges())
+        original = registry.histogram("span.pipeline.seconds")
+        clone = rebuilt.histogram("span.pipeline.seconds")
+        assert clone.count == original.count
+        assert clone.total == pytest.approx(original.total)
+        assert clone.quantile(0.5) == pytest.approx(original.quantile(0.5))
+
+
+class TestPrometheus:
+    def test_counter_and_summary_lines(self, registry):
+        text = to_prometheus(registry)
+        assert "# TYPE repro_detector_threshold_cache_hits_total counter" in text
+        assert "repro_detector_threshold_cache_hits_total 7" in text
+        assert "repro_pipeline_population_size 42" in text
+        assert 'repro_span_pipeline_seconds{quantile="0.5"}' in text
+        assert "repro_span_pipeline_seconds_count 3" in text
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestWriteTelemetry:
+    def test_writes_all_three_files(self, registry, tmp_path):
+        target = tmp_path / "telemetry"
+        written = write_telemetry(target, registry, funnel=FUNNEL)
+        assert set(written) == set(TELEMETRY_FILES)
+        for name in TELEMETRY_FILES:
+            assert (target / name).stat().st_size > 0
+        assert "1 global whitelist" in (target / "report.txt").read_text()
+
+
+class TestConfigureLogging:
+    def test_idempotent_single_handler(self):
+        logger = configure_logging(logging.INFO)
+        again = configure_logging(logging.DEBUG)
+        assert logger is again
+        marked = [
+            handler for handler in logger.handlers
+            if getattr(handler, "_repro_obs_handler", False)
+        ]
+        assert len(marked) == 1
+        assert logger.level == logging.DEBUG
+
+    def test_module_loggers_inherit(self):
+        configure_logging(logging.INFO)
+        child = logging.getLogger("repro.mapreduce.engine")
+        assert child.getEffectiveLevel() == logging.INFO

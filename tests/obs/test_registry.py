@@ -1,0 +1,210 @@
+"""Tests for the metrics registry: instruments, merge, no-op mode."""
+
+import pickle
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.obs.registry import (
+    HISTOGRAM_SAMPLE_LIMIT,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    scoped_registry,
+    set_registry,
+    telemetry_enabled,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(4)
+        assert dict(registry.counters()) == {"a": 5}
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.0)
+        registry.gauge("g").set(7.5)
+        assert dict(registry.gauges()) == {"g": 7.5}
+
+    def test_timer_observes_seconds(self):
+        registry = MetricsRegistry()
+        with registry.timer("t.seconds"):
+            pass
+        histogram = registry.histogram("t.seconds")
+        assert histogram.count == 1
+        assert 0.0 <= histogram.total < 1.0
+
+
+class TestHistogramQuantiles:
+    def test_exact_moments(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in [5.0, 1.0, 3.0]:
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 9.0
+        assert histogram.min == 1.0
+        assert histogram.max == 5.0
+        assert histogram.mean == pytest.approx(3.0)
+
+    def test_quantiles_on_known_distribution(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 100.0
+        assert histogram.quantile(0.5) == pytest.approx(50.5)
+        assert histogram.percentiles()["p95"] == pytest.approx(95.05)
+        assert histogram.percentiles()["p99"] == pytest.approx(99.01)
+
+    def test_quantile_interpolates(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        histogram.observe(0.0)
+        histogram.observe(10.0)
+        assert histogram.quantile(0.25) == pytest.approx(2.5)
+
+    def test_empty_histogram_is_safe(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.mean == 0.0
+
+    def test_invalid_quantile_rejected(self):
+        histogram = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_sample_cap_keeps_moments_exact(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        n = HISTOGRAM_SAMPLE_LIMIT + 100
+        for _ in range(n):
+            histogram.observe(1.0)
+        assert histogram.count == n
+        assert histogram.total == pytest.approx(float(n))
+        assert len(histogram.samples) == HISTOGRAM_SAMPLE_LIMIT
+
+
+def _child_work(index):
+    """Worker: record into a fresh registry, return its snapshot."""
+    registry = MetricsRegistry()
+    registry.counter("work.items").inc(10)
+    registry.gauge("work.index").set(index)
+    for value in range(index + 1):
+        registry.histogram("work.latency").observe(float(value))
+    return registry.snapshot()
+
+
+class TestMerge:
+    def test_merge_counters_add(self):
+        parent, child = MetricsRegistry(), MetricsRegistry()
+        parent.counter("c").inc(2)
+        child.counter("c").inc(3)
+        child.counter("only_child").inc(1)
+        parent.merge(child.snapshot())
+        assert dict(parent.counters()) == {"c": 5, "only_child": 1}
+
+    def test_merge_histograms_combine_moments_and_samples(self):
+        parent, child = MetricsRegistry(), MetricsRegistry()
+        parent.histogram("h").observe(1.0)
+        child.histogram("h").observe(3.0)
+        child.histogram("h").observe(5.0)
+        parent.merge_registry(child)
+        histogram = parent.histogram("h")
+        assert histogram.count == 3
+        assert histogram.total == 9.0
+        assert histogram.min == 1.0
+        assert histogram.max == 5.0
+        assert sorted(histogram.samples) == [1.0, 3.0, 5.0]
+
+    def test_snapshot_is_picklable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(2.0)
+        snapshot = pickle.loads(pickle.dumps(registry.snapshot()))
+        other = MetricsRegistry()
+        other.merge(snapshot)
+        assert dict(other.counters()) == {"c": 1}
+
+    def test_merge_across_processes(self):
+        parent = MetricsRegistry()
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            for snapshot in pool.map(_child_work, range(4)):
+                parent.merge(snapshot)
+        assert dict(parent.counters()) == {"work.items": 40}
+        histogram = parent.histogram("work.latency")
+        assert histogram.count == 1 + 2 + 3 + 4
+        assert histogram.max == 3.0
+
+    def test_threaded_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+
+        def hammer():
+            counter = registry.counter("c")
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("c").value == 8000
+
+
+class TestNoOpMode:
+    def test_default_registry_is_null(self):
+        import os
+
+        if os.environ.get("REPRO_TELEMETRY", "").strip() not in ("", "0", "false"):
+            pytest.skip("REPRO_TELEMETRY is set in this environment")
+        assert isinstance(get_registry(), NullRegistry)
+        assert not telemetry_enabled()
+
+    def test_null_registry_records_nothing(self):
+        registry = NullRegistry()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(2.0)
+        with registry.timer("t"):
+            pass
+        assert registry.is_empty()
+        assert list(registry.counters()) == []
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_null_merge_is_a_no_op(self):
+        real = MetricsRegistry()
+        real.counter("c").inc()
+        NULL_REGISTRY.merge(real.snapshot())
+        assert NULL_REGISTRY.is_empty()
+
+    def test_scoped_registry_restores_previous(self):
+        registry = MetricsRegistry()
+        before = get_registry()
+        with scoped_registry(registry) as active:
+            assert active is registry
+            assert get_registry() is registry
+            assert telemetry_enabled()
+        assert get_registry() is before
+
+    def test_set_registry_none_disables(self):
+        previous = set_registry(MetricsRegistry())
+        try:
+            assert telemetry_enabled()
+            set_registry(None)
+            assert not telemetry_enabled()
+        finally:
+            set_registry(previous)

@@ -1,0 +1,110 @@
+"""Tests for span tracing: nesting, timing, memory, no-op mode."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    current_span_path,
+    scoped_registry,
+    span,
+)
+
+
+class TestSpanNesting:
+    def test_nested_paths_are_dotted(self):
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            with span("outer"):
+                with span("middle"):
+                    with span("inner"):
+                        assert current_span_path() == "outer.middle.inner"
+        names = [h.name for h in registry.histograms()]
+        assert "span.outer.seconds" in names
+        assert "span.outer.middle.seconds" in names
+        assert "span.outer.middle.inner.seconds" in names
+
+    def test_stack_unwinds_after_exit(self):
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            with span("a"):
+                pass
+            with span("b"):
+                assert current_span_path() == "b"
+        assert current_span_path() == ""
+
+    def test_sibling_spans_share_parent_path(self):
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            with span("parent"):
+                with span("first"):
+                    pass
+                with span("second"):
+                    pass
+        names = {h.name for h in registry.histograms()}
+        assert "span.parent.first.seconds" in names
+        assert "span.parent.second.seconds" in names
+
+    def test_repeated_span_accumulates_observations(self):
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            for _ in range(3):
+                with span("loop"):
+                    pass
+        assert registry.histogram("span.loop.seconds").count == 3
+
+    def test_exception_still_records_and_unwinds(self):
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            with pytest.raises(RuntimeError):
+                with span("boom"):
+                    raise RuntimeError("x")
+            assert current_span_path() == ""
+        assert registry.histogram("span.boom.seconds").count == 1
+
+
+class TestSpanMeasurement:
+    def test_duration_is_positive(self):
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            with span("timed") as entered:
+                total = sum(range(1000))
+        assert total == 499500
+        assert entered.seconds > 0.0
+        assert registry.histogram("span.timed.seconds").total == pytest.approx(
+            entered.seconds
+        )
+
+    def test_memory_capture(self):
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            with span("alloc", trace_memory=True) as entered:
+                data = [0] * 100_000
+        assert len(data) == 100_000
+        assert entered.peak_kb is not None
+        assert entered.peak_kb > 100  # 100k ints is far beyond 100 KiB
+        assert registry.histogram("span.alloc.peak_kb").count == 1
+
+    def test_explicit_registry_wins_over_current(self):
+        explicit = MetricsRegistry()
+        ambient = MetricsRegistry()
+        with scoped_registry(ambient):
+            with span("x", registry=explicit):
+                pass
+        assert explicit.histogram("span.x.seconds").count == 1
+        assert ambient.is_empty()
+
+
+class TestSpanNoOp:
+    def test_null_registry_records_nothing(self):
+        registry = NullRegistry()
+        with scoped_registry(registry):
+            with span("quiet") as entered:
+                pass
+        assert entered.path == ""
+        assert registry.is_empty()
+
+    def test_null_span_does_not_touch_stack(self):
+        with scoped_registry(NullRegistry()):
+            with span("quiet"):
+                assert current_span_path() == ""

@@ -68,6 +68,49 @@ class TestPipeline:
         assert any(d in text for d in payload["malicious_destinations"])
 
 
+class TestTelemetry:
+    def test_pipeline_writes_telemetry_files(self, trace_path, tmp_path, capsys):
+        out, _truth = trace_path
+        telemetry = tmp_path / "telemetry"
+        code = main([
+            "pipeline", str(out), "--tau-p", "0.25", "--percentile", "0.0",
+            "--telemetry", str(telemetry),
+        ])
+        assert code == 0
+        assert "wrote telemetry" in capsys.readouterr().out
+        for name in ("report.txt", "metrics.jsonl", "metrics.prom"):
+            assert (telemetry / name).stat().st_size > 0
+        report = (telemetry / "report.txt").read_text()
+        assert "global whitelist" in report
+        assert "stage latency" in report
+        assert "detector.threshold_cache" in report
+
+    def test_no_telemetry_flag_writes_nothing(self, trace_path, tmp_path):
+        out, _truth = trace_path
+        before = set(tmp_path.iterdir())
+        assert main(["pipeline", str(out), "--tau-p", "0.25",
+                     "--percentile", "0.0"]) == 0
+        assert set(tmp_path.iterdir()) == before
+
+    def test_stats_renders_saved_telemetry(self, trace_path, tmp_path, capsys):
+        out, _truth = trace_path
+        telemetry = tmp_path / "telemetry"
+        assert main([
+            "report", str(out), "--tau-p", "0.25", "--percentile", "0.0",
+            "--output", str(tmp_path / "analyst.txt"),
+            "--telemetry", str(telemetry),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(telemetry)]) == 0
+        text = capsys.readouterr().out
+        assert "BAYWATCH run report" in text
+        assert "global whitelist" in text
+
+    def test_stats_missing_path_fails(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope")]) == 1
+        assert "no telemetry found" in capsys.readouterr().err
+
+
 class TestScore:
     def test_scores_and_flags(self, capsys):
         assert main(["score", "google.com", "xqzjwkvbblrwpq.com"]) == 0
