@@ -3,14 +3,23 @@
 Every bench regenerates one table or figure of the paper's evaluation
 (see DESIGN.md section 4).  Results are printed to the terminal and
 appended to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md
-can be cross-checked against a fresh run.
+can be cross-checked against a fresh run.  ``finish()`` also writes
+``benchmarks/results/<experiment>.json`` — the same fingerprinted
+envelope as the ``BENCH_*.json`` perf reports (see
+:mod:`repro.obs.bench`), so both trajectories are machine-readable with
+one set of tooling; call :meth:`ExperimentReport.metric` to record the
+numbers worth tracking across runs.
 """
 
 from __future__ import annotations
 
 import io
+import json
+import time
 from pathlib import Path
-from typing import Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.obs.bench import SCHEMA_VERSION, host_fingerprint
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -22,6 +31,7 @@ class ExperimentReport:
         self.experiment_id = experiment_id
         self.title = title
         self._buffer = io.StringIO()
+        self._metrics: List[Dict[str, Any]] = []
         self.line("=" * 72)
         self.line(f"{experiment_id}: {title}")
         self.line("=" * 72)
@@ -29,6 +39,12 @@ class ExperimentReport:
     def line(self, text: str = "") -> None:
         """Append one output line."""
         self._buffer.write(text + "\n")
+
+    def metric(self, name: str, value: float, unit: str = "", **extra: Any) -> None:
+        """Record one machine-readable measurement for the JSON output."""
+        self._metrics.append(
+            {"name": name, "value": float(value), "unit": unit, **extra}
+        )
 
     def table(self, header: Sequence[str], rows: Iterable[Sequence]) -> None:
         """Append an aligned text table."""
@@ -49,11 +65,26 @@ class ExperimentReport:
         self.table(("paper claim", "measured", "holds?"), claims)
 
     def finish(self) -> str:
-        """Print the report, persist it, and return the text."""
+        """Print the report, persist it (text + JSON), and return the text."""
         text = self._buffer.getvalue()
         RESULTS_DIR.mkdir(exist_ok=True)
         out = RESULTS_DIR / f"{self.experiment_id}.txt"
         out.write_text(text, encoding="utf-8")
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "kind": "experiment",
+            "suite": self.experiment_id,
+            "title": self.title,
+            "created": time.time(),
+            "fingerprint": host_fingerprint(),
+            "results": list(self._metrics),
+            "text": text,
+        }
+        json_out = RESULTS_DIR / f"{self.experiment_id}.json"
+        json_out.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
         print()
         print(text)
         return text

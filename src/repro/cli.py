@@ -7,12 +7,15 @@ The subcommands cover the operational surface:
 - ``pipeline`` — run the 8-step methodology over a proxy log,
 - ``score``    — score domain names under the language model,
 - ``report``   — run the pipeline and emit an analyst report,
-- ``stats``    — render a run report from saved telemetry.
+- ``stats``    — render a run report from saved telemetry,
+- ``bench``    — run benchmark suites / gate against a baseline.
 
 ``pipeline`` and ``report`` accept ``--telemetry <dir>`` to collect
 per-stage metrics and write ``report.txt`` / ``metrics.jsonl`` /
-``metrics.prom`` (see ``docs/OBSERVABILITY.md``).  ``-v`` turns on INFO
-logging, ``-vv`` DEBUG.
+``metrics.prom`` (see ``docs/OBSERVABILITY.md``).  ``bench`` writes
+``BENCH_<suite>.json`` perf reports and, with ``--compare``, renders a
+baseline/candidate delta table and exits non-zero on regressions beyond
+``--tolerance``.  ``-v`` turns on INFO logging, ``-vv`` DEBUG.
 
 Run ``python -m repro <command> --help`` for the options.
 """
@@ -116,6 +119,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "path", type=Path,
         help="telemetry directory (or metrics.jsonl file) written by "
              "--telemetry",
+    )
+    stats.add_argument(
+        "--profile", action="store_true",
+        help="also render span-profile hotspots (profiles.jsonl)",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="run perf benchmark suites / compare two reports"
+    )
+    bench.add_argument(
+        "--suite", default="micro", metavar="NAME",
+        help="suite to run: micro, pipeline, mapreduce, or 'all' "
+             "(default: micro)",
+    )
+    bench.add_argument("--repeats", type=int, default=5,
+                       help="timed iterations per benchmark (default 5)")
+    bench.add_argument("--warmup", type=int, default=1,
+                       help="untimed warmup iterations (default 1)")
+    bench.add_argument(
+        "--output-dir", type=Path, default=Path("."), metavar="DIR",
+        help="where BENCH_<suite>.json is written (default: cwd)",
+    )
+    bench.add_argument(
+        "--no-memory", action="store_true",
+        help="skip the tracemalloc peak-allocation probe",
+    )
+    bench.add_argument(
+        "--profile", choices=["cprofile", "tracemalloc"], default=None,
+        help="run one extra profiled iteration per benchmark and attach "
+             "top-N hotspots to the report",
+    )
+    bench.add_argument(
+        "--compare", nargs=2, metavar=("BASELINE", "CANDIDATE"),
+        type=Path, default=None,
+        help="compare two BENCH_*.json files instead of running suites; "
+             "exits 1 on regressions beyond --tolerance",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="fractional mean-time regression allowed before --compare "
+             "fails (default 0.10)",
     )
     return parser
 
@@ -245,14 +289,97 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import PROFILES_FILE, profiles_from_jsonl, render_profiles
+
     path = args.path
     if path.is_dir():
         path = path / "metrics.jsonl"
     if not path.exists():
         print(f"no telemetry found at {path}", file=sys.stderr)
         return 1
-    registry, funnel = from_jsonl(path.read_text(encoding="utf-8"))
+    text = path.read_text(encoding="utf-8")
+    try:
+        registry, funnel = from_jsonl(text)
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"telemetry at {path} is not readable: {exc}", file=sys.stderr)
+        return 1
+    if registry.is_empty() and not funnel:
+        print(f"telemetry at {path} is empty", file=sys.stderr)
+        return 1
     print(render_run_report(registry, funnel=funnel or None), end="")
+    if args.profile:
+        profiles_path = path.parent / PROFILES_FILE
+        if not profiles_path.exists():
+            print(
+                f"no profiles at {profiles_path} (run with REPRO_PROFILE="
+                f"cprofile|tracemalloc or span(profile=...))"
+            )
+        else:
+            print()
+            print(
+                render_profiles(
+                    profiles_from_jsonl(
+                        profiles_path.read_text(encoding="utf-8")
+                    )
+                ),
+                end="",
+            )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import (
+        BenchReport,
+        BenchRunner,
+        compare_reports,
+        render_bench_report,
+        render_comparison,
+    )
+
+    if args.compare is not None:
+        reports = []
+        for path in args.compare:
+            try:
+                reports.append(BenchReport.load(path))
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"cannot read bench report {path}: {exc}",
+                      file=sys.stderr)
+                return 1
+        try:
+            comparison = compare_reports(
+                reports[0], reports[1], tolerance=args.tolerance
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(render_comparison(comparison), end="")
+        return 0 if comparison.ok else 1
+
+    from repro.obs.bench_suites import build_suite, suite_names
+
+    names = suite_names() if args.suite == "all" else [args.suite]
+    try:
+        runner = BenchRunner(
+            repeats=args.repeats,
+            warmup=args.warmup,
+            trace_memory=not args.no_memory,
+            profile=args.profile,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for name in names:
+        try:
+            benchmarks = build_suite(name)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+        logger.info("running bench suite %r (%d benchmarks)",
+                    name, len(benchmarks))
+        report = runner.run(name, benchmarks)
+        print(render_bench_report(report), end="")
+        path = report.write(args.output_dir)
+        print(f"wrote {path}")
     return 0
 
 
@@ -263,6 +390,7 @@ _COMMANDS = {
     "score": _cmd_score,
     "report": _cmd_report,
     "stats": _cmd_stats,
+    "bench": _cmd_bench,
 }
 
 _LOG_LEVELS = {0: logging.WARNING, 1: logging.INFO}

@@ -11,7 +11,12 @@ spent.  This package gives the reproduction the same visibility:
   peak-memory) spans over the 8 filter stages, the MapReduce phases,
   and the detector's internal steps;
 - :mod:`repro.obs.export` — the human run report (funnel + stage
-  latency tables), JSON lines, and Prometheus text format.
+  latency tables), JSON lines, and Prometheus text format;
+- :mod:`repro.obs.profiling` — span-level cProfile/tracemalloc hotspot
+  collection (``span(..., profile=...)`` or ``REPRO_PROFILE``);
+- :mod:`repro.obs.bench` / :mod:`repro.obs.bench_suites` — the
+  machine-readable benchmark harness behind ``repro bench``:
+  ``BENCH_<suite>.json`` reports and the regression gate.
 
 Telemetry is **off by default** and free when off: the active registry
 is a shared no-op unless ``REPRO_TELEMETRY=1`` is set or a caller
@@ -29,12 +34,21 @@ import sys
 from typing import Optional, TextIO
 
 from repro.obs.export import (
+    PROFILES_FILE,
     TELEMETRY_FILES,
     from_jsonl,
     render_run_report,
     to_jsonl,
     to_prometheus,
     write_telemetry,
+)
+from repro.obs.profiling import (
+    SpanProfile,
+    drain_profiles,
+    pending_profiles,
+    profiles_from_jsonl,
+    profiles_to_jsonl,
+    render_profiles,
 )
 from repro.obs.registry import (
     NULL_REGISTRY,
@@ -72,6 +86,13 @@ __all__ = [
     "to_prometheus",
     "write_telemetry",
     "TELEMETRY_FILES",
+    "PROFILES_FILE",
+    "SpanProfile",
+    "drain_profiles",
+    "pending_profiles",
+    "profiles_to_jsonl",
+    "profiles_from_jsonl",
+    "render_profiles",
     "configure_logging",
     "LOG_FORMAT",
 ]

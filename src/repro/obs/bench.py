@@ -1,0 +1,548 @@
+"""Machine-readable benchmark harness and regression gate.
+
+BAYWATCH's evaluation is throughput-driven (30B+ events, per-stage
+funnel volumes, cluster scale-out), so performance is a first-class
+result here too.  This module turns ad-hoc timings into a *tracked perf
+trajectory*:
+
+- :class:`Benchmark` — one named measurement (a callable returning how
+  many events one iteration processed);
+- :class:`BenchRunner` — executes benchmarks with warmup/repeat
+  control, computes p50/p95 via the obs :class:`~repro.obs.registry.
+  Histogram`, probes peak allocations (tracemalloc) and peak RSS, and
+  captures any counters the benchmarked code records (e.g. threshold-
+  cache hits);
+- :class:`BenchReport` — the JSON schema written to
+  ``BENCH_<suite>.json`` at the repo root, stamped with a host/config
+  fingerprint and the git SHA so runs are comparable across machines
+  and commits;
+- :func:`compare_reports` — the regression gate: a baseline/candidate
+  delta table with a configurable tolerance, used by
+  ``repro bench --compare`` and the CI perf-smoke job.
+
+Suites (which benchmarks exist) live in :mod:`repro.obs.bench_suites`;
+this module is deliberately stdlib-only so it can be imported from
+anywhere without dragging in numpy or the pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.obs import profiling
+from repro.obs.registry import MetricsRegistry, scoped_registry
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Benchmark",
+    "BenchResult",
+    "BenchReport",
+    "BenchRunner",
+    "BenchDelta",
+    "BenchComparison",
+    "bench_path",
+    "compare_reports",
+    "render_bench_report",
+    "render_comparison",
+    "host_fingerprint",
+    "git_sha",
+]
+
+#: Version of the ``BENCH_*.json`` / ``benchmarks/results/*.json`` layout.
+SCHEMA_VERSION = 1
+
+#: Default regression tolerance: candidate mean time may exceed the
+#: baseline by this fraction before the gate fails.
+DEFAULT_TOLERANCE = 0.10
+
+
+def git_sha() -> Optional[str]:
+    """The current git commit SHA, or None outside a work tree."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def host_fingerprint() -> Dict[str, Any]:
+    """Where and on what a report was produced (for comparability).
+
+    Two reports from different machines/commits still compare — the
+    fingerprint lets the comparator *say so* rather than silently mixing
+    apples and oranges.
+    """
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "node": platform.node(),
+        "git_sha": git_sha(),
+    }
+
+
+def _max_rss_kb() -> Optional[float]:
+    """Peak resident set size of this process in KiB (None if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    return rss / 1024.0 if sys.platform == "darwin" else float(rss)
+
+
+@dataclass
+class Benchmark:
+    """One named measurement.
+
+    ``func`` runs one iteration and returns the number of *events* it
+    processed (pairs analyzed, records mapped, ...) so the runner can
+    derive throughput; returning None falls back to ``events``.
+    ``cleanup`` (if given) runs once after all iterations — e.g. to shut
+    down a worker pool.
+    """
+
+    name: str
+    func: Callable[[], Optional[int]]
+    events: int = 1
+    cleanup: Optional[Callable[[], None]] = None
+
+
+@dataclass
+class BenchResult:
+    """Measurements of one benchmark: timing, throughput, memory."""
+
+    name: str
+    repeats: int
+    warmup: int
+    events: int
+    seconds: Dict[str, float]
+    samples: List[float]
+    events_per_second: float
+    peak_tracemalloc_kb: Optional[float] = None
+    max_rss_kb: Optional[float] = None
+    counters: Dict[str, int] = field(default_factory=dict)
+    hotspots: Optional[List[Dict[str, Any]]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "events": self.events,
+            "seconds": dict(self.seconds),
+            "samples": list(self.samples),
+            "events_per_second": self.events_per_second,
+            "peak_tracemalloc_kb": self.peak_tracemalloc_kb,
+            "max_rss_kb": self.max_rss_kb,
+        }
+        if self.counters:
+            payload["counters"] = dict(self.counters)
+        if self.hotspots is not None:
+            payload["hotspots"] = list(self.hotspots)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BenchResult":
+        return cls(
+            name=str(payload["name"]),
+            repeats=int(payload.get("repeats", len(payload.get("samples", [])))),
+            warmup=int(payload.get("warmup", 0)),
+            events=int(payload.get("events", 1)),
+            seconds={k: float(v) for k, v in payload.get("seconds", {}).items()},
+            samples=[float(v) for v in payload.get("samples", [])],
+            events_per_second=float(payload.get("events_per_second", 0.0)),
+            peak_tracemalloc_kb=payload.get("peak_tracemalloc_kb"),
+            max_rss_kb=payload.get("max_rss_kb"),
+            counters={
+                k: int(v) for k, v in payload.get("counters", {}).items()
+            },
+            hotspots=payload.get("hotspots"),
+        )
+
+
+@dataclass
+class BenchReport:
+    """One suite run: fingerprinted, serializable, comparable.
+
+    The JSON envelope (``schema`` / ``kind`` / ``suite`` / ``created`` /
+    ``fingerprint`` / ``results``) is shared with the evaluation
+    benches' ``benchmarks/results/*.json`` outputs, so one set of
+    tooling reads both trajectories.
+    """
+
+    suite: str
+    created: float
+    fingerprint: Dict[str, Any]
+    config: Dict[str, Any]
+    results: List[BenchResult]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": "bench",
+            "suite": self.suite,
+            "created": self.created,
+            "fingerprint": dict(self.fingerprint),
+            "config": dict(self.config),
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BenchReport":
+        return cls(
+            suite=str(payload["suite"]),
+            created=float(payload.get("created", 0.0)),
+            fingerprint=dict(payload.get("fingerprint", {})),
+            config=dict(payload.get("config", {})),
+            results=[
+                BenchResult.from_dict(entry)
+                for entry in payload.get("results", [])
+            ],
+        )
+
+    def result(self, name: str) -> Optional[BenchResult]:
+        """The named benchmark's result (None if absent)."""
+        for entry in self.results:
+            if entry.name == name:
+                return entry
+        return None
+
+    def write(self, directory: Union[str, Path] = ".") -> Path:
+        """Write ``BENCH_<suite>.json`` into ``directory``; return it."""
+        path = bench_path(self.suite, directory)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "BenchReport":
+        """Read a report previously written by :meth:`write`."""
+        return cls.from_dict(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )
+
+
+def bench_path(suite: str, directory: Union[str, Path] = ".") -> Path:
+    """The canonical ``BENCH_<suite>.json`` path for a suite."""
+    return Path(directory) / f"BENCH_{suite}.json"
+
+
+class BenchRunner:
+    """Executes benchmarks with warmup/repeat control.
+
+    ``clock`` is injectable (a ``() -> float`` monotonic source) so the
+    runner itself is testable with a deterministic fake.  Timing repeats
+    run *without* tracemalloc so the allocation probe — one extra
+    iteration — never pollutes the latency numbers.  ``profile`` adds a
+    further iteration under a hotspot collector (see
+    :mod:`repro.obs.profiling`) and attaches the top-N table to the
+    result.
+    """
+
+    def __init__(
+        self,
+        *,
+        repeats: int = 5,
+        warmup: int = 1,
+        clock: Callable[[], float] = time.perf_counter,
+        trace_memory: bool = True,
+        profile: Optional[str] = None,
+    ) -> None:
+        if repeats < 1:
+            raise ValueError("repeats must be at least 1")
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        if profile is not None and profile not in profiling.PROFILE_KINDS:
+            raise ValueError(
+                f"profile must be one of {profiling.PROFILE_KINDS}"
+            )
+        self.repeats = repeats
+        self.warmup = warmup
+        self._clock = clock
+        self._trace_memory = trace_memory
+        self._profile = profile
+
+    def run(
+        self, suite: str, benchmarks: Sequence[Benchmark]
+    ) -> BenchReport:
+        """Run every benchmark; return the fingerprinted report."""
+        results = [self._run_one(bench) for bench in benchmarks]
+        return BenchReport(
+            suite=suite,
+            created=time.time(),
+            fingerprint=host_fingerprint(),
+            config={
+                "repeats": self.repeats,
+                "warmup": self.warmup,
+                "trace_memory": self._trace_memory,
+                "profile": self._profile,
+            },
+            results=results,
+        )
+
+    def _run_one(self, bench: Benchmark) -> BenchResult:
+        registry = MetricsRegistry()
+        events = bench.events
+        try:
+            with scoped_registry(registry):
+                for _ in range(self.warmup):
+                    bench.func()
+                samples: List[float] = []
+                for _ in range(self.repeats):
+                    start = self._clock()
+                    returned = bench.func()
+                    samples.append(self._clock() - start)
+                    if returned is not None:
+                        events = int(returned)
+                peak_kb = self._memory_probe(bench)
+                hotspots = self._profile_probe(bench)
+        finally:
+            if bench.cleanup is not None:
+                bench.cleanup()
+        histogram = registry.histogram(f"bench.{bench.name}.seconds")
+        for value in samples:
+            histogram.observe(value)
+        quantiles = histogram.percentiles()
+        mean = histogram.mean
+        seconds = {
+            "mean": mean,
+            "min": min(samples),
+            "max": max(samples),
+            "total": histogram.total,
+            "p50": quantiles["p50"],
+            "p95": quantiles["p95"],
+        }
+        counters = {
+            name: value
+            for name, value in registry.counters()
+            if not name.startswith("bench.")
+        }
+        return BenchResult(
+            name=bench.name,
+            repeats=self.repeats,
+            warmup=self.warmup,
+            events=events,
+            seconds=seconds,
+            samples=samples,
+            events_per_second=(events / mean) if mean > 0 else 0.0,
+            peak_tracemalloc_kb=peak_kb,
+            max_rss_kb=_max_rss_kb(),
+            counters=counters,
+            hotspots=hotspots,
+        )
+
+    def _memory_probe(self, bench: Benchmark) -> Optional[float]:
+        if not self._trace_memory:
+            return None
+        started = not tracemalloc.is_tracing()
+        if started:
+            tracemalloc.start()
+        tracemalloc.reset_peak()
+        bench.func()
+        _current, peak = tracemalloc.get_traced_memory()
+        if started:
+            tracemalloc.stop()
+        return peak / 1024.0
+
+    def _profile_probe(
+        self, bench: Benchmark
+    ) -> Optional[List[Dict[str, Any]]]:
+        if self._profile is None:
+            return None
+        collector = profiling.start_collector(self._profile)
+        if collector is None:
+            return None
+        bench.func()
+        return collector.stop()
+
+
+# -- regression comparator ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One benchmark's baseline-vs-candidate verdict."""
+
+    name: str
+    baseline_seconds: Optional[float]
+    candidate_seconds: Optional[float]
+    change: Optional[float]  # (candidate - baseline) / baseline
+    status: str  # pass | warn | fail | new | missing
+
+
+@dataclass
+class BenchComparison:
+    """The full delta table plus the gate verdict."""
+
+    baseline_suite: str
+    candidate_suite: str
+    tolerance: float
+    deltas: List[BenchDelta]
+    fingerprint_notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[BenchDelta]:
+        return [delta for delta in self.deltas if delta.status == "fail"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no benchmark regressed beyond tolerance."""
+        return not self.regressions
+
+
+def compare_reports(
+    baseline: BenchReport,
+    candidate: BenchReport,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    warn_fraction: float = 0.5,
+) -> BenchComparison:
+    """Gate ``candidate`` against ``baseline`` on mean wall time.
+
+    Per benchmark: slower by more than ``tolerance`` (fractional) →
+    ``fail``; slower by more than ``tolerance * warn_fraction`` →
+    ``warn``; otherwise ``pass``.  Benchmarks present on only one side
+    are reported (``new`` / ``missing``) but never fail the gate —
+    adding a benchmark must not need a baseline edit in the same PR.
+    """
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    deltas: List[BenchDelta] = []
+    seen = set()
+    for base in baseline.results:
+        seen.add(base.name)
+        cand = candidate.result(base.name)
+        base_mean = base.seconds.get("mean")
+        if cand is None:
+            deltas.append(
+                BenchDelta(base.name, base_mean, None, None, "missing")
+            )
+            continue
+        cand_mean = cand.seconds.get("mean")
+        if not base_mean or cand_mean is None:
+            deltas.append(
+                BenchDelta(base.name, base_mean, cand_mean, None, "warn")
+            )
+            continue
+        change = (cand_mean - base_mean) / base_mean
+        if change > tolerance:
+            status = "fail"
+        elif change > tolerance * warn_fraction:
+            status = "warn"
+        else:
+            status = "pass"
+        deltas.append(
+            BenchDelta(base.name, base_mean, cand_mean, change, status)
+        )
+    for cand in candidate.results:
+        if cand.name not in seen:
+            deltas.append(
+                BenchDelta(
+                    cand.name, None, cand.seconds.get("mean"), None, "new"
+                )
+            )
+    notes = []
+    for key in ("git_sha", "node", "python"):
+        base_value = baseline.fingerprint.get(key)
+        cand_value = candidate.fingerprint.get(key)
+        if base_value != cand_value:
+            notes.append(f"{key}: {base_value} -> {cand_value}")
+    return BenchComparison(
+        baseline_suite=baseline.suite,
+        candidate_suite=candidate.suite,
+        tolerance=tolerance,
+        deltas=deltas,
+        fingerprint_notes=notes,
+    )
+
+
+def _fmt_ms(seconds: Optional[float]) -> str:
+    return f"{seconds * 1e3:10.3f}" if seconds is not None else f"{'-':>10s}"
+
+
+def render_comparison(comparison: BenchComparison) -> str:
+    """The delta table ``repro bench --compare`` prints."""
+    lines = [
+        f"== bench comparison: {comparison.baseline_suite} "
+        f"(baseline) vs {comparison.candidate_suite} (candidate), "
+        f"tolerance {comparison.tolerance * 100:.0f}% ==",
+    ]
+    for note in comparison.fingerprint_notes:
+        lines.append(f"note: fingerprint differs — {note}")
+    lines.append(
+        f"{'benchmark':36s} {'base ms':>10s} {'cand ms':>10s} "
+        f"{'delta':>8s}  status"
+    )
+    for delta in comparison.deltas:
+        change = (
+            f"{delta.change * 100:+7.1f}%" if delta.change is not None
+            else f"{'-':>8s}"
+        )
+        lines.append(
+            f"{delta.name:36s} {_fmt_ms(delta.baseline_seconds)} "
+            f"{_fmt_ms(delta.candidate_seconds)} {change}  {delta.status}"
+        )
+    failed = comparison.regressions
+    if failed:
+        lines.append(
+            f"FAIL: {len(failed)} benchmark(s) regressed beyond "
+            f"{comparison.tolerance * 100:.0f}%: "
+            + ", ".join(delta.name for delta in failed)
+        )
+    else:
+        lines.append("OK: no regression beyond tolerance")
+    return "\n".join(lines) + "\n"
+
+
+def render_bench_report(report: BenchReport) -> str:
+    """Human-readable summary table for one suite run."""
+    sha = report.fingerprint.get("git_sha") or "unknown"
+    lines = [
+        f"== bench suite '{report.suite}' "
+        f"(repeats={report.config.get('repeats')}, "
+        f"warmup={report.config.get('warmup')}, git {str(sha)[:12]}) ==",
+        f"{'benchmark':36s} {'mean ms':>10s} {'p50 ms':>10s} "
+        f"{'p95 ms':>10s} {'events/s':>12s} {'alloc KiB':>10s}",
+    ]
+    for result in report.results:
+        peak = (
+            f"{result.peak_tracemalloc_kb:10.0f}"
+            if result.peak_tracemalloc_kb is not None
+            else f"{'-':>10s}"
+        )
+        lines.append(
+            f"{result.name:36s} {_fmt_ms(result.seconds.get('mean'))} "
+            f"{_fmt_ms(result.seconds.get('p50'))} "
+            f"{_fmt_ms(result.seconds.get('p95'))} "
+            f"{result.events_per_second:12.0f} {peak}"
+        )
+        if result.hotspots:
+            for row in result.hotspots[:3]:
+                if "tottime" in row:
+                    detail = f"{row['tottime'] * 1e3:.2f} ms"
+                else:
+                    detail = f"{row.get('size_kb', 0.0):.1f} KiB"
+                lines.append(f"    hot: {row['site']} ({detail})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,249 @@
+"""Named benchmark suites for ``repro bench``.
+
+Three suites cover the pipeline's cost structure:
+
+- ``micro`` — the detector's hot paths in isolation: periodogram DFT
+  (scalar and batched), permutation thresholding (cold and through the
+  :class:`~repro.core.permutation.ThresholdCache`), ACF computation,
+  candidate pruning, and the full per-pair ``detect`` call.  These are
+  the per-pair costs that bound "millions of pairs per day".
+- ``pipeline`` — the end-to-end 8-step funnel over one synthetic
+  enterprise window (events/sec here is the headline ingest rate).
+- ``mapreduce`` — the local engine's map/shuffle/reduce machinery,
+  serial vs. a 2-worker process pool, isolating dispatch overhead from
+  detector cost.
+
+Workloads are deterministic (fixed seeds) and sized so the micro suite
+finishes in seconds — small enough for a CI smoke job, large enough
+that a 2x hot-path regression moves the numbers far beyond the gate
+tolerance.  Everything expensive (simulation, LM training) happens at
+suite *build* time so iterations measure only the code under test.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List
+
+import numpy as np
+
+from repro.mapreduce.job import MapReduceJob
+from repro.obs.bench import Benchmark
+
+__all__ = ["SUITES", "build_suite", "suite_names"]
+
+DAY = 86_400.0
+
+
+def _binary_signal(
+    rng: np.random.Generator, n_slots: int, period: int
+) -> np.ndarray:
+    """A jittered binary beacon signal binned at 1 event / period."""
+    signal = np.zeros(n_slots)
+    slots = np.arange(0, n_slots, period)
+    jitter = rng.integers(-1, 2, size=slots.size)
+    slots = np.clip(slots + jitter, 0, n_slots - 1)
+    signal[slots] = 1.0
+    return signal
+
+
+def build_micro_suite() -> List[Benchmark]:
+    """Hot-path microbenches over the core detector steps."""
+    from repro.core.autocorrelation import autocorrelation
+    from repro.core.detector import DetectorConfig, PeriodicityDetector
+    from repro.core.periodogram import batch_max_power, power_spectrum
+    from repro.core.permutation import ThresholdCache, permutation_threshold
+    from repro.core.pruning import prune_candidates
+    from repro.synthetic.beacon import BeaconSpec
+    from repro.synthetic.background import browsing_trace
+
+    rng = np.random.default_rng(7)
+    signals = [
+        _binary_signal(rng, 1024, period)
+        for period in (8, 13, 21, 34, 55, 89, 144, 233)
+    ] * 4  # 32 signals
+    batch = np.stack(signals)
+
+    def run_power_spectrum() -> int:
+        for signal in signals:
+            power_spectrum(signal)
+        return len(signals)
+
+    def run_batch_max_power() -> int:
+        batch_max_power(batch)
+        return batch.shape[0]
+
+    perm_signals = signals[:8]
+
+    def run_permutation() -> int:
+        perm_rng = np.random.default_rng(0)
+        for signal in perm_signals:
+            permutation_threshold(signal, permutations=20, rng=perm_rng)
+        return len(perm_signals)
+
+    cache = ThresholdCache()
+    lookup_rng = np.random.default_rng(11)
+    lookups = [
+        (int(n), int(k))
+        for n, k in zip(
+            lookup_rng.integers(64, 4096, size=256),
+            lookup_rng.integers(4, 64, size=256),
+        )
+    ]
+
+    def run_threshold_cache() -> int:
+        for n_slots, n_ones in lookups:
+            cache.threshold(n_slots, n_ones)
+        return len(lookups)
+
+    acf_signals = [
+        _binary_signal(rng, 4096, period) for period in (31, 67, 131, 257)
+    ] * 4  # 16 signals
+
+    def run_acf() -> int:
+        for signal in acf_signals:
+            autocorrelation(signal)
+        return len(acf_signals)
+
+    interval_rng = np.random.default_rng(3)
+    interval_sets = [
+        np.abs(interval_rng.normal(period, period * 0.05, size=200))
+        for period in (60.0, 300.0, 900.0)
+    ]
+    candidate_periods = [30.0, 59.5, 60.0, 61.0, 120.0, 300.0, 905.0]
+
+    def run_pruning() -> int:
+        for intervals in interval_sets:
+            prune_candidates(candidate_periods, intervals)
+        return len(interval_sets) * len(candidate_periods)
+
+    detector = PeriodicityDetector(
+        DetectorConfig(seed=0), threshold_cache=ThresholdCache()
+    )
+    trace_rng = np.random.default_rng(5)
+    sparse_traces = [
+        trace
+        for trace in (
+            browsing_trace(
+                DAY, np.random.default_rng(seed), session_rate=0.5 / 3600.0
+            )
+            for seed in range(8)
+        )
+        if trace.size >= 4
+    ]
+    dense_trace = BeaconSpec(period=120.0, duration=DAY).generate(trace_rng)
+
+    def run_detect_sparse() -> int:
+        for trace in sparse_traces:
+            detector.detect(trace)
+        return len(sparse_traces)
+
+    def run_detect_beacon() -> int:
+        detector.detect(dense_trace)
+        return 1
+
+    return [
+        Benchmark("periodogram.power_spectrum", run_power_spectrum),
+        Benchmark("periodogram.batch_max_power", run_batch_max_power),
+        Benchmark("permutation.threshold", run_permutation),
+        Benchmark("permutation.threshold_cache", run_threshold_cache),
+        Benchmark("autocorrelation.acf", run_acf),
+        Benchmark("pruning.prune_candidates", run_pruning),
+        Benchmark("detector.detect_sparse_pairs", run_detect_sparse),
+        Benchmark("detector.detect_dense_beacon", run_detect_beacon),
+    ]
+
+
+def build_pipeline_suite() -> List[Benchmark]:
+    """End-to-end 8-step funnel over one synthetic enterprise window."""
+    from repro.filtering.pipeline import BaywatchPipeline, PipelineConfig
+    from repro.lm.domains import default_scorer
+    from repro.synthetic.enterprise import EnterpriseConfig, EnterpriseSimulator
+
+    config = EnterpriseConfig(
+        n_hosts=12, n_sites=30, duration=2 * 3600.0, seed=5
+    )
+    records, _truth = EnterpriseSimulator(config).generate()
+    scorer = default_scorer()  # train the LM once, outside the timing
+
+    def run_pipeline() -> int:
+        pipeline = BaywatchPipeline(
+            PipelineConfig(
+                local_whitelist_threshold=0.15, ranking_percentile=0.0
+            ),
+            scorer=scorer,
+        )
+        pipeline.run_records(records)
+        return len(records)
+
+    return [Benchmark("pipeline.run_records", run_pipeline)]
+
+
+class _PairCountJob(MapReduceJob):
+    """Count events per (source, destination) pair — a shuffle-heavy job.
+
+    Defined at module scope (and over plain tuples) so it pickles into
+    worker processes, exactly as the engine requires.
+    """
+
+    n_partitions = 8
+
+    def map(self, key, value) -> Iterator:
+        source, destination = value
+        yield (source, destination), 1
+
+    def reduce(self, key, values) -> Iterator:
+        yield key, sum(values)
+
+
+def build_mapreduce_suite() -> List[Benchmark]:
+    """Engine scaling: serial vs. a 2-worker pool on the same job."""
+    from repro.mapreduce.engine import MapReduceEngine
+
+    rng = np.random.default_rng(17)
+    inputs = [
+        (index, (f"host{rng.integers(50)}", f"dst{rng.integers(200)}"))
+        for index in range(4000)
+    ]
+    job = _PairCountJob()
+    serial = MapReduceEngine(n_workers=1)
+    parallel = MapReduceEngine(n_workers=2, min_parallel_records=64)
+
+    def run_serial() -> int:
+        serial.run(job, inputs)
+        return len(inputs)
+
+    def run_parallel() -> int:
+        parallel.run(job, inputs)
+        return len(inputs)
+
+    return [
+        Benchmark("mapreduce.serial", run_serial, cleanup=serial.close),
+        Benchmark(
+            "mapreduce.workers2", run_parallel, cleanup=parallel.close
+        ),
+    ]
+
+
+#: Suite name -> builder.  Builders are lazy: heavy imports and workload
+#: construction happen only when a suite is actually requested.
+SUITES: Dict[str, Callable[[], List[Benchmark]]] = {
+    "micro": build_micro_suite,
+    "pipeline": build_pipeline_suite,
+    "mapreduce": build_mapreduce_suite,
+}
+
+
+def suite_names() -> List[str]:
+    """All known suite names, sorted."""
+    return sorted(SUITES)
+
+
+def build_suite(name: str) -> List[Benchmark]:
+    """Build the named suite's benchmarks (raises KeyError if unknown)."""
+    try:
+        builder = SUITES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown bench suite {name!r}; known: {', '.join(suite_names())}"
+        ) from None
+    return builder()

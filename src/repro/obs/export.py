@@ -25,6 +25,7 @@ import re
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import profiling
 from repro.obs.registry import MetricsRegistry
 
 __all__ = [
@@ -34,10 +35,14 @@ __all__ = [
     "to_prometheus",
     "write_telemetry",
     "TELEMETRY_FILES",
+    "PROFILES_FILE",
 ]
 
 #: Files produced by :func:`write_telemetry` in the target directory.
 TELEMETRY_FILES = ("report.txt", "metrics.jsonl", "metrics.prom")
+
+#: Span-profile hotspots (written only when profiling collected any).
+PROFILES_FILE = "profiles.jsonl"
 
 #: A funnel is a FunnelStats-like object (with ``.steps``) or the raw
 #: list of (step_name, pairs_in, pairs_out) triples.
@@ -62,6 +67,30 @@ def _fmt_seconds(seconds: float) -> str:
 # -- human-readable run report ---------------------------------------------
 
 
+def _summary_line(registry: MetricsRegistry) -> Optional[str]:
+    """One glanceable health line: cache effectiveness and retries.
+
+    The raw counters are further down the report; the two an operator
+    actually scans for — is the ThresholdCache pulling its weight, and
+    did any MapReduce tasks need retrying — get surfaced up top.
+    """
+    counters = dict(registry.counters())
+    parts: List[str] = []
+    hits = counters.get("detector.threshold_cache.hits", 0)
+    misses = counters.get("detector.threshold_cache.misses", 0)
+    if hits or misses:
+        rate = 100.0 * hits / (hits + misses)
+        parts.append(
+            f"threshold cache {rate:.1f}% hits ({hits}/{hits + misses})"
+        )
+    if any(name.startswith("mapreduce.") for name in counters):
+        retries = counters.get("mapreduce.task_retries", 0)
+        parts.append(f"mapreduce task retries {retries}")
+    if not parts:
+        return None
+    return "summary: " + "; ".join(parts)
+
+
 def render_run_report(
     registry: MetricsRegistry,
     *,
@@ -70,6 +99,10 @@ def render_run_report(
 ) -> str:
     """The analyst-facing text report (funnel + latency + counters)."""
     lines: List[str] = [f"== {title} =="]
+
+    summary = _summary_line(registry)
+    if summary is not None:
+        lines.append(summary)
 
     steps = _funnel_steps(funnel)
     if steps:
@@ -273,8 +306,10 @@ def write_telemetry(
 ) -> Dict[str, Path]:
     """Write report.txt / metrics.jsonl / metrics.prom into ``directory``.
 
-    Creates the directory if needed; returns the written paths keyed by
-    file name.
+    When span profiling collected hotspots during the run (``profile=``
+    spans or ``REPRO_PROFILE``), they are drained into ``profiles.jsonl``
+    alongside — ``repro stats --profile`` renders them.  Creates the
+    directory if needed; returns the written paths keyed by file name.
     """
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
@@ -283,6 +318,9 @@ def write_telemetry(
         "metrics.jsonl": to_jsonl(registry, funnel=funnel),
         "metrics.prom": to_prometheus(registry),
     }
+    profiles = profiling.drain_profiles()
+    if profiles:
+        outputs[PROFILES_FILE] = profiling.profiles_to_jsonl(profiles)
     written: Dict[str, Path] = {}
     for name, payload in outputs.items():
         path = target / name

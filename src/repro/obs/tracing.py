@@ -21,6 +21,14 @@ registry's histogram ``span.<path>.seconds``.  With ``trace_memory=True``
 useful for sizing rescale/merge windows, but markedly slower, so it is
 opt-in per span.
 
+A span can also carry a *profiler*: ``span(..., profile="cprofile")``
+(or ``"tracemalloc"``) attaches a hotspot collector for the duration of
+the block, and the resulting top-N table is recorded into the
+module-level profile store (see :mod:`repro.obs.profiling`) under the
+span's dotted path.  Setting ``REPRO_PROFILE=cprofile|tracemalloc``
+blanket-enables profiling on every span — cProfile cannot nest, so in
+that mode only the outermost span of each thread collects.
+
 When telemetry is off (the NullRegistry is current) a span costs two
 function calls and records nothing.
 """
@@ -31,8 +39,9 @@ import os
 import threading
 import time
 import tracemalloc
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Union
 
+from repro.obs import profiling
 from repro.obs.registry import MetricsRegistry, get_registry
 
 __all__ = ["Span", "span", "current_span_path"]
@@ -62,7 +71,8 @@ class Span:
     """One traced block; see module docstring.  Not reusable."""
 
     __slots__ = ("name", "path", "seconds", "peak_kb", "_registry",
-                 "_memory", "_start", "_started_tracemalloc")
+                 "_memory", "_start", "_started_tracemalloc",
+                 "_profile", "_collector")
 
     def __init__(
         self,
@@ -70,6 +80,7 @@ class Span:
         *,
         registry: Optional[MetricsRegistry] = None,
         trace_memory: Optional[bool] = None,
+        profile: Optional[Union[bool, str]] = None,
     ) -> None:
         self.name = name
         self.path = ""
@@ -79,6 +90,22 @@ class Span:
         self._memory = trace_memory
         self._start = 0.0
         self._started_tracemalloc = False
+        self._profile = profile
+        self._collector = None
+
+    def _profile_kind(self) -> Optional[str]:
+        """Resolve the profiling kind: explicit argument beats the env.
+
+        ``True`` means "the env kind, else cProfile"; ``False`` opts a
+        span out even under blanket ``REPRO_PROFILE``.
+        """
+        if self._profile is False:
+            return None
+        if self._profile is True:
+            return profiling.profile_mode() or "cprofile"
+        if isinstance(self._profile, str):
+            return self._profile
+        return profiling.profile_mode()
 
     def __enter__(self) -> "Span":
         registry = self._registry if self._registry is not None else get_registry()
@@ -95,6 +122,9 @@ class Span:
                 self._started_tracemalloc = True
             tracemalloc.reset_peak()
             self._memory = True
+        kind = self._profile_kind()
+        if kind is not None:
+            self._collector = profiling.start_collector(kind)
         self._start = time.perf_counter()
         return self
 
@@ -103,6 +133,17 @@ class Span:
         if registry is None or not registry.enabled:
             return
         self.seconds = time.perf_counter() - self._start
+        if self._collector is not None:
+            hotspots = self._collector.stop()
+            profiling.record_profile(
+                profiling.SpanProfile(
+                    path=self.path,
+                    kind=self._collector.kind,
+                    seconds=self.seconds,
+                    hotspots=hotspots,
+                )
+            )
+            self._collector = None
         if self._memory:
             _current, peak = tracemalloc.get_traced_memory()
             self.peak_kb = peak / 1024.0
@@ -120,6 +161,9 @@ def span(
     *,
     registry: Optional[MetricsRegistry] = None,
     trace_memory: Optional[bool] = None,
+    profile: Optional[Union[bool, str]] = None,
 ) -> Span:
     """Open a span named ``name`` on the current (or given) registry."""
-    return Span(name, registry=registry, trace_memory=trace_memory)
+    return Span(
+        name, registry=registry, trace_memory=trace_memory, profile=profile
+    )

@@ -56,6 +56,28 @@ class TestRunReport:
         text = render_run_report(MetricsRegistry())
         assert "no telemetry recorded" in text
 
+    def test_summary_line_cache_hit_rate(self, registry):
+        text = render_run_report(registry)
+        assert "summary: threshold cache 70.0% hits (7/10)" in text
+
+    def test_summary_line_mapreduce_retries(self):
+        reg = MetricsRegistry()
+        reg.counter("mapreduce.WordCount.input_records").inc(10)
+        reg.counter("mapreduce.task_retries").inc(2)
+        text = render_run_report(reg)
+        assert "mapreduce task retries 2" in text
+
+    def test_summary_line_zero_retries_still_shown(self):
+        reg = MetricsRegistry()
+        reg.counter("mapreduce.WordCount.input_records").inc(10)
+        text = render_run_report(reg)
+        assert "mapreduce task retries 0" in text
+
+    def test_no_summary_line_without_relevant_counters(self):
+        reg = MetricsRegistry()
+        reg.counter("pipeline.runs").inc()
+        assert "summary:" not in render_run_report(reg)
+
     def test_accepts_funnel_stats_object(self, registry):
         from repro.filtering.pipeline import FunnelStats
 

@@ -1,0 +1,167 @@
+"""Tests for span-level profiling hooks."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    PROFILES_FILE,
+    scoped_registry,
+    span,
+    write_telemetry,
+)
+from repro.obs.profiling import (
+    SpanProfile,
+    clear_profiles,
+    drain_profiles,
+    pending_profiles,
+    profile_mode,
+    profile_top_n,
+    profiles_from_jsonl,
+    profiles_to_jsonl,
+    render_profiles,
+    start_collector,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_store():
+    clear_profiles()
+    yield
+    clear_profiles()
+
+
+def _busy_work():
+    return sum(i * i for i in range(20000))
+
+
+def _alloc_work():
+    return [list(range(50)) for _ in range(500)]
+
+
+class TestCProfileSpans:
+    def test_span_records_hotspots(self):
+        with scoped_registry(MetricsRegistry()):
+            with span("hot", profile="cprofile"):
+                _busy_work()
+        profiles = drain_profiles()
+        assert len(profiles) == 1
+        profile = profiles[0]
+        assert profile.path == "hot"
+        assert profile.kind == "cprofile"
+        assert profile.seconds > 0.0
+        assert profile.hotspots
+        row = profile.hotspots[0]
+        assert set(row) == {"site", "calls", "tottime", "cumtime"}
+
+    def test_nested_cprofile_only_outermost_collects(self):
+        with scoped_registry(MetricsRegistry()):
+            with span("outer", profile="cprofile"):
+                with span("inner", profile="cprofile"):
+                    _busy_work()
+        profiles = drain_profiles()
+        assert [p.path for p in profiles] == ["outer"]
+
+    def test_no_profile_when_telemetry_off(self):
+        with span("dark", profile="cprofile"):
+            _busy_work()
+        assert pending_profiles() == []
+
+
+class TestTracemallocSpans:
+    def test_span_records_allocation_hotspots(self):
+        with scoped_registry(MetricsRegistry()):
+            with span("alloc", profile="tracemalloc"):
+                keep = _alloc_work()
+            assert keep
+        profiles = drain_profiles()
+        assert len(profiles) == 1
+        profile = profiles[0]
+        assert profile.kind == "tracemalloc"
+        assert profile.hotspots
+        assert any(row["size_kb"] > 0 for row in profile.hotspots)
+
+
+class TestEnvControl:
+    def test_repro_profile_enables_blanket_profiling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "cprofile")
+        assert profile_mode() == "cprofile"
+        with scoped_registry(MetricsRegistry()):
+            with span("auto"):
+                _busy_work()
+        assert [p.path for p in drain_profiles()] == ["auto"]
+
+    def test_span_can_opt_out_of_blanket_profiling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "cprofile")
+        with scoped_registry(MetricsRegistry()):
+            with span("quiet", profile=False):
+                _busy_work()
+        assert pending_profiles() == []
+
+    def test_invalid_env_value_is_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "flamegraph")
+        assert profile_mode() is None
+        with scoped_registry(MetricsRegistry()):
+            with span("plain"):
+                _busy_work()
+        assert pending_profiles() == []
+
+    def test_top_n_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE_TOPN", "3")
+        assert profile_top_n() == 3
+        monkeypatch.setenv("REPRO_PROFILE_TOPN", "junk")
+        assert profile_top_n() == 10
+        monkeypatch.setenv("REPRO_PROFILE_TOPN", "-1")
+        assert profile_top_n() == 10
+
+    def test_unknown_collector_kind_returns_none(self):
+        assert start_collector("flamegraph") is None
+
+
+class TestRenderAndSerialize:
+    def test_round_trip_jsonl(self):
+        profiles = [
+            SpanProfile("p1", "cprofile", 0.25,
+                        [{"site": "a.py:1:f", "calls": 2,
+                          "tottime": 0.1, "cumtime": 0.2}]),
+            SpanProfile("p2", "tracemalloc", 0.5,
+                        [{"site": "b.py:9", "size_kb": 12.5, "count": 3}]),
+        ]
+        text = profiles_to_jsonl(profiles)
+        loaded = profiles_from_jsonl(text)
+        assert [p.to_dict() for p in loaded] == [p.to_dict() for p in profiles]
+
+    def test_render_lists_sites(self):
+        text = render_profiles([
+            SpanProfile("p1", "cprofile", 0.25,
+                        [{"site": "a.py:1:f", "calls": 2,
+                          "tottime": 0.1, "cumtime": 0.2}]),
+        ])
+        assert "a.py:1:f" in text
+        assert "p1" in text
+
+    def test_render_empty(self):
+        assert "no profiles" in render_profiles([])
+
+
+class TestTelemetryExport:
+    def test_write_telemetry_drains_profiles(self, tmp_path):
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            with span("exported", profile="cprofile"):
+                _busy_work()
+        written = write_telemetry(tmp_path, registry)
+        assert PROFILES_FILE in written
+        loaded = profiles_from_jsonl(
+            (tmp_path / PROFILES_FILE).read_text()
+        )
+        assert [p.path for p in loaded] == ["exported"]
+        # The store was drained: a second write has no profiles file.
+        rewritten = write_telemetry(tmp_path / "again", registry)
+        assert PROFILES_FILE not in rewritten
+
+    def test_write_telemetry_without_profiles_writes_no_file(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        written = write_telemetry(tmp_path, registry)
+        assert PROFILES_FILE not in written
+        assert not (tmp_path / PROFILES_FILE).exists()

@@ -58,3 +58,29 @@ class TestExperimentReport:
         assert "bb" in text
         assert (tmp_path / "unit-test.txt").read_text() == text
         assert "unit-test" in capsys.readouterr().out
+
+    def test_finish_emits_json_sharing_bench_envelope(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import json
+
+        import benchmarks.common as common
+
+        monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
+        report = ExperimentReport("unit-json", "JSON emission")
+        report.metric("per_pair_seconds", 0.0025, "s")
+        report.metric("pairs_per_second", 400.0, "1/s", scope="batch")
+        text = report.finish()
+        payload = json.loads((tmp_path / "unit-json.json").read_text())
+        for key in ("schema", "kind", "suite", "created", "fingerprint",
+                    "results"):
+            assert key in payload
+        assert payload["kind"] == "experiment"
+        assert payload["suite"] == "unit-json"
+        assert payload["fingerprint"]["python"]
+        assert payload["results"][0] == {
+            "name": "per_pair_seconds", "value": 0.0025, "unit": "s",
+        }
+        assert payload["results"][1]["scope"] == "batch"
+        assert payload["text"] == text
+        capsys.readouterr()

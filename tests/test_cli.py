@@ -110,6 +110,130 @@ class TestTelemetry:
         assert main(["stats", str(tmp_path / "nope")]) == 1
         assert "no telemetry found" in capsys.readouterr().err
 
+    def test_stats_empty_telemetry_fails_one_liner(self, tmp_path, capsys):
+        telemetry = tmp_path / "telemetry"
+        telemetry.mkdir()
+        (telemetry / "metrics.jsonl").write_text("")
+        assert main(["stats", str(telemetry)]) == 1
+        err = capsys.readouterr().err
+        assert "is empty" in err
+        assert "Traceback" not in err
+
+    def test_stats_corrupt_telemetry_fails_one_liner(self, tmp_path, capsys):
+        telemetry = tmp_path / "telemetry"
+        telemetry.mkdir()
+        (telemetry / "metrics.jsonl").write_text("{not json\n")
+        assert main(["stats", str(telemetry)]) == 1
+        err = capsys.readouterr().err
+        assert "not readable" in err
+        assert "Traceback" not in err
+
+    def test_stats_profile_renders_hotspots(self, trace_path, tmp_path,
+                                            capsys, monkeypatch):
+        from repro.obs.profiling import clear_profiles
+
+        clear_profiles()
+        monkeypatch.setenv("REPRO_PROFILE", "cprofile")
+        out, _truth = trace_path
+        telemetry = tmp_path / "telemetry"
+        assert main([
+            "pipeline", str(out), "--tau-p", "0.25", "--percentile", "0.0",
+            "--telemetry", str(telemetry),
+        ]) == 0
+        assert (telemetry / "profiles.jsonl").stat().st_size > 0
+        capsys.readouterr()
+        assert main(["stats", str(telemetry), "--profile"]) == 0
+        text = capsys.readouterr().out
+        assert "profile [cprofile]" in text
+        assert "tottime" in text
+
+    def test_stats_profile_without_profiles_notes_it(self, trace_path,
+                                                     tmp_path, capsys):
+        out, _truth = trace_path
+        telemetry = tmp_path / "telemetry"
+        assert main([
+            "pipeline", str(out), "--tau-p", "0.25", "--percentile", "0.0",
+            "--telemetry", str(telemetry),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(telemetry), "--profile"]) == 0
+        assert "no profiles" in capsys.readouterr().out
+
+    def test_run_report_has_summary_line(self, trace_path, tmp_path):
+        out, _truth = trace_path
+        telemetry = tmp_path / "telemetry"
+        assert main([
+            "pipeline", str(out), "--tau-p", "0.25", "--percentile", "0.0",
+            "--telemetry", str(telemetry),
+        ]) == 0
+        report = (telemetry / "report.txt").read_text()
+        assert "summary: threshold cache" in report
+        assert "% hits" in report
+
+
+class TestBench:
+    def test_micro_suite_writes_report(self, tmp_path, capsys):
+        code = main([
+            "bench", "--suite", "micro", "--repeats", "1", "--warmup", "0",
+            "--no-memory", "--output-dir", str(tmp_path),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "bench suite 'micro'" in text
+        assert "wrote" in text
+        payload = json.loads((tmp_path / "BENCH_micro.json").read_text())
+        assert payload["suite"] == "micro"
+        assert payload["schema"] == 1
+        assert payload["fingerprint"]["python"]
+        names = [entry["name"] for entry in payload["results"]]
+        assert "periodogram.power_spectrum" in names
+        for entry in payload["results"]:
+            assert entry["seconds"]["mean"] > 0
+            assert entry["events_per_second"] > 0
+
+    def test_unknown_suite_fails_one_liner(self, tmp_path, capsys):
+        assert main(["bench", "--suite", "nope",
+                     "--output-dir", str(tmp_path)]) == 1
+        assert "unknown bench suite" in capsys.readouterr().err
+
+    def test_compare_pass_and_fail(self, tmp_path, capsys):
+        from repro.obs.bench import BenchReport, BenchResult
+
+        def report(mean):
+            return BenchReport(
+                suite="micro", created=1.0, fingerprint={}, config={},
+                results=[BenchResult(
+                    name="a", repeats=1, warmup=0, events=1,
+                    seconds={"mean": mean, "min": mean, "max": mean,
+                             "total": mean, "p50": mean, "p95": mean},
+                    samples=[mean], events_per_second=1 / mean,
+                )],
+            )
+
+        base = tmp_path / "BENCH_base.json"
+        base.write_text(json.dumps(report(1.0).to_dict()))
+        fast = tmp_path / "BENCH_fast.json"
+        fast.write_text(json.dumps(report(0.9).to_dict()))
+        slow = tmp_path / "BENCH_slow.json"
+        slow.write_text(json.dumps(report(2.0).to_dict()))
+
+        assert main(["bench", "--compare", str(base), str(fast)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        assert main(["bench", "--compare", str(base), str(slow)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+        # A generous tolerance lets the same pair pass.
+        assert main(["bench", "--compare", str(base), str(slow),
+                     "--tolerance", "1.5"]) == 0
+
+    def test_compare_unreadable_file_fails_one_liner(self, tmp_path, capsys):
+        good = tmp_path / "BENCH_good.json"
+        good.write_text(json.dumps({"suite": "x", "results": []}))
+        assert main(["bench", "--compare", str(tmp_path / "none.json"),
+                     str(good)]) == 1
+        assert "cannot read bench report" in capsys.readouterr().err
+
 
 class TestScore:
     def test_scores_and_flags(self, capsys):
