@@ -5,10 +5,18 @@ The subcommands cover the operational surface:
 - ``simulate`` — generate a labelled synthetic enterprise trace,
 - ``detect``   — run the core detector on a timestamp list,
 - ``pipeline`` — run the 8-step methodology over a proxy log,
+- ``run``      — fault-tolerant sharded batch run (checkpoint/resume),
 - ``score``    — score domain names under the language model,
 - ``report``   — run the pipeline and emit an analyst report,
 - ``stats``    — render a run report from saved telemetry,
 - ``bench``    — run benchmark suites / gate against a baseline.
+
+``run`` is the operational front end: the MapReduce-backed runner with
+bounded shards, durable JSONL checkpoints (``--checkpoint-dir`` /
+``--resume``), worker-pool recovery (``--task-timeout``,
+``--max-retries``, ``--retry-backoff``), and quarantine of poison-pill
+pairs (see ``docs/OPERATIONS.md``).  It exits 3 when ``--max-shards``
+stopped the run before every shard completed.
 
 ``pipeline`` and ``report`` accept ``--telemetry <dir>`` to collect
 per-stage metrics and write ``report.txt`` / ``metrics.jsonl`` /
@@ -89,6 +97,59 @@ def _build_parser() -> argparse.ArgumentParser:
     pipe.add_argument("--top", type=int, default=20,
                       help="print at most this many ranked cases")
     pipe.add_argument(
+        "--telemetry", type=Path, default=None, metavar="DIR",
+        help="collect run telemetry and write report.txt/metrics.jsonl/"
+             "metrics.prom into DIR",
+    )
+
+    runp = sub.add_parser(
+        "run",
+        help="fault-tolerant sharded batch run with checkpoint/resume",
+    )
+    runp.add_argument("input", type=Path, help="proxy log (TSV; .gz ok)")
+    runp.add_argument("--tau-p", type=float, default=0.01,
+                      help="local whitelist popularity threshold")
+    runp.add_argument("--percentile", type=float, default=0.9,
+                      help="ranking score percentile to report")
+    runp.add_argument("--top", type=int, default=20,
+                      help="print at most this many ranked cases")
+    runp.add_argument("--workers", type=int, default=1,
+                      help="worker processes for the MapReduce engine")
+    runp.add_argument("--shard-size", type=int, default=256,
+                      help="pairs per detection shard (default 256)")
+    runp.add_argument(
+        "--checkpoint-dir", type=Path, default=None, metavar="DIR",
+        help="persist completed shard outputs (JSONL) into DIR",
+    )
+    runp.add_argument(
+        "--resume", action="store_true",
+        help="reuse completed shards found in --checkpoint-dir",
+    )
+    runp.add_argument(
+        "--max-shards", type=int, default=None, metavar="N",
+        help="process at most N new shards, then exit 3 (requires "
+             "--checkpoint-dir; resume later with --resume)",
+    )
+    runp.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry parallel tasks running longer than this",
+    )
+    runp.add_argument("--max-retries", type=int, default=2,
+                      help="retry budget per task (default 2)")
+    runp.add_argument(
+        "--retry-backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base of the exponential retry backoff (default 0.5)",
+    )
+    runp.add_argument(
+        "--no-quarantine", action="store_true",
+        help="abort the batch on a task that fails every attempt "
+             "instead of quarantining it",
+    )
+    runp.add_argument(
+        "--analysis-time-scale", type=float, default=None, metavar="SECONDS",
+        help="rescale summaries to this granularity before detection",
+    )
+    runp.add_argument(
         "--telemetry", type=Path, default=None, metavar="DIR",
         help="collect run telemetry and write report.txt/metrics.jsonl/"
              "metrics.prom into DIR",
@@ -258,6 +319,68 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.jobs.checkpoint import CheckpointMismatch
+    from repro.jobs.runner import BaywatchRunner, IncompleteRunError
+    from repro.mapreduce.engine import MapReduceEngine
+
+    records = list(read_log(args.input))
+    config = PipelineConfig(
+        local_whitelist_threshold=args.tau_p,
+        ranking_percentile=args.percentile,
+    )
+    engine = MapReduceEngine(
+        n_workers=args.workers,
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+        retry_backoff=args.retry_backoff,
+        quarantine=not args.no_quarantine,
+    )
+    runner = BaywatchRunner(config, engine=engine)
+    checkpoint_dir = (
+        str(args.checkpoint_dir) if args.checkpoint_dir is not None else None
+    )
+
+    def go() -> PipelineReport:
+        with engine:
+            return runner.run_sharded(
+                records,
+                analysis_time_scale=args.analysis_time_scale,
+                shard_size=args.shard_size,
+                checkpoint_dir=checkpoint_dir,
+                resume=args.resume,
+                max_shards=args.max_shards,
+            )
+
+    try:
+        report, telemetry_dir = _run_instrumented(args.telemetry, go)
+    except IncompleteRunError as exc:
+        print(f"run incomplete: {exc}")
+        return 3
+    except CheckpointMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.funnel.as_text())
+    print()
+    print(f"{'rank':>4s}  {'score':>6s}  {'period':>10s}  {'clients':>7s}  domain")
+    for rank, case in enumerate(report.ranked_cases[: args.top], 1):
+        period = f"{case.smallest_period:.1f}s" if case.smallest_period else "-"
+        print(
+            f"{rank:>4d}  {case.rank_score:>6.2f}  {period:>10s}  "
+            f"{case.similar_sources:>7d}  {case.destination}"
+        )
+    if report.quarantined:
+        print()
+        print(f"quarantined {len(report.quarantined)} unit(s):")
+        for entry in report.quarantined:
+            print(f"  {entry.phase}  {entry.key!r}  {entry.error}")
+        if checkpoint_dir is not None:
+            print(f"quarantine report: {args.checkpoint_dir}/quarantine.jsonl")
+    if telemetry_dir is not None:
+        print(f"wrote telemetry to {telemetry_dir}")
+    return 0
+
+
 def _cmd_score(args: argparse.Namespace) -> int:
     scorer = default_scorer()
     for domain, value in scorer.score_many(args.domains):
@@ -387,6 +510,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "detect": _cmd_detect,
     "pipeline": _cmd_pipeline,
+    "run": _cmd_run,
     "score": _cmd_score,
     "report": _cmd_report,
     "stats": _cmd_stats,

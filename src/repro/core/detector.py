@@ -147,6 +147,25 @@ _MAX_SUPPRESSED_MULTIPLE = 4
 _MIN_FUNDAMENTAL_STRENGTH = 0.5
 
 
+def _power_near_bin(
+    spectrum: np.ndarray, center: float, half_width: int
+) -> Optional[float]:
+    """Strongest power within ``half_width`` DFT bins of fractional bin
+    ``center``.
+
+    ``spectrum`` comes from :func:`~repro.core.periodogram.power_spectrum`,
+    which drops the DC bin, so ``spectrum[i]`` holds DFT bin ``i + 1``:
+    probing bins ``[center - half_width, center + half_width]`` means
+    slicing indices shifted down by one.  Returns ``None`` when the
+    window falls entirely outside the spectrum.
+    """
+    low = max(0, int(np.floor(center)) - half_width - 1)
+    high = min(spectrum.size, int(np.ceil(center)) + half_width)
+    if low >= high:
+        return None
+    return float(spectrum[low:high].max())
+
+
 def _merge_similar(
     candidates: List[CandidatePeriod], tolerance: float
 ) -> List[CandidatePeriod]:
@@ -241,8 +260,14 @@ class PeriodicityDetector:
         """
         cfg = self.config
         if summary.time_scale > cfg.time_scale:
+            # Thread the threshold cache through: coarse-granularity
+            # summaries dominate the weekly/monthly passes, and losing
+            # the cache there would re-run the permutation test for
+            # every pair (the cache is keyed on signal shape only, so
+            # sharing it across time scales is safe).
             detector = PeriodicityDetector(
-                replace(cfg, time_scale=summary.time_scale)
+                replace(cfg, time_scale=summary.time_scale),
+                threshold_cache=self.threshold_cache,
             )
             return detector.detect(summary.timestamps())
         return self.detect(summary.timestamps())
@@ -408,11 +433,9 @@ class PeriodicityDetector:
                     continue
                 center = n / period_slots
                 half_width = max(2, int(np.ceil(center * 0.01)))
-                low_bin = max(0, int(np.floor(center)) - half_width)
-                high_bin = min(spectrum.size, int(np.ceil(center)) + half_width)
-                if low_bin >= high_bin:
+                power = _power_near_bin(spectrum, center, half_width)
+                if power is None:
                     continue
-                power = float(spectrum[low_bin:high_bin].max())
                 if power > threshold:
                     raw.append((period_s, power, "gmm", scale))
         if not raw:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.detector import DetectorConfig, PeriodicityDetector
 from repro.core.permutation import ThresholdCache
@@ -124,12 +124,19 @@ class FunnelStats:
 
 @dataclass
 class PipelineReport:
-    """Everything a pipeline run produced."""
+    """Everything a pipeline run produced.
+
+    ``quarantined`` lists the poison-pill inputs a fault-tolerant
+    sharded run dropped after exhausting every retry
+    (:class:`~repro.mapreduce.QuarantinedTask` records); it is empty
+    for in-process runs and for batches without failures.
+    """
 
     ranked_cases: List[BeaconingCase]
     detected_cases: List[BeaconingCase]
     funnel: FunnelStats
     population_size: int
+    quarantined: List[Any] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.funnel.validate()

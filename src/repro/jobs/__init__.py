@@ -1,16 +1,19 @@
 """The MapReduce formulation of every BAYWATCH phase (Section VII)."""
 
 from repro.jobs.records import DetectionCase
+from repro.jobs.checkpoint import CheckpointMismatch, CheckpointStore
 from repro.jobs.extraction import DataExtractionJob
 from repro.jobs.rescaling import RescaleMergeJob
 from repro.jobs.popularity import DestinationPopularityJob, popularity_table
 from repro.jobs.detection import BeaconingDetectionJob
 from repro.jobs.ranking_job import RankingJob
-from repro.jobs.runner import BaywatchRunner
+from repro.jobs.runner import BaywatchRunner, IncompleteRunError
 from repro.jobs.summary_store import SummaryStore
 
 __all__ = [
     "SummaryStore",
+    "CheckpointMismatch",
+    "CheckpointStore",
     "DetectionCase",
     "DataExtractionJob",
     "RescaleMergeJob",
@@ -19,4 +22,5 @@ __all__ = [
     "BeaconingDetectionJob",
     "RankingJob",
     "BaywatchRunner",
+    "IncompleteRunError",
 ]

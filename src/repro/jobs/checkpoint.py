@@ -1,0 +1,401 @@
+"""Shard checkpoints for fault-tolerant batch runs.
+
+The paper's Hadoop deployment survives multi-hour batches because every
+task's output is durable: a re-submitted job re-runs only the work that
+was lost.  :class:`CheckpointStore` gives the local MapReduce runner the
+same property — the expensive detection phase is processed in bounded
+shards, each completed shard's output is persisted as one JSONL file
+(atomically: written to a temp file, then renamed), and an interrupted
+run restarted with ``resume=True`` re-runs only the shards whose files
+are missing.
+
+Layout of a checkpoint directory::
+
+    manifest.json        run fingerprint, shard size, shard count
+    shard-00007.jsonl    one line per detected case / quarantined unit
+    quarantine.jsonl     consolidated quarantine report of the last run
+
+The manifest fingerprint covers the survivor pair list and the pipeline
+configuration, so a checkpoint can never be resumed against different
+inputs or settings — mismatches raise instead of silently mixing runs.
+All records are plain JSON (no pickle) so operators can inspect a
+checkpoint with standard tools.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.detector import CandidatePeriod, DetectionResult
+from repro.core.gmm import GaussianComponent, GaussianMixture
+from repro.core.timeseries import ActivitySummary
+from repro.jobs.records import DetectionCase
+from repro.mapreduce.engine import QuarantinedTask
+
+MANIFEST_FILE = "manifest.json"
+QUARANTINE_FILE = "quarantine.jsonl"
+CHECKPOINT_VERSION = 1
+
+
+# -- JSON codecs -------------------------------------------------------------
+
+
+def _finite(value: float) -> Optional[float]:
+    """NaN/inf are not valid JSON; encode them as null."""
+    return float(value) if math.isfinite(value) else None
+
+
+def _unfinite(value: Optional[float]) -> float:
+    return float("nan") if value is None else float(value)
+
+
+def summary_to_dict(summary: ActivitySummary) -> Dict[str, Any]:
+    """JSON-encodable form of an :class:`ActivitySummary`."""
+    return {
+        "source": summary.source,
+        "destination": summary.destination,
+        "time_scale": summary.time_scale,
+        "first_timestamp": summary.first_timestamp,
+        "intervals": list(summary.intervals),
+        "urls": list(summary.urls),
+    }
+
+
+def summary_from_dict(payload: Dict[str, Any]) -> ActivitySummary:
+    """Inverse of :func:`summary_to_dict`."""
+    return ActivitySummary(
+        source=payload["source"],
+        destination=payload["destination"],
+        time_scale=payload["time_scale"],
+        first_timestamp=payload["first_timestamp"],
+        intervals=tuple(payload["intervals"]),
+        urls=tuple(payload["urls"]),
+    )
+
+
+def _mixture_to_dict(mixture: Optional[GaussianMixture]) -> Optional[Dict[str, Any]]:
+    if mixture is None:
+        return None
+    return {
+        "components": [
+            {"mean": c.mean, "variance": c.variance, "weight": c.weight}
+            for c in mixture.components
+        ],
+        "log_likelihood": mixture.log_likelihood,
+        "bic": mixture.bic,
+        "n_samples": mixture.n_samples,
+        "converged": mixture.converged,
+    }
+
+
+def _mixture_from_dict(
+    payload: Optional[Dict[str, Any]]
+) -> Optional[GaussianMixture]:
+    if payload is None:
+        return None
+    return GaussianMixture(
+        components=tuple(
+            GaussianComponent(
+                mean=c["mean"], variance=c["variance"], weight=c["weight"]
+            )
+            for c in payload["components"]
+        ),
+        log_likelihood=payload["log_likelihood"],
+        bic=payload["bic"],
+        n_samples=payload["n_samples"],
+        converged=payload["converged"],
+    )
+
+
+def detection_to_dict(result: DetectionResult) -> Dict[str, Any]:
+    """JSON-encodable form of a :class:`DetectionResult`."""
+    return {
+        "periodic": result.periodic,
+        "candidates": [
+            {
+                "period": c.period,
+                "frequency": c.frequency,
+                "power": c.power,
+                "acf_score": c.acf_score,
+                "p_value": c.p_value,
+                "origin": c.origin,
+                "time_scale": c.time_scale,
+            }
+            for c in result.candidates
+        ],
+        "power_threshold": _finite(result.power_threshold),
+        "n_events": result.n_events,
+        "duration": result.duration,
+        "time_scale": result.time_scale,
+        "scales": list(result.scales),
+        "mixture": _mixture_to_dict(result.mixture),
+        "rejection_reason": result.rejection_reason,
+    }
+
+
+def detection_from_dict(payload: Dict[str, Any]) -> DetectionResult:
+    """Inverse of :func:`detection_to_dict`."""
+    return DetectionResult(
+        periodic=payload["periodic"],
+        candidates=tuple(
+            CandidatePeriod(**candidate) for candidate in payload["candidates"]
+        ),
+        power_threshold=_unfinite(payload["power_threshold"]),
+        n_events=payload["n_events"],
+        duration=payload["duration"],
+        time_scale=payload["time_scale"],
+        scales=tuple(payload["scales"]),
+        mixture=_mixture_from_dict(payload["mixture"]),
+        rejection_reason=payload["rejection_reason"],
+    )
+
+
+def case_to_dict(case: DetectionCase) -> Dict[str, Any]:
+    """JSON-encodable form of a :class:`DetectionCase`."""
+    return {
+        "summary": summary_to_dict(case.summary),
+        "detection": detection_to_dict(case.detection),
+        "popularity": case.popularity,
+        "similar_sources": case.similar_sources,
+        "lm_score": case.lm_score,
+        "rank_score": case.rank_score,
+    }
+
+
+def case_from_dict(payload: Dict[str, Any]) -> DetectionCase:
+    """Inverse of :func:`case_to_dict`."""
+    return DetectionCase(
+        summary=summary_from_dict(payload["summary"]),
+        detection=detection_from_dict(payload["detection"]),
+        popularity=payload["popularity"],
+        similar_sources=payload["similar_sources"],
+        lm_score=payload["lm_score"],
+        rank_score=payload["rank_score"],
+    )
+
+
+def quarantine_to_dict(entry: QuarantinedTask) -> Dict[str, Any]:
+    """JSON-encodable form of a :class:`QuarantinedTask`.
+
+    Keys are usually (source, destination) tuples; tuples round-trip as
+    lists and are restored on read.
+    """
+    key: Any = entry.key
+    if isinstance(key, tuple):
+        key = list(key)
+    elif not isinstance(key, (str, int, float, bool, type(None), list)):
+        key = repr(key)
+    return {
+        "phase": entry.phase,
+        "key": key,
+        "error": entry.error,
+        "attempts": entry.attempts,
+    }
+
+
+def quarantine_from_dict(payload: Dict[str, Any]) -> QuarantinedTask:
+    """Inverse of :func:`quarantine_to_dict`."""
+    key = payload["key"]
+    if isinstance(key, list):
+        key = tuple(key)
+    return QuarantinedTask(
+        phase=payload["phase"],
+        key=key,
+        error=payload["error"],
+        attempts=payload["attempts"],
+    )
+
+
+def run_fingerprint(
+    pairs: Iterable[Tuple[str, str]], *, config_repr: str, shard_size: int
+) -> str:
+    """Stable identity of one batch: its survivor pairs + settings.
+
+    A checkpoint resumed under a different input set, pipeline
+    configuration, or shard size would silently produce a frankenstein
+    report; the fingerprint makes that a hard error instead.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"v{CHECKPOINT_VERSION};shard_size={shard_size};".encode())
+    digest.update(config_repr.encode("utf-8", "replace"))
+    for source, destination in pairs:
+        digest.update(f"\x00{source}\x01{destination}".encode("utf-8", "replace"))
+    return digest.hexdigest()
+
+
+# -- the store ---------------------------------------------------------------
+
+
+class CheckpointStore:
+    """Durable per-shard outputs of one sharded batch run."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths -------------------------------------------------------------
+
+    def _shard_path(self, index: int) -> Path:
+        return self.root / f"shard-{index:05d}.jsonl"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_FILE
+
+    @property
+    def quarantine_path(self) -> Path:
+        return self.root / QUARANTINE_FILE
+
+    # -- manifest ----------------------------------------------------------
+
+    def manifest(self) -> Optional[Dict[str, Any]]:
+        """The stored manifest, or None when the directory is fresh."""
+        if not self.manifest_path.exists():
+            return None
+        return json.loads(self.manifest_path.read_text(encoding="utf-8"))
+
+    def begin(
+        self,
+        fingerprint: str,
+        *,
+        n_shards: int,
+        shard_size: int,
+        resume: bool,
+    ) -> None:
+        """Open the checkpoint for one run.
+
+        ``resume=False`` starts fresh: any previous shards are cleared.
+        ``resume=True`` keeps shards whose manifest fingerprint matches
+        and raises :class:`CheckpointMismatch` otherwise — resuming
+        against different inputs or settings must never mix outputs.
+        """
+        existing = self.manifest()
+        if resume and existing is not None:
+            if existing.get("fingerprint") != fingerprint:
+                raise CheckpointMismatch(
+                    f"checkpoint at {self.root} was written by a different "
+                    f"run (inputs, configuration, or shard size changed); "
+                    f"refusing to resume"
+                )
+        elif not resume:
+            self.clear()
+        manifest = {
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": fingerprint,
+            "n_shards": n_shards,
+            "shard_size": shard_size,
+        }
+        self._write_atomic(self.manifest_path, json.dumps(manifest, indent=2))
+
+    # -- shards ------------------------------------------------------------
+
+    def has_shard(self, index: int) -> bool:
+        """True when shard ``index`` completed in a previous run.
+
+        Only fully written shards count: interrupted writes live in
+        ``*.tmp`` files that the atomic rename never promoted.
+        """
+        return self._shard_path(index).exists()
+
+    def completed_shards(self) -> List[int]:
+        """Indices of all completed shards, ascending."""
+        out = []
+        for path in sorted(self.root.glob("shard-*.jsonl")):
+            try:
+                out.append(int(path.stem.split("-")[1]))
+            except (IndexError, ValueError):
+                continue
+        return out
+
+    def write_shard(
+        self,
+        index: int,
+        cases: Sequence[DetectionCase],
+        quarantined: Sequence[QuarantinedTask] = (),
+    ) -> Path:
+        """Persist one completed shard (atomic: tmp file + rename)."""
+        lines = [
+            json.dumps({"type": "case", **case_to_dict(case)})
+            for case in cases
+        ]
+        lines.extend(
+            json.dumps({"type": "quarantine", **quarantine_to_dict(entry)})
+            for entry in quarantined
+        )
+        path = self._shard_path(index)
+        self._write_atomic(path, "\n".join(lines) + "\n" if lines else "")
+        return path
+
+    def read_shard(
+        self, index: int
+    ) -> Tuple[List[DetectionCase], List[QuarantinedTask]]:
+        """Load one completed shard's cases and quarantine entries."""
+        path = self._shard_path(index)
+        cases: List[DetectionCase] = []
+        quarantined: List[QuarantinedTask] = []
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            payload = json.loads(line)
+            kind = payload.pop("type")
+            if kind == "case":
+                cases.append(case_from_dict(payload))
+            elif kind == "quarantine":
+                quarantined.append(quarantine_from_dict(payload))
+            else:
+                raise ValueError(
+                    f"unknown record type {kind!r} in {path}"
+                )
+        return cases, quarantined
+
+    # -- quarantine report -------------------------------------------------
+
+    def write_quarantine(self, entries: Sequence[QuarantinedTask]) -> Path:
+        """Write the consolidated quarantine report of a finished run."""
+        lines = [
+            json.dumps(quarantine_to_dict(entry)) for entry in entries
+        ]
+        self._write_atomic(
+            self.quarantine_path, "\n".join(lines) + "\n" if lines else ""
+        )
+        return self.quarantine_path
+
+    def read_quarantine(self) -> List[QuarantinedTask]:
+        """Load the consolidated quarantine report (empty when absent)."""
+        if not self.quarantine_path.exists():
+            return []
+        return [
+            quarantine_from_dict(json.loads(line))
+            for line in self.quarantine_path.read_text(
+                encoding="utf-8"
+            ).splitlines()
+            if line.strip()
+        ]
+
+    # -- housekeeping ------------------------------------------------------
+
+    def clear(self) -> None:
+        """Remove every shard, the manifest, and the quarantine report."""
+        for path in self.root.glob("shard-*.jsonl"):
+            path.unlink()
+        for path in self.root.glob("*.tmp"):
+            path.unlink()
+        for path in (self.manifest_path, self.quarantine_path):
+            if path.exists():
+                path.unlink()
+
+    @staticmethod
+    def _write_atomic(path: Path, text: str) -> None:
+        """A SIGKILL mid-write must never leave a half shard behind."""
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+
+
+class CheckpointMismatch(ValueError):
+    """Resume attempted against a checkpoint from a different run."""

@@ -9,12 +9,19 @@ Hadoop deployment, serially or across worker processes.
 It produces the same :class:`~repro.filtering.pipeline.PipelineReport`
 as the in-process :class:`~repro.filtering.BaywatchPipeline`, so both
 front ends are interchangeable for analysis and benchmarking.
+
+For production-sized batches, :meth:`BaywatchRunner.run_sharded`
+processes the expensive detection phase in bounded shards with durable
+JSONL checkpoints (see :mod:`repro.jobs.checkpoint`): an interrupted
+run restarted with ``resume=True`` re-runs only the incomplete shards,
+and — with a quarantine-enabled engine — poison-pill pairs end up in
+the report's quarantine list instead of aborting the batch.
 """
 
 from __future__ import annotations
 
 import logging
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.timeseries import ActivitySummary
 from repro.filtering.case import BeaconingCase
@@ -22,6 +29,7 @@ from repro.filtering.novelty import NoveltyStore
 from repro.filtering.pipeline import FunnelStats, PipelineConfig, PipelineReport
 from repro.filtering.tokens import TokenFilter
 from repro.filtering.whitelist import GlobalWhitelist
+from repro.jobs.checkpoint import CheckpointStore, run_fingerprint
 from repro.jobs.detection import BeaconingDetectionJob
 from repro.jobs.extraction import DataExtractionJob
 from repro.jobs.popularity import DestinationPopularityJob, popularity_table
@@ -29,11 +37,28 @@ from repro.jobs.ranking_job import RankingJob, _to_case
 from repro.jobs.rescaling import RescaleMergeJob
 from repro.jobs.records import DetectionCase
 from repro.lm.domains import DomainScorer, default_scorer
-from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.engine import MapReduceEngine, QuarantinedTask
 from repro.obs import get_registry, span
 from repro.synthetic.logs import ProxyLogRecord
 
 logger = logging.getLogger(__name__)
+
+
+class IncompleteRunError(RuntimeError):
+    """A sharded run stopped before every shard completed.
+
+    Raised when ``max_shards`` bounds how much work one invocation may
+    do; the completed shards are checkpointed, so re-invoking with
+    ``resume=True`` continues from here.
+    """
+
+    def __init__(self, completed: int, total: int) -> None:
+        super().__init__(
+            f"processed shard budget exhausted: {completed} of {total} "
+            f"shards complete; re-run with resume=True to continue"
+        )
+        self.completed = completed
+        self.total = total
 
 
 class BaywatchRunner:
@@ -48,7 +73,12 @@ class BaywatchRunner:
         novelty: Optional[NoveltyStore] = None,
         token_filter: Optional[TokenFilter] = None,
         scorer: Optional[DomainScorer] = None,
+        detection_job_factory: Optional[Callable[..., BeaconingDetectionJob]] = None,
     ) -> None:
+        """``detection_job_factory`` (optional) builds the detection job
+        from the same keyword arguments as
+        :class:`~repro.jobs.detection.BeaconingDetectionJob` — the seam
+        fault-injection tests and custom deployments hook into."""
         self.config = config or PipelineConfig()
         self.engine = engine or MapReduceEngine()
         self.global_whitelist = (
@@ -57,6 +87,11 @@ class BaywatchRunner:
         self.novelty = novelty if novelty is not None else NoveltyStore()
         self.token_filter = token_filter if token_filter is not None else TokenFilter()
         self._scorer = scorer
+        self.detection_job_factory = (
+            detection_job_factory
+            if detection_job_factory is not None
+            else BeaconingDetectionJob
+        )
 
     @property
     def scorer(self) -> DomainScorer:
@@ -107,7 +142,7 @@ class BaywatchRunner:
     ) -> List[DetectionCase]:
         """Phase D: periodicity detection over non-whitelisted pairs."""
         with span("detect"):
-            job = BeaconingDetectionJob(
+            job = self.detection_job_factory(
                 self.config.detector,
                 skip_destinations=skip_destinations,
                 min_events=self.config.min_events,
@@ -176,6 +211,24 @@ class BaywatchRunner:
         ratios, counts, population = self.popularity(summaries)
         registry.gauge("runner.population_size").set(population)
 
+        survivors = self._whitelist_survivors(summaries, ratios, counts, funnel)
+        detected = self.detect(survivors, frozenset())
+        funnel.record("3-5 periodicity detection", len(survivors), len(detected))
+
+        return self._assemble_report(
+            summaries, detected, funnel, ratios, counts, population
+        )
+
+    # -- shared run plumbing -------------------------------------------------
+
+    def _whitelist_survivors(
+        self,
+        summaries: List[ActivitySummary],
+        ratios: Dict[str, float],
+        counts: Dict[str, int],
+        funnel: FunnelStats,
+    ) -> List[ActivitySummary]:
+        """Steps 1-2: global and local (popularity) whitelists."""
         n_in = len(summaries)
         not_global = [
             s for s in summaries if s.destination not in self.global_whitelist
@@ -192,12 +245,20 @@ class BaywatchRunner:
             s for s in not_global if s.destination not in local_whitelisted
         ]
         funnel.record("2 local whitelist", len(not_global), len(survivors))
+        return survivors
 
-        detected = self.detect(survivors, frozenset())
-        funnel.record("3-5 periodicity detection", len(survivors), len(detected))
-
-        enriched = detected
-        ranked = self.rank(enriched, ratios, counts)
+    def _assemble_report(
+        self,
+        summaries: List[ActivitySummary],
+        detected: List[DetectionCase],
+        funnel: FunnelStats,
+        ratios: Dict[str, float],
+        counts: Dict[str, int],
+        population: int,
+        quarantined: Sequence[QuarantinedTask] = (),
+    ) -> PipelineReport:
+        """Steps 6-8 plus report assembly (shared by both run modes)."""
+        ranked = self.rank(detected, ratios, counts)
         funnel.record("6-8 token/novelty/ranking", len(detected), len(ranked))
 
         def bridge(case: DetectionCase) -> BeaconingCase:
@@ -214,13 +275,159 @@ class BaywatchRunner:
             return out
 
         logger.info(
-            "runner run: %d pairs in, %d periodic, %d reported "
-            "(population %d)",
-            len(summaries), len(detected), len(ranked), population,
+            "runner run: %d pairs in, %d periodic, %d reported, "
+            "%d quarantined (population %d)",
+            len(summaries), len(detected), len(ranked), len(quarantined),
+            population,
         )
         return PipelineReport(
             ranked_cases=[_to_case(case) for case in ranked],
             detected_cases=[bridge(case) for case in detected],
             funnel=funnel,
             population_size=population,
+            quarantined=list(quarantined),
+        )
+
+    # -- sharded, checkpointed execution -------------------------------------
+
+    def run_sharded(
+        self,
+        records: Iterable[ProxyLogRecord],
+        *,
+        analysis_time_scale: Optional[float] = None,
+        shard_size: int = 256,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        max_shards: Optional[int] = None,
+        on_shard_complete: Optional[Callable[[int, int], None]] = None,
+    ) -> PipelineReport:
+        """Run all phases with the detection phase sharded.
+
+        See :meth:`run_summaries_sharded` for the sharding, checkpoint,
+        and resume semantics; extraction and rescaling run up front
+        (they are cheap and deterministic, so a resumed run simply
+        recomputes them from the same input).
+        """
+        with span("runner.sharded"):
+            summaries = self.extract(records)
+            if analysis_time_scale is not None:
+                summaries = self.rescale_merge(summaries, analysis_time_scale)
+            return self.run_summaries_sharded(
+                summaries,
+                shard_size=shard_size,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+                max_shards=max_shards,
+                on_shard_complete=on_shard_complete,
+            )
+
+    def run_summaries_sharded(
+        self,
+        summaries: List[ActivitySummary],
+        *,
+        shard_size: int = 256,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        max_shards: Optional[int] = None,
+        on_shard_complete: Optional[Callable[[int, int], None]] = None,
+    ) -> PipelineReport:
+        """Detection in bounded shards with durable checkpoints.
+
+        Post-whitelist survivors are ordered deterministically by pair
+        and cut into shards of ``shard_size``; each shard runs the
+        detection job independently and — when ``checkpoint_dir`` is
+        set — lands in one atomically written JSONL file.  A run
+        restarted with ``resume=True`` loads completed shards from disk
+        (counted in ``mapreduce.shards_resumed``) and re-runs only the
+        missing ones, producing a report identical to an uninterrupted
+        run.  Units the engine quarantined (poison-pill pairs) are
+        carried in the report's ``quarantined`` list and in the
+        checkpoint's ``quarantine.jsonl``.
+
+        ``max_shards`` bounds how many *new* shards this invocation may
+        process; when the budget runs out with work remaining,
+        :class:`IncompleteRunError` is raised after checkpointing the
+        finished shards (requires ``checkpoint_dir``).
+        """
+        if shard_size < 1:
+            raise ValueError("shard_size must be at least 1")
+        if max_shards is not None and checkpoint_dir is None:
+            raise ValueError(
+                "max_shards without checkpoint_dir would discard the "
+                "completed shards"
+            )
+        registry = get_registry()
+        registry.counter("runner.runs").inc()
+        funnel = FunnelStats()
+        ratios, counts, population = self.popularity(summaries)
+        registry.gauge("runner.population_size").set(population)
+
+        survivors = self._whitelist_survivors(summaries, ratios, counts, funnel)
+        survivors = sorted(survivors, key=lambda s: s.pair)
+        shards = [
+            survivors[i : i + shard_size]
+            for i in range(0, len(survivors), shard_size)
+        ]
+        n_shards = len(shards)
+        registry.gauge("runner.shards_total").set(n_shards)
+
+        store: Optional[CheckpointStore] = None
+        if checkpoint_dir is not None:
+            store = CheckpointStore(checkpoint_dir)
+            fingerprint = run_fingerprint(
+                (s.pair for s in survivors),
+                config_repr=repr(self.config),
+                shard_size=shard_size,
+            )
+            store.begin(
+                fingerprint,
+                n_shards=n_shards,
+                shard_size=shard_size,
+                resume=resume,
+            )
+
+        detected: List[DetectionCase] = []
+        quarantined: List[QuarantinedTask] = []
+        processed = 0
+        resumed = 0
+        with span("detect.sharded"):
+            for index, shard in enumerate(shards):
+                if store is not None and resume and store.has_shard(index):
+                    cases, shard_quarantine = store.read_shard(index)
+                    detected.extend(cases)
+                    quarantined.extend(shard_quarantine)
+                    resumed += 1
+                    registry.counter("mapreduce.shards_resumed").inc()
+                    continue
+                if max_shards is not None and processed >= max_shards:
+                    if store is not None:
+                        store.write_quarantine(quarantined)
+                    completed = resumed + processed
+                    logger.warning(
+                        "shard budget exhausted after %d new shards "
+                        "(%d of %d complete)", processed, completed, n_shards,
+                    )
+                    raise IncompleteRunError(completed, n_shards)
+                cases = self.detect(shard, frozenset())
+                shard_quarantine = list(self.engine.last_quarantine)
+                detected.extend(cases)
+                quarantined.extend(shard_quarantine)
+                if store is not None:
+                    store.write_shard(index, cases, shard_quarantine)
+                processed += 1
+                if on_shard_complete is not None:
+                    on_shard_complete(index, n_shards)
+        funnel.record(
+            "3-5 periodicity detection", len(survivors), len(detected)
+        )
+        if resumed:
+            logger.info(
+                "resumed %d of %d shards from checkpoint", resumed, n_shards
+            )
+        if store is not None:
+            store.write_quarantine(quarantined)
+
+        return self._assemble_report(
+            summaries, detected, funnel, ratios, counts, population,
+            quarantined=quarantined,
         )

@@ -37,14 +37,31 @@ class SummaryStore:
 
     # -- writing ---------------------------------------------------------------
 
-    def append_day(self, day: int, summaries: Iterable[ActivitySummary]) -> int:
-        """Persist one day's summaries; returns the count written."""
+    def append_day(
+        self,
+        day: int,
+        summaries: Iterable[ActivitySummary],
+        *,
+        replace: bool = False,
+    ) -> int:
+        """Persist one day's summaries; returns the count written.
+
+        ``replace=True`` clears the day first, making the call
+        idempotent — the mode a checkpointed/resumed extraction must
+        use, since blindly re-appending an already-ingested day would
+        double every interval count in later analyses.
+        """
         require(day >= 0, "day must be non-negative")
-        return self._day_store(day).write(
-            list(summaries), key_of=lambda s: s.pair
-        )
+        store = self._day_store(day)
+        if replace:
+            store.clear()
+        return store.write(list(summaries), key_of=lambda s: s.pair)
 
     # -- reading ---------------------------------------------------------------
+
+    def has_day(self, day: int) -> bool:
+        """True when summaries for ``day`` were already ingested."""
+        return day in self.days()
 
     def days(self) -> List[int]:
         """The day indices present in the store, ascending."""

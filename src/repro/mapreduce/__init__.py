@@ -6,7 +6,7 @@ on-disk store standing in for HDFS.
 """
 
 from repro.mapreduce.job import KeyValue, MapReduceJob, stable_hash
-from repro.mapreduce.engine import JobStats, MapReduceEngine
+from repro.mapreduce.engine import JobStats, MapReduceEngine, QuarantinedTask
 from repro.mapreduce.store import PartitionedStore
 
 __all__ = [
@@ -15,5 +15,6 @@ __all__ = [
     "stable_hash",
     "JobStats",
     "MapReduceEngine",
+    "QuarantinedTask",
     "PartitionedStore",
 ]

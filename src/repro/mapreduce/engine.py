@@ -6,14 +6,42 @@ job's partitioner, group values per key (sorted for determinism), and
 reduce partition by partition.  ``n_workers > 1`` distributes both map
 chunks and reduce partitions over a process pool — jobs and records must
 then be picklable, exactly as Hadoop requires them to be serializable.
+
+Fault tolerance mirrors Hadoop's task-level story (paper Section VII: a
+multi-hour batch over millions of pairs must survive individual task
+failures):
+
+- a task that *raises* is retried up to ``max_retries`` times with
+  exponential backoff (``retry_backoff``);
+- a task whose worker *dies* (``BrokenProcessPool``) or *hangs*
+  (``task_timeout``) triggers a pool restart and a re-run of the lost
+  tasks, against the same retry budget;
+- with ``quarantine=True`` a task that fails every attempt is split
+  into its individual records/key-groups, each run in isolation, and
+  only the genuinely poisonous units are dropped — recorded as
+  :class:`QuarantinedTask` entries in :attr:`MapReduceEngine.last_quarantine`
+  — so a single poison-pill pair degrades the batch instead of
+  aborting it.
 """
 
 from __future__ import annotations
 
 import logging
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.mapreduce.job import KeyValue, MapReduceJob
 from repro.obs import MetricsRegistry, get_registry, scoped_registry, span
@@ -32,6 +60,26 @@ class JobStats:
     output_records: int = 0
     partitions_used: int = 0
     task_retries: int = 0
+    pool_restarts: int = 0
+    task_timeouts: int = 0
+    tasks_quarantined: int = 0
+
+
+@dataclass(frozen=True)
+class QuarantinedTask:
+    """One input unit dropped after exhausting every retry.
+
+    ``phase`` is ``"map"`` or ``"reduce"``; ``key`` is the input record
+    key (map) or the shuffle group key (reduce); ``error`` is the repr
+    of the final exception.  The engine collects these in
+    :attr:`MapReduceEngine.last_quarantine` so callers (the sharded
+    runner, the run report) can surface them instead of losing them.
+    """
+
+    phase: str
+    key: Any
+    error: str
+    attempts: int
 
 
 def _map_chunk(job: MapReduceJob, chunk: Sequence[KeyValue]) -> List[Tuple[int, KeyValue]]:
@@ -51,6 +99,18 @@ def _reduce_partition(
     for key, values in grouped:
         out.extend(job.reduce(key, values))
     return out
+
+
+def _split_map_chunk(chunk: Sequence[KeyValue]) -> List[Tuple[Any, List]]:
+    """One (key, single-record chunk) unit per input record."""
+    return [(key, [(key, value)]) for key, value in chunk]
+
+
+def _split_reduce_partition(
+    grouped: List[Tuple[Any, List[Any]]]
+) -> List[Tuple[Any, List]]:
+    """One (key, single-group partition) unit per key group."""
+    return [(key, [(key, values)]) for key, values in grouped]
 
 
 def _run_task_with_telemetry(func, job: MapReduceJob, task):
@@ -84,10 +144,29 @@ class MapReduceEngine:
     phases too small to amortize dispatch overhead
     (< ``min_parallel_records`` inputs) fall back to serial execution.
 
-    ``max_retries`` re-runs a failed map chunk or reduce partition, the
-    local analogue of Hadoop's task-level fault tolerance: a transient
-    task failure must not kill a multi-hour batch.  Tasks that fail on
-    every attempt re-raise the final exception.
+    Fault-tolerance knobs:
+
+    ``max_retries``
+        Re-runs a failed map chunk or reduce partition, the local
+        analogue of Hadoop's task-level fault tolerance.  Tasks that
+        fail on every attempt re-raise the final exception (unless
+        quarantined, below).
+    ``task_timeout``
+        Seconds a *parallel* task may run before its worker is presumed
+        hung; the pool is restarted (killing the worker) and the task
+        retried.  ``None`` disables the watchdog.  Serial execution has
+        no enforcement point, so the timeout only applies when a pool
+        is in play.
+    ``retry_backoff``
+        Base of the exponential backoff slept between retry rounds
+        (``retry_backoff * 2**(round - 1)`` seconds, capped at
+        ``max_backoff``).  0 disables sleeping (the test default).
+    ``quarantine``
+        When a task exhausts its retries, split it into individual
+        records/key-groups, run each in isolation, and drop only the
+        failing units — each recorded in :attr:`last_quarantine` — so
+        poison-pill inputs degrade the output instead of aborting the
+        batch.
     """
 
     def __init__(
@@ -96,40 +175,94 @@ class MapReduceEngine:
         *,
         min_parallel_records: int = 64,
         max_retries: int = 0,
+        task_timeout: Optional[float] = None,
+        retry_backoff: float = 0.0,
+        max_backoff: float = 30.0,
+        quarantine: bool = False,
     ) -> None:
         require(n_workers >= 1, "n_workers must be at least 1")
         require(max_retries >= 0, "max_retries must be non-negative")
+        require(
+            task_timeout is None or task_timeout > 0,
+            "task_timeout must be positive when set",
+        )
+        require(retry_backoff >= 0, "retry_backoff must be non-negative")
         self.n_workers = n_workers
         self.min_parallel_records = min_parallel_records
         self.max_retries = max_retries
+        self.task_timeout = task_timeout
+        self.retry_backoff = retry_backoff
+        self.max_backoff = max_backoff
+        self.quarantine = quarantine
         self.last_stats: Optional[JobStats] = None
+        self.last_quarantine: List[QuarantinedTask] = []
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._sleep: Callable[[float], None] = time.sleep
 
-    def _attempt(self, func, *args):
-        """Run a task, retrying up to ``max_retries`` times."""
+    # -- retry / backoff machinery -----------------------------------------
+
+    def _attempt(self, func, *args, retries_left: Optional[int] = None):
+        """Run a task serially, retrying up to the remaining budget.
+
+        The budget is passed explicitly (default: the full
+        ``max_retries``) so concurrent or nested runs never share
+        mutable retry state.
+        """
+        budget = self.max_retries if retries_left is None else retries_left
         failures = 0
         while True:
             try:
                 return func(*args)
             except Exception as exc:
                 failures += 1
-                if failures > self.max_retries:
+                if failures > budget:
                     raise
                 logger.warning(
                     "task %s failed (attempt %d of %d): %s; retrying",
                     getattr(func, "__name__", str(func)),
                     failures,
-                    self.max_retries + 1,
+                    budget + 1,
                     exc,
                 )
-                if self.last_stats is not None:
-                    self.last_stats.task_retries += 1
-                get_registry().counter("mapreduce.task_retries").inc()
+                self._note_retry()
+                self._backoff(failures)
+
+    def _note_retry(self) -> None:
+        if self.last_stats is not None:
+            self.last_stats.task_retries += 1
+        get_registry().counter("mapreduce.task_retries").inc()
+
+    def _backoff(self, failures: int) -> None:
+        """Sleep before the next retry (exponential, capped)."""
+        if self.retry_backoff <= 0:
+            return
+        delay = min(self.max_backoff, self.retry_backoff * (2 ** (failures - 1)))
+        self._sleep(delay)
+
+    # -- pool lifecycle ----------------------------------------------------
 
     def _get_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
         return self._pool
+
+    def _restart_pool(self, reason: str) -> None:
+        """Tear down a broken/hung pool and count the restart.
+
+        Workers still running (a hung task) are terminated explicitly —
+        ``shutdown`` alone would wait on them forever.
+        """
+        if self._pool is not None:
+            processes = list(getattr(self._pool, "_processes", {}).values())
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            self._pool = None
+        logger.warning("worker pool restarted: %s", reason)
+        if self.last_stats is not None:
+            self.last_stats.pool_restarts += 1
+        get_registry().counter("mapreduce.pool_restarts").inc()
 
     def close(self) -> None:
         """Shut down the worker pool (no-op for serial engines)."""
@@ -143,6 +276,82 @@ class MapReduceEngine:
     def __exit__(self, *_exc) -> None:
         self.close()
 
+    # -- quarantine --------------------------------------------------------
+
+    def _record_quarantine(
+        self, phase: str, key: Any, exc: BaseException, attempts: int
+    ) -> None:
+        entry = QuarantinedTask(
+            phase=phase, key=key, error=repr(exc), attempts=attempts
+        )
+        self.last_quarantine.append(entry)
+        if self.last_stats is not None:
+            self.last_stats.tasks_quarantined += 1
+        get_registry().counter("mapreduce.tasks_quarantined").inc()
+        logger.error(
+            "quarantined %s unit %r after %d attempts: %s",
+            phase, key, attempts, entry.error,
+        )
+
+    def _isolate_units(
+        self,
+        func,
+        job: MapReduceJob,
+        units: List[Tuple[Any, Any]],
+        *,
+        phase: str,
+        attempts: int,
+        use_pool: bool,
+    ) -> List:
+        """Run each unit of an exhausted task alone; quarantine failures.
+
+        ``use_pool=True`` isolates on the worker pool (one unit per
+        task) so a unit that kills or hangs its worker cannot take the
+        parent down with it; the pool is restarted after each casualty.
+        """
+        outputs: List = []
+        for key, unit_task in units:
+            try:
+                if use_pool:
+                    future = self._get_pool().submit(func, job, unit_task)
+                    outputs.extend(future.result(timeout=self.task_timeout))
+                else:
+                    outputs.extend(func(job, unit_task))
+            except (BrokenProcessPool, FuturesTimeout) as exc:
+                self._restart_pool(f"isolating poisoned {phase} unit {key!r}")
+                self._record_quarantine(phase, key, exc, attempts)
+            except Exception as exc:
+                self._record_quarantine(phase, key, exc, attempts)
+        return outputs
+
+    def _run_task(
+        self,
+        func,
+        job: MapReduceJob,
+        task,
+        *,
+        phase: str,
+        split,
+        retries_left: Optional[int] = None,
+    ) -> List:
+        """Serial task execution with retries and optional quarantine."""
+        try:
+            return self._attempt(func, job, task, retries_left=retries_left)
+        except Exception as exc:
+            if not self.quarantine:
+                raise
+            budget = self.max_retries if retries_left is None else retries_left
+            logger.warning(
+                "%s task failed all %d attempts (%s); isolating its "
+                "%d units", phase, budget + 1, exc, len(split(task)),
+            )
+            return self._isolate_units(
+                func, job, split(task),
+                phase=phase, attempts=budget + 1, use_pool=False,
+            )
+
+    # -- execution ---------------------------------------------------------
+
     def run(
         self, job: MapReduceJob, inputs: Iterable[KeyValue]
     ) -> List[KeyValue]:
@@ -150,10 +359,12 @@ class MapReduceEngine:
 
         Output records are ordered deterministically (by partition, then
         by sorted key within the partition) regardless of worker count.
+        Units quarantined during this run are in :attr:`last_quarantine`.
         """
         records = list(inputs)
         stats = JobStats(input_records=len(records))
         self.last_stats = stats
+        self.last_quarantine = []
         job_name = type(job).__name__
         parallel = (
             self.n_workers > 1 and len(records) >= self.min_parallel_records
@@ -165,17 +376,23 @@ class MapReduceEngine:
                 if not parallel:
                     chunks = (
                         _chunked(records, max(1, len(records) // 64))
-                        if self.max_retries
+                        if self.max_retries or self.quarantine
                         else [records]
                     )
                     tagged = [
                         item
                         for chunk in chunks
-                        for item in self._attempt(_map_chunk, job, chunk)
+                        for item in self._run_task(
+                            _map_chunk, job, chunk,
+                            phase="map", split=_split_map_chunk,
+                        )
                     ]
                 else:
                     chunks = _chunked(records, self.n_workers * 4)
-                    results = self._parallel_tasks(_map_chunk, job, chunks)
+                    results = self._parallel_tasks(
+                        _map_chunk, job, chunks,
+                        phase="map", split=_split_map_chunk,
+                    )
                     tagged = [item for chunk_out in results for item in chunk_out]
             stats.mapped_records = len(tagged)
 
@@ -200,20 +417,27 @@ class MapReduceEngine:
                     output: List[KeyValue] = []
                     for grouped in grouped_per_partition:
                         output.extend(
-                            self._attempt(_reduce_partition, job, grouped)
+                            self._run_task(
+                                _reduce_partition, job, grouped,
+                                phase="reduce",
+                                split=_split_reduce_partition,
+                            )
                         )
                 else:
                     results = self._parallel_tasks(
-                        _reduce_partition, job, grouped_per_partition
+                        _reduce_partition, job, grouped_per_partition,
+                        phase="reduce", split=_split_reduce_partition,
                     )
                     output = [item for part in results for item in part]
 
         stats.output_records = len(output)
         self._record_stats(job_name, stats)
         logger.debug(
-            "job %s: %d in, %d mapped, %d keys, %d out (%d retries)",
+            "job %s: %d in, %d mapped, %d keys, %d out (%d retries, "
+            "%d quarantined)",
             job_name, stats.input_records, stats.mapped_records,
             stats.distinct_keys, stats.output_records, stats.task_retries,
+            stats.tasks_quarantined,
         )
         return output
 
@@ -232,8 +456,18 @@ class MapReduceEngine:
         if stats.task_retries:
             registry.counter(f"{prefix}.task_retries").inc(stats.task_retries)
 
-    def _parallel_tasks(self, func, job: MapReduceJob, tasks: Sequence) -> List:
-        """Dispatch tasks on the pool; retry failures in-process.
+    def _parallel_tasks(
+        self, func, job: MapReduceJob, tasks: Sequence, *, phase: str, split
+    ) -> List:
+        """Dispatch tasks on the pool; survive failed and lost workers.
+
+        Tasks run in retry *rounds*: every still-pending task is
+        submitted, results are collected, and failures carry into the
+        next round until their budget is spent.  A worker death
+        (``BrokenProcessPool``) or hang (``task_timeout``) restarts the
+        pool and charges an attempt to the task it was observed on; the
+        other in-flight tasks are re-run without charge, like Hadoop's
+        re-execution of tasks lost with a dead TaskTracker.
 
         When the parent collects telemetry, each task runs under a fresh
         child registry in its worker and returns a snapshot that is
@@ -242,46 +476,109 @@ class MapReduceEngine:
         """
         registry = get_registry()
         collect = registry.enabled
-        pool = self._get_pool()
-        if collect:
-            futures = [
-                pool.submit(_run_task_with_telemetry, func, job, task)
-                for task in tasks
-            ]
-        else:
-            futures = [pool.submit(func, job, task) for task in tasks]
-        results = []
-        for future, task in zip(futures, tasks):
-            try:
-                outcome = future.result()
+        n_tasks = len(tasks)
+        results: Dict[int, List] = {}
+        attempts = [0] * n_tasks
+        pending: List[int] = list(range(n_tasks))
+        failure_rounds = 0
+        while pending:
+            pool = self._get_pool()
+            if collect:
+                submitted = {
+                    i: pool.submit(_run_task_with_telemetry, func, job, tasks[i])
+                    for i in pending
+                }
+            else:
+                submitted = {
+                    i: pool.submit(func, job, tasks[i]) for i in pending
+                }
+            next_pending: List[int] = []
+            pool_broken = False
+            for i in pending:
+                if pool_broken:
+                    # Lost with the pool through no fault of their own:
+                    # re-run without charging an attempt.
+                    next_pending.append(i)
+                    continue
+                try:
+                    outcome = submitted[i].result(timeout=self.task_timeout)
+                except (BrokenProcessPool, FuturesTimeout) as exc:
+                    pool_broken = True
+                    timed_out = isinstance(exc, FuturesTimeout)
+                    if timed_out:
+                        if self.last_stats is not None:
+                            self.last_stats.task_timeouts += 1
+                        get_registry().counter("mapreduce.task_timeouts").inc()
+                    self._restart_pool(
+                        f"{phase} task {i} "
+                        + ("timed out" if timed_out else "lost its worker")
+                    )
+                    if not self._charge_failure(
+                        func, job, tasks[i], i, attempts, exc,
+                        phase=phase, split=split, results=results,
+                        in_pool=True,
+                    ):
+                        next_pending.append(i)
+                    continue
+                except Exception as exc:
+                    if not self._charge_failure(
+                        func, job, tasks[i], i, attempts, exc,
+                        phase=phase, split=split, results=results,
+                        in_pool=False,
+                    ):
+                        next_pending.append(i)
+                    continue
                 if collect:
                     result, snapshot = outcome
                     registry.merge(snapshot)
-                    results.append(result)
+                    results[i] = result
                 else:
-                    results.append(outcome)
-            except Exception as exc:
-                if self.max_retries < 1:
-                    raise
-                logger.warning(
-                    "parallel task %s failed (attempt 1 of %d): %s; "
-                    "retrying in-process",
-                    getattr(func, "__name__", str(func)),
-                    self.max_retries + 1,
-                    exc,
-                )
-                if self.last_stats is not None:
-                    self.last_stats.task_retries += 1
-                registry.counter("mapreduce.task_retries").inc()
-                # One parallel attempt is spent; the serial retry path
-                # covers the rest of the budget.
-                previous = self.max_retries
-                self.max_retries = previous - 1
-                try:
-                    results.append(self._attempt(func, job, task))
-                finally:
-                    self.max_retries = previous
-        return results
+                    results[i] = outcome
+            if next_pending:
+                failure_rounds += 1
+                self._backoff(failure_rounds)
+            pending = next_pending
+        return [results[i] for i in range(n_tasks)]
+
+    def _charge_failure(
+        self,
+        func,
+        job: MapReduceJob,
+        task,
+        index: int,
+        attempts: List[int],
+        exc: BaseException,
+        *,
+        phase: str,
+        split,
+        results: Dict[int, List],
+        in_pool: bool,
+    ) -> bool:
+        """Charge one failed attempt to a task; resolve it when spent.
+
+        Returns True when the task is *resolved* (quarantined into
+        ``results`` or the exception re-raised); False when it should be
+        retried in the next round.
+        """
+        attempts[index] += 1
+        if attempts[index] <= self.max_retries:
+            logger.warning(
+                "parallel %s task %d failed (attempt %d of %d): %s; retrying",
+                phase, index, attempts[index], self.max_retries + 1, exc,
+            )
+            self._note_retry()
+            return False
+        if not self.quarantine:
+            raise exc
+        logger.warning(
+            "parallel %s task %d failed all %d attempts (%s); isolating "
+            "its units", phase, index, self.max_retries + 1, exc,
+        )
+        results[index] = self._isolate_units(
+            func, job, split(task),
+            phase=phase, attempts=attempts[index], use_pool=in_pool,
+        )
+        return True
 
     def chain(
         self, jobs: Sequence[MapReduceJob], inputs: Iterable[KeyValue]

@@ -1,0 +1,164 @@
+"""Fault-injection helpers for exercising the engine's fault tolerance.
+
+These jobs misbehave on purpose — raising, killing their own worker
+process, or hanging — so tests (and the CI fault-tolerance smoke job)
+can drive the :class:`~repro.mapreduce.MapReduceEngine` recovery paths
+deterministically:
+
+- :class:`PoisonPillJob` — a marked key fails on *every* attempt (the
+  quarantine path);
+- :class:`TransientFaultJob` — a marked key fails its first ``n``
+  attempts, then succeeds (the retry path);
+- :class:`WorkerKillerJob` — a marked key SIGKILLs its worker process
+  the first ``n`` attempts (the pool-restart path);
+- :class:`HangingJob` — a marked key sleeps far past any sane
+  ``task_timeout`` (the hung-worker watchdog path).
+
+Failure state that must survive process boundaries (how many times has
+the fault fired?) lives in a :class:`FaultMarker` file, the idiom the
+engine's own retry tests established.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Any, Iterable, Iterator
+
+from repro.mapreduce.job import KeyValue, MapReduceJob
+
+POISON_KEY = "poison"
+
+
+class FaultMarker:
+    """File-backed counter shared between parent and worker processes."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    def count(self) -> int:
+        try:
+            with open(self.path) as handle:
+                return int(handle.read() or 0)
+        except FileNotFoundError:
+            return 0
+
+    def bump(self) -> int:
+        value = self.count() + 1
+        with open(self.path, "w") as handle:
+            handle.write(str(value))
+        return value
+
+
+class _IdentityJob(MapReduceJob):
+    """Base: identity map/reduce over 4 partitions."""
+
+    n_partitions = 4
+
+    def __init__(self, marker_path: str, *, poison_key: Any = POISON_KEY) -> None:
+        self.marker = FaultMarker(marker_path)
+        self.poison_key = poison_key
+
+    def map(self, key: Any, value: Any) -> Iterator[KeyValue]:
+        yield key, value
+
+    def reduce(self, key: Any, values: Iterable[Any]) -> Iterator[KeyValue]:
+        for value in values:
+            yield key, value
+
+
+class PoisonPillJob(_IdentityJob):
+    """The marked key fails on every attempt, in map or reduce."""
+
+    def __init__(
+        self,
+        marker_path: str,
+        *,
+        poison_key: Any = POISON_KEY,
+        fail_in: str = "reduce",
+    ) -> None:
+        super().__init__(marker_path, poison_key=poison_key)
+        if fail_in not in ("map", "reduce"):
+            raise ValueError("fail_in must be 'map' or 'reduce'")
+        self.fail_in = fail_in
+
+    def map(self, key: Any, value: Any) -> Iterator[KeyValue]:
+        if self.fail_in == "map" and key == self.poison_key:
+            self.marker.bump()
+            raise RuntimeError(f"poison pill in map: {key!r}")
+        yield key, value
+
+    def reduce(self, key: Any, values: Iterable[Any]) -> Iterator[KeyValue]:
+        if self.fail_in == "reduce" and key == self.poison_key:
+            self.marker.bump()
+            raise RuntimeError(f"poison pill in reduce: {key!r}")
+        for value in values:
+            yield key, value
+
+
+class TransientFaultJob(_IdentityJob):
+    """The marked key fails its first ``fail_times`` reduce attempts."""
+
+    def __init__(
+        self, marker_path: str, fail_times: int, *, poison_key: Any = POISON_KEY
+    ) -> None:
+        super().__init__(marker_path, poison_key=poison_key)
+        self.fail_times = fail_times
+
+    def reduce(self, key: Any, values: Iterable[Any]) -> Iterator[KeyValue]:
+        if key == self.poison_key and self.marker.bump() <= self.fail_times:
+            raise RuntimeError(f"transient fault: {key!r}")
+        for value in values:
+            yield key, value
+
+
+class WorkerKillerJob(_IdentityJob):
+    """The marked key SIGKILLs its own worker the first ``kill_times``
+    attempts — the mid-task worker death the engine must absorb by
+    restarting the pool and re-running the lost tasks.
+
+    Only meaningful with ``n_workers > 1``; in a serial engine this
+    would kill the caller, so :meth:`reduce` refuses to fire unless it
+    is running in a different process than the one that created it.
+    """
+
+    def __init__(
+        self, marker_path: str, kill_times: int = 1, *, poison_key: Any = POISON_KEY
+    ) -> None:
+        super().__init__(marker_path, poison_key=poison_key)
+        self.kill_times = kill_times
+        self._parent_pid = os.getpid()
+
+    def reduce(self, key: Any, values: Iterable[Any]) -> Iterator[KeyValue]:
+        if (
+            key == self.poison_key
+            and os.getpid() != self._parent_pid
+            and self.marker.bump() <= self.kill_times
+        ):
+            os.kill(os.getpid(), signal.SIGKILL)
+        for value in values:
+            yield key, value
+
+
+class HangingJob(_IdentityJob):
+    """The marked key sleeps ``hang_seconds`` the first ``hang_times``
+    attempts — a hung worker the ``task_timeout`` watchdog must reap."""
+
+    def __init__(
+        self,
+        marker_path: str,
+        *,
+        hang_seconds: float = 60.0,
+        hang_times: int = 1,
+        poison_key: Any = POISON_KEY,
+    ) -> None:
+        super().__init__(marker_path, poison_key=poison_key)
+        self.hang_seconds = hang_seconds
+        self.hang_times = hang_times
+
+    def reduce(self, key: Any, values: Iterable[Any]) -> Iterator[KeyValue]:
+        if key == self.poison_key and self.marker.bump() <= self.hang_times:
+            time.sleep(self.hang_seconds)
+        for value in values:
+            yield key, value

@@ -86,6 +86,15 @@ def _summary_line(registry: MetricsRegistry) -> Optional[str]:
     if any(name.startswith("mapreduce.") for name in counters):
         retries = counters.get("mapreduce.task_retries", 0)
         parts.append(f"mapreduce task retries {retries}")
+        restarts = counters.get("mapreduce.pool_restarts", 0)
+        if restarts:
+            parts.append(f"pool restarts {restarts}")
+        quarantined = counters.get("mapreduce.tasks_quarantined", 0)
+        if quarantined:
+            parts.append(f"tasks quarantined {quarantined}")
+        resumed = counters.get("mapreduce.shards_resumed", 0)
+        if resumed:
+            parts.append(f"shards resumed {resumed}")
     if not parts:
         return None
     return "summary: " + "; ".join(parts)

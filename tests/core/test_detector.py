@@ -172,3 +172,68 @@ class TestConfigValidation:
     def test_bad_min_events(self):
         with pytest.raises(ValueError):
             DetectorConfig(min_events=1)
+
+
+class TestPowerNearBin:
+    """Regression: power_spectrum drops the DC bin, so spectrum[i] holds
+    DFT bin i+1 — the GMM candidate probe must shift its slice down by
+    one or it misses the left edge of its window (the old off-by-one)."""
+
+    def test_finds_peak_at_left_edge_of_window(self):
+        from repro.core.detector import _power_near_bin
+
+        # Peak lives at spectrum index 7 == DFT bin 8; probing around
+        # center=10 with half_width=2 covers bins [8, 12] == indices
+        # [7, 11].  The pre-fix slice started at index 8 and missed it.
+        spectrum = np.zeros(64)
+        spectrum[7] = 5.0
+        assert _power_near_bin(spectrum, center=10.0, half_width=2) == 5.0
+        assert spectrum[8:12].max() == 0.0  # the old slice saw nothing
+
+    def test_exact_center_bin(self):
+        from repro.core.detector import _power_near_bin
+
+        spectrum = np.zeros(32)
+        spectrum[9] = 3.0  # DFT bin 10
+        assert _power_near_bin(spectrum, center=10.0, half_width=0) == 3.0
+
+    def test_window_outside_spectrum_returns_none(self):
+        from repro.core.detector import _power_near_bin
+
+        spectrum = np.ones(8)
+        assert _power_near_bin(spectrum, center=100.0, half_width=1) is None
+
+    def test_gmm_candidate_survives_detection(self, rng):
+        """End to end: a beacon whose period the GMM proposes must keep
+        its spectral support under the corrected bin mapping."""
+        noise = NoiseModel(jitter_sigma=10.0)
+        trace = BeaconSpec(period=300.0, duration=DAY, noise=noise).generate(rng)
+        det = PeriodicityDetector(DetectorConfig(seed=11))
+        result = det.detect(trace)
+        assert result.periodic
+        assert result.dominant_period == pytest.approx(300.0, rel=0.05)
+
+
+class TestThresholdCacheThreading:
+    """Regression: detect_summary on a coarse summary rebuilds the
+    detector at the summary's own time scale — it used to silently drop
+    the threshold cache in the process."""
+
+    def test_cache_consulted_for_coarse_summary(self, rng):
+        from repro.core.permutation import ThresholdCache
+
+        cache = ThresholdCache()
+        det = PeriodicityDetector(
+            DetectorConfig(seed=7), threshold_cache=cache
+        )
+        trace = BeaconSpec(period=3600.0, duration=7 * DAY).generate(rng)
+        summary = ActivitySummary.from_timestamps(
+            "s", "d", trace, time_scale=60.0
+        )
+        det.detect_summary(summary)
+        first_lookups = cache.hits + cache.misses
+        assert first_lookups > 0, "coarse-scale detector dropped the cache"
+
+        hits_before = cache.hits
+        det.detect_summary(summary)
+        assert cache.hits > hits_before

@@ -1,0 +1,323 @@
+"""Checkpointed sharded execution: serialization, resume, quarantine."""
+
+import json
+
+import pytest
+
+from repro.filtering import PipelineConfig
+from repro.jobs import (
+    BaywatchRunner,
+    BeaconingDetectionJob,
+    CheckpointMismatch,
+    CheckpointStore,
+    IncompleteRunError,
+)
+from repro.jobs.checkpoint import (
+    case_from_dict,
+    case_to_dict,
+    quarantine_from_dict,
+    quarantine_to_dict,
+    run_fingerprint,
+)
+from repro.mapreduce import MapReduceEngine
+from repro.mapreduce.engine import QuarantinedTask
+from repro.synthetic import EnterpriseConfig, EnterpriseSimulator, ImplantSpec
+
+
+@pytest.fixture(scope="module")
+def enterprise():
+    config = EnterpriseConfig(
+        n_hosts=20,
+        n_sites=40,
+        duration=86_400.0 / 4,
+        implants=(ImplantSpec("zbot", "zeus", n_infected=2, period=90.0),),
+        seed=33,
+    )
+    return EnterpriseSimulator(config).generate()
+
+
+@pytest.fixture(scope="module")
+def pipeline_config():
+    return PipelineConfig(local_whitelist_threshold=0.2, ranking_percentile=0.5)
+
+
+def _report_signature(report):
+    """Everything that must match between two equivalent runs."""
+    return {
+        "funnel": list(report.funnel.steps),
+        "ranked": [
+            (c.destination, round(c.rank_score, 9)) for c in report.ranked_cases
+        ],
+        "detected": sorted(
+            (c.summary.source, c.destination) for c in report.detected_cases
+        ),
+        "population": report.population_size,
+    }
+
+
+class TestSerialization:
+    def test_detection_case_roundtrip(self, enterprise, pipeline_config):
+        records, _truth = enterprise
+        runner = BaywatchRunner(pipeline_config)
+        summaries = runner.extract(records)
+        cases = runner.detect(summaries, frozenset())
+        assert cases, "fixture produced no detection cases"
+        for case in cases:
+            restored = case_from_dict(
+                json.loads(json.dumps(case_to_dict(case)))
+            )
+            assert restored == case
+
+    def test_quarantine_tuple_key_roundtrip(self):
+        entry = QuarantinedTask(
+            phase="reduce", key=("h-3", "evil.example"), error="boom", attempts=2
+        )
+        restored = quarantine_from_dict(
+            json.loads(json.dumps(quarantine_to_dict(entry)))
+        )
+        assert restored == entry
+
+    def test_fingerprint_sensitive_to_inputs(self):
+        pairs = [("a", "x"), ("b", "y")]
+        base = run_fingerprint(pairs, config_repr="cfg", shard_size=4)
+        assert base == run_fingerprint(pairs, config_repr="cfg", shard_size=4)
+        assert base != run_fingerprint(pairs[:1], config_repr="cfg", shard_size=4)
+        assert base != run_fingerprint(pairs, config_repr="other", shard_size=4)
+        assert base != run_fingerprint(pairs, config_repr="cfg", shard_size=8)
+
+
+class TestShardedEquivalence:
+    def test_sharded_matches_unsharded(self, enterprise, pipeline_config):
+        records, truth = enterprise
+        plain = BaywatchRunner(pipeline_config).run(records)
+        sharded = BaywatchRunner(pipeline_config).run_sharded(
+            records, shard_size=7
+        )
+        assert _report_signature(sharded) == _report_signature(plain)
+        detected = {c.destination for c in sharded.detected_cases}
+        assert truth.malicious_destinations <= detected
+        assert sharded.quarantined == []
+
+    def test_shard_callback_and_gauge(self, enterprise, pipeline_config):
+        from repro.obs import MetricsRegistry, scoped_registry
+
+        records, _truth = enterprise
+        completions = []
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            BaywatchRunner(pipeline_config).run_sharded(
+                records,
+                shard_size=7,
+                on_shard_complete=lambda i, n: completions.append((i, n)),
+            )
+        assert completions, "no shard completions observed"
+        n_shards = completions[0][1]
+        assert [i for i, _n in completions] == list(range(n_shards))
+        assert dict(registry.gauges())["runner.shards_total"] == n_shards
+
+    def test_shard_size_validated(self, enterprise, pipeline_config):
+        records, _truth = enterprise
+        with pytest.raises(ValueError, match="shard_size"):
+            BaywatchRunner(pipeline_config).run_sharded(records, shard_size=0)
+
+    def test_max_shards_requires_checkpoint_dir(
+        self, enterprise, pipeline_config
+    ):
+        records, _truth = enterprise
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            BaywatchRunner(pipeline_config).run_sharded(records, max_shards=1)
+
+
+class TestInterruptResume:
+    def test_interrupt_then_resume_is_identical(
+        self, enterprise, pipeline_config, tmp_path
+    ):
+        records, _truth = enterprise
+        ckpt = tmp_path / "ckpt"
+        uninterrupted = BaywatchRunner(pipeline_config).run_sharded(
+            records, shard_size=5
+        )
+
+        with pytest.raises(IncompleteRunError) as excinfo:
+            BaywatchRunner(pipeline_config).run_sharded(
+                records, shard_size=5, checkpoint_dir=str(ckpt), max_shards=2
+            )
+        assert excinfo.value.completed == 2
+        assert excinfo.value.total > 2
+        store = CheckpointStore(ckpt)
+        assert store.completed_shards() == [0, 1]
+
+        rerun = []
+        resumed = BaywatchRunner(pipeline_config).run_sharded(
+            records,
+            shard_size=5,
+            checkpoint_dir=str(ckpt),
+            resume=True,
+            on_shard_complete=lambda i, n: rerun.append(i),
+        )
+        # Only the shards missing from the checkpoint were re-run...
+        assert min(rerun) == 2
+        # ...and the assembled report is indistinguishable from the
+        # uninterrupted one.
+        assert _report_signature(resumed) == _report_signature(uninterrupted)
+
+    def test_resume_counts_shards_resumed(
+        self, enterprise, pipeline_config, tmp_path
+    ):
+        from repro.obs import MetricsRegistry, scoped_registry
+
+        records, _truth = enterprise
+        ckpt = tmp_path / "ckpt"
+        runner = BaywatchRunner(pipeline_config)
+        runner.run_sharded(records, shard_size=5, checkpoint_dir=str(ckpt))
+
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            BaywatchRunner(pipeline_config).run_sharded(
+                records, shard_size=5, checkpoint_dir=str(ckpt), resume=True
+            )
+        counters = dict(registry.counters())
+        assert counters["mapreduce.shards_resumed"] >= 1
+
+    def test_leftover_tmp_file_is_not_a_shard(
+        self, enterprise, pipeline_config, tmp_path
+    ):
+        """A SIGKILL mid-write leaves only a ``*.tmp`` file; resume must
+        treat that shard as incomplete and re-run it."""
+        records, _truth = enterprise
+        ckpt = tmp_path / "ckpt"
+        uninterrupted = BaywatchRunner(pipeline_config).run_sharded(
+            records, shard_size=5
+        )
+        with pytest.raises(IncompleteRunError):
+            BaywatchRunner(pipeline_config).run_sharded(
+                records, shard_size=5, checkpoint_dir=str(ckpt), max_shards=2
+            )
+        # Simulate the kill-mid-write of the next shard.
+        (ckpt / "shard-00002.jsonl.tmp").write_text('{"type": "cas', "utf-8")
+        store = CheckpointStore(ckpt)
+        assert not store.has_shard(2)
+
+        resumed = BaywatchRunner(pipeline_config).run_sharded(
+            records, shard_size=5, checkpoint_dir=str(ckpt), resume=True
+        )
+        assert _report_signature(resumed) == _report_signature(uninterrupted)
+
+    def test_resume_against_changed_config_refuses(
+        self, enterprise, pipeline_config, tmp_path
+    ):
+        records, _truth = enterprise
+        ckpt = tmp_path / "ckpt"
+        with pytest.raises(IncompleteRunError):
+            BaywatchRunner(pipeline_config).run_sharded(
+                records, shard_size=5, checkpoint_dir=str(ckpt), max_shards=1
+            )
+        changed = PipelineConfig(
+            local_whitelist_threshold=0.9, ranking_percentile=0.5
+        )
+        with pytest.raises(CheckpointMismatch):
+            BaywatchRunner(changed).run_sharded(
+                records, shard_size=5, checkpoint_dir=str(ckpt), resume=True
+            )
+
+    def test_resume_against_changed_shard_size_refuses(
+        self, enterprise, pipeline_config, tmp_path
+    ):
+        records, _truth = enterprise
+        ckpt = tmp_path / "ckpt"
+        with pytest.raises(IncompleteRunError):
+            BaywatchRunner(pipeline_config).run_sharded(
+                records, shard_size=5, checkpoint_dir=str(ckpt), max_shards=1
+            )
+        with pytest.raises(CheckpointMismatch):
+            BaywatchRunner(pipeline_config).run_sharded(
+                records, shard_size=9, checkpoint_dir=str(ckpt), resume=True
+            )
+
+    def test_fresh_run_clears_stale_checkpoint(
+        self, enterprise, pipeline_config, tmp_path
+    ):
+        records, _truth = enterprise
+        ckpt = tmp_path / "ckpt"
+        with pytest.raises(IncompleteRunError):
+            BaywatchRunner(pipeline_config).run_sharded(
+                records, shard_size=5, checkpoint_dir=str(ckpt), max_shards=2
+            )
+        # resume=False (the default) starts over; stale shards vanish
+        # and the run completes end to end.
+        report = BaywatchRunner(pipeline_config).run_sharded(
+            records, shard_size=5, checkpoint_dir=str(ckpt)
+        )
+        store = CheckpointStore(ckpt)
+        assert len(store.completed_shards()) == len(
+            set(store.completed_shards())
+        )
+        assert report.detected_cases
+
+
+class _PoisonedDetectionJob(BeaconingDetectionJob):
+    """Detection job that dies on one destination (module-level so
+    worker processes can unpickle it)."""
+
+    POISON_DESTINATION = None  # set via factory closure below
+
+    def __init__(self, *args, poison_destination="", **kwargs):
+        super().__init__(*args, **kwargs)
+        self._poison_destination = poison_destination
+
+    def map(self, key, value):
+        if value.destination == self._poison_destination:
+            raise RuntimeError(f"poisoned pair {key}")
+        return super().map(key, value)
+
+
+class TestQuarantineEndToEnd:
+    def test_poison_pair_quarantined_batch_completes(
+        self, enterprise, pipeline_config, tmp_path
+    ):
+        records, truth = enterprise
+        ckpt = tmp_path / "ckpt"
+        victim = sorted(truth.malicious_destinations)[0]
+
+        def factory(*args, **kwargs):
+            return _PoisonedDetectionJob(
+                *args, poison_destination=victim, **kwargs
+            )
+
+        engine = MapReduceEngine(max_retries=1, quarantine=True)
+        runner = BaywatchRunner(
+            pipeline_config, engine=engine, detection_job_factory=factory
+        )
+        report = runner.run_sharded(
+            records, shard_size=5, checkpoint_dir=str(ckpt)
+        )
+
+        # The batch completed; the poisoned pair is reported, not fatal.
+        assert report.quarantined, "no quarantine entries in report"
+        assert all(e.phase == "map" for e in report.quarantined)
+        assert {e.key[1] for e in report.quarantined} == {victim}
+        assert victim not in {c.destination for c in report.detected_cases}
+
+        # The consolidated quarantine report landed on disk as JSONL.
+        store = CheckpointStore(ckpt)
+        persisted = store.read_quarantine()
+        assert [e.key for e in persisted] == [e.key for e in report.quarantined]
+
+    def test_poison_without_quarantine_aborts(
+        self, enterprise, pipeline_config
+    ):
+        records, truth = enterprise
+        victim = sorted(truth.malicious_destinations)[0]
+
+        def factory(*args, **kwargs):
+            return _PoisonedDetectionJob(
+                *args, poison_destination=victim, **kwargs
+            )
+
+        runner = BaywatchRunner(
+            pipeline_config,
+            engine=MapReduceEngine(),
+            detection_job_factory=factory,
+        )
+        with pytest.raises(RuntimeError, match="poisoned pair"):
+            runner.run_sharded(records, shard_size=5)

@@ -93,3 +93,26 @@ class TestSummaryStore:
         result = detector.detect_summary(window[0])
         assert result.periodic
         assert result.dominant_period == pytest.approx(300.0, rel=0.05)
+
+    def test_has_day(self, store):
+        assert not store.has_day(0)
+        store.append_day(0, [day_summary(0)])
+        assert store.has_day(0)
+        assert not store.has_day(1)
+
+    def test_append_replace_is_idempotent(self, store):
+        """A resumed ingestion re-writing a day must not double counts."""
+        store.append_day(0, [day_summary(0)])
+        store.append_day(0, [day_summary(0)], replace=True)
+        loaded = store.load_day(0)
+        assert len(loaded) == 1
+        assert loaded[0].event_count == 20
+
+    def test_append_without_replace_accumulates(self, store):
+        store.append_day(0, [day_summary(0, pair=("mac1", "a.com"))])
+        store.append_day(0, [day_summary(0, pair=("mac2", "b.com"))])
+        assert len(store.load_day(0)) == 2
+
+    def test_negative_day_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.append_day(-1, [day_summary(0)])

@@ -1,0 +1,177 @@
+"""Fault-injection tests: quarantine, pool recovery, timeouts."""
+
+import pytest
+
+from repro.mapreduce.engine import MapReduceEngine, QuarantinedTask
+from repro.mapreduce.testing import (
+    POISON_KEY,
+    HangingJob,
+    PoisonPillJob,
+    TransientFaultJob,
+    WorkerKillerJob,
+)
+from repro.obs import MetricsRegistry, scoped_registry
+
+
+@pytest.fixture
+def marker(tmp_path):
+    return str(tmp_path / "failures")
+
+
+INPUTS = [("ok", 1), (POISON_KEY, 2), ("fine", 3), ("more", 4)]
+PARALLEL_INPUTS = INPUTS * 30  # over min_parallel_records
+
+
+def _keys(output):
+    return sorted(key for key, _value in output)
+
+
+class TestQuarantineSerial:
+    def test_poison_reduce_is_quarantined_not_fatal(self, marker):
+        engine = MapReduceEngine(max_retries=1, quarantine=True)
+        output = engine.run(PoisonPillJob(marker, fail_in="reduce"), INPUTS)
+        assert _keys(output) == ["fine", "more", "ok"]
+        assert engine.last_stats.tasks_quarantined == 1
+        entry = engine.last_quarantine[0]
+        assert isinstance(entry, QuarantinedTask)
+        assert entry.phase == "reduce"
+        assert entry.key == POISON_KEY
+        assert "poison pill" in entry.error
+        assert entry.attempts == 2  # initial attempt + 1 retry
+
+    def test_poison_map_is_quarantined_not_fatal(self, marker):
+        engine = MapReduceEngine(max_retries=0, quarantine=True)
+        output = engine.run(PoisonPillJob(marker, fail_in="map"), INPUTS)
+        assert _keys(output) == ["fine", "more", "ok"]
+        assert engine.last_quarantine[0].phase == "map"
+        assert engine.last_quarantine[0].key == POISON_KEY
+
+    def test_without_quarantine_poison_still_raises(self, marker):
+        engine = MapReduceEngine(max_retries=1)
+        with pytest.raises(RuntimeError, match="poison pill"):
+            engine.run(PoisonPillJob(marker, fail_in="reduce"), INPUTS)
+
+    def test_quarantine_counter_recorded(self, marker):
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            engine = MapReduceEngine(max_retries=0, quarantine=True)
+            engine.run(PoisonPillJob(marker, fail_in="reduce"), INPUTS)
+        counters = dict(registry.counters())
+        assert counters["mapreduce.tasks_quarantined"] == 1
+
+    def test_quarantine_reset_between_runs(self, marker, tmp_path):
+        engine = MapReduceEngine(max_retries=0, quarantine=True)
+        engine.run(PoisonPillJob(marker, fail_in="reduce"), INPUTS)
+        assert len(engine.last_quarantine) == 1
+        clean = str(tmp_path / "clean")
+        engine.run(PoisonPillJob(clean, poison_key="absent"), INPUTS)
+        assert engine.last_quarantine == []
+
+
+class TestQuarantineParallel:
+    def test_poison_reduce_quarantined_across_workers(self, marker):
+        with MapReduceEngine(
+            n_workers=2, min_parallel_records=8, max_retries=1, quarantine=True
+        ) as engine:
+            output = engine.run(
+                PoisonPillJob(marker, fail_in="reduce"), PARALLEL_INPUTS
+            )
+        # Every record of the three healthy keys survives.
+        assert len(output) == 3 * 30
+        assert POISON_KEY not in _keys(output)
+        assert [e.key for e in engine.last_quarantine] == [POISON_KEY]
+
+    def test_transient_fault_recovers_without_quarantine(self, marker):
+        with MapReduceEngine(
+            n_workers=2, min_parallel_records=8, max_retries=2, quarantine=True
+        ) as engine:
+            output = engine.run(
+                TransientFaultJob(marker, fail_times=1), PARALLEL_INPUTS
+            )
+        assert len(output) == len(PARALLEL_INPUTS)
+        assert engine.last_quarantine == []
+        assert engine.last_stats.task_retries >= 1
+
+
+class TestPoolRecovery:
+    def test_killed_worker_restarts_pool_and_recovers(self, marker):
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            with MapReduceEngine(
+                n_workers=2, min_parallel_records=8, max_retries=2
+            ) as engine:
+                output = engine.run(
+                    WorkerKillerJob(marker, kill_times=1), PARALLEL_INPUTS
+                )
+        assert len(output) == len(PARALLEL_INPUTS)
+        assert engine.last_stats.pool_restarts >= 1
+        assert dict(registry.counters())["mapreduce.pool_restarts"] >= 1
+
+    def test_persistent_killer_without_quarantine_raises(self, marker):
+        from concurrent.futures.process import BrokenProcessPool
+
+        with MapReduceEngine(
+            n_workers=2, min_parallel_records=8, max_retries=1
+        ) as engine:
+            with pytest.raises(BrokenProcessPool):
+                engine.run(
+                    WorkerKillerJob(marker, kill_times=100), PARALLEL_INPUTS
+                )
+
+    def test_persistent_killer_with_quarantine_completes(self, marker):
+        with MapReduceEngine(
+            n_workers=2, min_parallel_records=8, max_retries=1, quarantine=True
+        ) as engine:
+            output = engine.run(
+                WorkerKillerJob(marker, kill_times=100), PARALLEL_INPUTS
+            )
+        # The poisoned key group died with its worker on every attempt
+        # (including pool-isolated ones) and was quarantined; everything
+        # else survived.
+        assert len(output) == 3 * 30
+        assert [e.key for e in engine.last_quarantine] == [POISON_KEY]
+
+    def test_retry_budget_not_mutated_by_failures(self, marker):
+        with MapReduceEngine(
+            n_workers=2, min_parallel_records=8, max_retries=3, quarantine=True
+        ) as engine:
+            engine.run(PoisonPillJob(marker, fail_in="reduce"), PARALLEL_INPUTS)
+            assert engine.max_retries == 3
+
+
+class TestTimeouts:
+    def test_hung_worker_reaped_and_task_retried(self, marker):
+        with MapReduceEngine(
+            n_workers=2,
+            min_parallel_records=8,
+            max_retries=2,
+            task_timeout=1.0,
+        ) as engine:
+            output = engine.run(
+                HangingJob(marker, hang_seconds=60.0, hang_times=1),
+                PARALLEL_INPUTS,
+            )
+        assert len(output) == len(PARALLEL_INPUTS)
+        assert engine.last_stats.task_timeouts >= 1
+        assert engine.last_stats.pool_restarts >= 1
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            MapReduceEngine(task_timeout=0.0)
+
+
+class TestBackoff:
+    def test_backoff_is_exponential_and_capped(self, marker):
+        engine = MapReduceEngine(
+            max_retries=3, retry_backoff=1.0, max_backoff=3.0
+        )
+        slept = []
+        engine._sleep = slept.append
+        with pytest.raises(RuntimeError):
+            engine.run(PoisonPillJob(marker, fail_in="reduce"), INPUTS)
+        assert slept == [1.0, 2.0, 3.0]  # 1, 2, then capped at 3
+
+    def test_zero_backoff_never_sleeps(self, marker):
+        engine = MapReduceEngine(max_retries=2, quarantine=True)
+        engine._sleep = lambda _d: pytest.fail("slept with retry_backoff=0")
+        engine.run(PoisonPillJob(marker, fail_in="reduce"), INPUTS)

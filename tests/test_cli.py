@@ -261,3 +261,65 @@ class TestReport:
         assert main(["report", str(log), "--tau-p", "0.25",
                      "--percentile", "0.0"]) == 0
         assert "BAYWATCH daily report" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_sharded_run_end_to_end(self, trace_path, tmp_path, capsys):
+        out, _truth = trace_path
+        ckpt = tmp_path / "ckpt"
+        code = main([
+            "run", str(out), "--shard-size", "4",
+            "--checkpoint-dir", str(ckpt), "--percentile", "0.5",
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "periodicity detection" in captured
+        assert (ckpt / "manifest.json").exists()
+        assert list(ckpt.glob("shard-*.jsonl"))
+
+    def test_max_shards_exits_incomplete_then_resume_completes(
+        self, trace_path, tmp_path, capsys
+    ):
+        out, _truth = trace_path
+        ckpt = tmp_path / "ckpt"
+        base = [
+            "run", str(out), "--shard-size", "2",
+            "--checkpoint-dir", str(ckpt), "--percentile", "0.5",
+        ]
+        code = main(base + ["--max-shards", "1"])
+        assert code == 3
+        assert "run incomplete" in capsys.readouterr().out
+
+        code = main(base + ["--resume", "--telemetry", str(tmp_path / "tel")])
+        assert code == 0
+        capsys.readouterr()
+        metrics = (tmp_path / "tel" / "metrics.jsonl").read_text()
+        assert "mapreduce.shards_resumed" in metrics
+
+    def test_resume_with_changed_settings_exits_2(
+        self, trace_path, tmp_path, capsys
+    ):
+        out, _truth = trace_path
+        ckpt = tmp_path / "ckpt"
+        code = main([
+            "run", str(out), "--shard-size", "2",
+            "--checkpoint-dir", str(ckpt), "--percentile", "0.5",
+            "--max-shards", "1",
+        ])
+        assert code == 3
+        capsys.readouterr()
+        code = main([
+            "run", str(out), "--shard-size", "3",
+            "--checkpoint-dir", str(ckpt), "--percentile", "0.5",
+            "--resume",
+        ])
+        assert code == 2
+        assert "refusing to resume" in capsys.readouterr().err
+
+    def test_parallel_run_with_retries(self, trace_path, capsys):
+        out, _truth = trace_path
+        code = main([
+            "run", str(out), "--workers", "2", "--shard-size", "8",
+            "--max-retries", "2", "--percentile", "0.5",
+        ])
+        assert code == 0
