@@ -53,7 +53,7 @@ from repro.obs import (
     write_telemetry,
 )
 from repro.synthetic.enterprise import EnterpriseConfig, EnterpriseSimulator
-from repro.synthetic.logs import read_log, write_log
+from repro.sources.proxy import read_log, write_log
 
 logger = logging.getLogger(__name__)
 
@@ -297,7 +297,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
-    records = list(read_log(args.input))
+    records = read_log(args.input)
     config = PipelineConfig(
         local_whitelist_threshold=args.tau_p,
         ranking_percentile=args.percentile,
@@ -324,7 +324,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.jobs.runner import BaywatchRunner, IncompleteRunError
     from repro.mapreduce.engine import MapReduceEngine
 
-    records = list(read_log(args.input))
+    records = read_log(args.input)
     config = PipelineConfig(
         local_whitelist_threshold=args.tau_p,
         ranking_percentile=args.percentile,
@@ -392,7 +392,7 @@ def _cmd_score(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import render_report
 
-    records = list(read_log(args.input))
+    records = read_log(args.input)
     config = PipelineConfig(
         local_whitelist_threshold=args.tau_p,
         ranking_percentile=args.percentile,

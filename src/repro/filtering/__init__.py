@@ -11,6 +11,7 @@ from repro.filtering.pipeline import (
 from repro.filtering.ranking import (
     RankingWeights,
     lm_anomaly,
+    percentile_cutoff,
     periodicity_strength,
     rank_cases,
     rank_score,
@@ -30,6 +31,7 @@ __all__ = [
     "PipelineReport",
     "RankingWeights",
     "lm_anomaly",
+    "percentile_cutoff",
     "periodicity_strength",
     "rank_cases",
     "rank_score",

@@ -27,6 +27,11 @@ class BeaconingCase:
     rank_score: float = 0.0
 
     @property
+    def pair(self) -> Tuple[str, str]:
+        """The (source, destination) communication pair."""
+        return self.summary.pair
+
+    @property
     def source(self) -> str:
         """Source endpoint (MAC in the paper's configuration)."""
         return self.summary.source

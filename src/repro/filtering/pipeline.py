@@ -19,6 +19,12 @@ step  filter                           phase
 pipeline reports them as one "periodicity detection" stage of the
 funnel plus the detector's internal rejection reasons.)
 
+The step bodies themselves live in :mod:`repro.stages` — this module's
+:class:`BaywatchPipeline` is the *in-process front end* that composes
+the shared stage instances; the MapReduce front end
+(:class:`~repro.jobs.BaywatchRunner`) composes the same objects, so the
+funnel has exactly one implementation.  See ``docs/ARCHITECTURE.md``.
+
 Phase (d) — investigation and verification — lives in
 :mod:`repro.analysis`, consuming this pipeline's output.
 """
@@ -27,24 +33,19 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.detector import DetectorConfig, PeriodicityDetector
 from repro.core.permutation import ThresholdCache
 from repro.core.timeseries import ActivitySummary
 from repro.filtering.case import BeaconingCase
 from repro.filtering.novelty import NoveltyStore
-from repro.obs import get_registry, span
-from repro.filtering.ranking import (
-    RankingWeights,
-    rank_cases,
-    rank_score,
-    strongest_per_destination,
-)
+from repro.filtering.ranking import RankingWeights
 from repro.filtering.tokens import TokenFilter
-from repro.filtering.whitelist import GlobalWhitelist, LocalWhitelist
+from repro.filtering.whitelist import GlobalWhitelist
 from repro.lm.domains import DomainScorer, default_scorer
-from repro.synthetic.logs import ProxyLogRecord, records_to_summaries
+from repro.obs import get_registry, span
+from repro.sources.proxy import ProxyLogRecord, records_to_summaries
 from repro.utils.validation import require, require_probability
 
 logger = logging.getLogger(__name__)
@@ -156,7 +157,11 @@ class BaywatchPipeline:
 
     The pipeline is reusable across daily runs: the novelty store
     accumulates reported destinations, so a destination reported
-    yesterday is suppressed (but logged) today.
+    yesterday is suppressed (but logged) today.  It composes the shared
+    :mod:`repro.stages` objects with an in-process detection executor;
+    record ingestion streams through
+    :func:`repro.sources.proxy.records_to_summaries`, so ``records``
+    may be a lazy iterator of any size.
     """
 
     def __init__(
@@ -175,9 +180,22 @@ class BaywatchPipeline:
         self.novelty = novelty if novelty is not None else NoveltyStore()
         self.token_filter = token_filter if token_filter is not None else TokenFilter()
         self._scorer = scorer
-        cache = ThresholdCache() if self.config.use_threshold_cache else None
+        self._threshold_cache = (
+            ThresholdCache() if self.config.use_threshold_cache else None
+        )
         self.detector = PeriodicityDetector(
-            self.config.detector, threshold_cache=cache
+            self.config.detector, threshold_cache=self._threshold_cache
+        )
+        # The stages module imports leaf filtering modules, so it is
+        # imported lazily here to keep the package graph acyclic.
+        from repro.stages import (
+            InProcessDetection,
+            PeriodicityDetectionStage,
+            default_stages,
+        )
+
+        self._stages = default_stages(
+            PeriodicityDetectionStage(InProcessDetection(self.detector))
         )
 
     @property
@@ -190,7 +208,7 @@ class BaywatchPipeline:
     # -- public API --------------------------------------------------------
 
     def run_records(self, records: Iterable[ProxyLogRecord]) -> PipelineReport:
-        """Run the pipeline on raw proxy-log records."""
+        """Run the pipeline on raw proxy-log records (streamed)."""
         with span("records_to_summaries"):
             summaries = records_to_summaries(
                 records,
@@ -209,102 +227,35 @@ class BaywatchPipeline:
     def _run_summaries(
         self, summaries: Sequence[ActivitySummary]
     ) -> PipelineReport:
+        from repro.stages import (
+            PopularityIndex,
+            StageContext,
+            build_report,
+            run_stages,
+        )
+
         registry = get_registry()
         registry.counter("pipeline.runs").inc()
-        funnel = FunnelStats()
+        context = StageContext(
+            config=self.config,
+            global_whitelist=self.global_whitelist,
+            novelty=self.novelty,
+            token_filter=self.token_filter,
+            threshold_cache=self._threshold_cache,
+            scorer_factory=lambda: self.scorer,
+        )
         with span("local_whitelist_build"):
-            local = LocalWhitelist(self.config.local_whitelist_threshold)
-            for summary in summaries:
-                local.observe(summary.source, summary.destination)
-        population = local.population_size
-        registry.gauge("pipeline.population_size").set(population)
+            context.popularity = PopularityIndex.from_summaries(summaries)
+        registry.gauge("pipeline.population_size").set(
+            context.popularity.population
+        )
 
-        # Step 1: global whitelist.
-        n_in = len(summaries)
-        with span("step1_global_whitelist"):
-            survivors = [
-                s for s in summaries if s.destination not in self.global_whitelist
-            ]
-        funnel.record("1 global whitelist", n_in, len(survivors))
-
-        # Step 2: local (popularity) whitelist.
-        n_in = len(survivors)
-        with span("step2_local_whitelist"):
-            survivors = [s for s in survivors if s.destination not in local]
-        funnel.record("2 local whitelist", n_in, len(survivors))
-
-        # Pre-filter: pairs without enough events cannot beacon.
-        n_in = len(survivors)
-        survivors = [
-            s for s in survivors if s.event_count >= self.config.min_events
-        ]
-        funnel.record("  (min events)", n_in, len(survivors))
-
-        # Steps 3-5: periodicity detection (DFT, pruning, verification).
-        n_in = len(survivors)
-        detected: List[BeaconingCase] = []
-        with span("step3_5_periodicity_detection"):
-            for summary in survivors:
-                result = self.detector.detect_summary(summary)
-                if result.periodic:
-                    detected.append(
-                        BeaconingCase(
-                            summary=summary,
-                            detection=result,
-                            popularity=local.popularity(summary.destination),
-                            similar_sources=local.similar_sources(summary.destination),
-                            lm_score=self.scorer.normalized_score(summary.destination),
-                        )
-                    )
-        funnel.record("3-5 periodicity detection", n_in, len(detected))
-
-        # Step 6: URL token analysis.
-        n_in = len(detected)
-        with span("step6_token_filter"):
-            cases = [
-                case
-                for case in detected
-                if not self.token_filter.is_likely_benign(case.summary.urls)
-            ]
-        funnel.record("6 token filter", n_in, len(cases))
-
-        # Step 7: novelty analysis — suppress destinations reported in
-        # previous runs, consolidate same-destination cases within this
-        # run (keeping the strongest), and record the survivors.
-        n_in = len(cases)
-        with span("step7_novelty_filter"):
-            scored = [
-                case.with_rank_score(rank_score(case, self.config.ranking_weights))
-                for case in cases
-            ]
-            fresh = [
-                case
-                for case in scored
-                if self.novelty.is_novel(case.source, case.destination)
-            ]
-            consolidated = strongest_per_destination(fresh)
-            for case in consolidated:
-                self.novelty.record(case.source, case.destination)
-        funnel.record("7 novelty filter", n_in, len(consolidated))
-
-        # Step 8: percentile threshold over the score distribution.
-        n_in = len(consolidated)
-        with span("step8_weighted_ranking"):
-            ranked = rank_cases(
-                consolidated,
-                weights=self.config.ranking_weights,
-                percentile=self.config.ranking_percentile,
-            )
-        funnel.record("8 weighted ranking", n_in, len(ranked))
+        ranked = run_stages(context, self._stages, summaries)
 
         logger.info(
             "pipeline run: %d pairs in, %d periodic, %d reported "
             "(population %d)",
-            len(summaries), len(detected), len(ranked), population,
+            len(summaries), len(context.detected), len(ranked),
+            context.popularity.population,
         )
-        return PipelineReport(
-            ranked_cases=ranked,
-            detected_cases=detected,
-            funnel=funnel,
-            population_size=population,
-        )
+        return build_report(context, ranked)

@@ -132,6 +132,20 @@ def strongest_per_destination(
     return list(best.values())
 
 
+def percentile_cutoff(scores: Sequence[float], percentile: float) -> float:
+    """The reporting threshold over a score distribution.
+
+    Cases at or above the ``percentile`` of the distribution are
+    reported (paper Section V-D).  With fewer than two scores the
+    threshold is vacuous (``-inf``).  Shared by the in-process
+    :func:`rank_cases` and the ranking MapReduce job's reduce task.
+    """
+    values = np.asarray(list(scores), dtype=float)
+    if values.size > 1:
+        return float(np.quantile(values, percentile))
+    return float(-np.inf)
+
+
 def rank_cases(
     cases: Sequence[BeaconingCase],
     *,
@@ -148,8 +162,7 @@ def rank_cases(
     scored = [case.with_rank_score(rank_score(case, weights)) for case in cases]
     if not scored:
         return []
-    scores = np.asarray([case.rank_score for case in scored])
-    cutoff = float(np.quantile(scores, percentile)) if scores.size > 1 else -np.inf
+    cutoff = percentile_cutoff([case.rank_score for case in scored], percentile)
     kept = [case for case in scored if case.rank_score >= cutoff]
     kept.sort(key=lambda case: case.rank_score, reverse=True)
     return kept

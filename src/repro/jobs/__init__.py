@@ -1,6 +1,6 @@
 """The MapReduce formulation of every BAYWATCH phase (Section VII)."""
 
-from repro.jobs.records import DetectionCase
+from repro.jobs.records import DetectionCase, detection_case_to_beaconing_case
 from repro.jobs.checkpoint import CheckpointMismatch, CheckpointStore
 from repro.jobs.extraction import DataExtractionJob
 from repro.jobs.rescaling import RescaleMergeJob
@@ -15,6 +15,7 @@ __all__ = [
     "CheckpointMismatch",
     "CheckpointStore",
     "DetectionCase",
+    "detection_case_to_beaconing_case",
     "DataExtractionJob",
     "RescaleMergeJob",
     "DestinationPopularityJob",

@@ -67,9 +67,9 @@ class BeaconingDetectionJob(MapReduceJob):
     def reduce(
         self, key: Tuple[str, str], values: Iterable[ActivitySummary]
     ) -> Iterator[KeyValue]:
-        """Run the detection algorithm on each pair's history."""
+        """Run the shared detection loop on each pair's history."""
+        from repro.stages import detect_pairs
+
         detector = self._get_detector()
-        for summary in values:
-            result = detector.detect_summary(summary)
-            if result.periodic:
-                yield key, DetectionCase(summary=summary, detection=result)
+        for summary, result in detect_pairs(detector, values):
+            yield key, DetectionCase(summary=summary, detection=result)

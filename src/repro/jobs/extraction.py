@@ -1,22 +1,24 @@
 """Data-extraction MapReduce job (paper Section VII-A).
 
 MAP: each log record yields its communication pair as the key and the
-``(timestamp, url)`` observation as the value; the engine's hash
-partitioner plays the role of the paper's ``H(s, d)``.
+``(timestamp, sequence, url)`` observation as the value (the sequence
+is the input line number, preserving arrival order across the
+shuffle); the engine's hash partitioner plays the role of the paper's
+``H(s, d)``.
 
-REDUCE: all observations of one pair are sorted and folded into an
-:class:`~repro.core.timeseries.ActivitySummary` at the configured time
-scale (1 second at the finest granularity), carrying a capped sample of
-URLs as side-channel information for the token filter.
+REDUCE: one pair's observations fold into an
+:class:`~repro.core.timeseries.ActivitySummary` via
+:func:`repro.sources.proxy.summary_from_observations` — the same
+grouping the in-process streaming ingestion uses, so both front ends
+see bit-identical summaries (capped URL sample included).
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Tuple
 
-from repro.core.timeseries import ActivitySummary
 from repro.mapreduce.job import KeyValue, MapReduceJob
-from repro.synthetic.logs import ProxyLogRecord
+from repro.sources.proxy import ProxyLogRecord, summary_from_observations
 from repro.utils.validation import require, require_positive
 
 
@@ -37,23 +39,21 @@ class DataExtractionJob(MapReduceJob):
         self.n_partitions = n_partitions
 
     def map(self, key: Any, value: ProxyLogRecord) -> Iterator[KeyValue]:
-        """``(line, record) -> ((source, destination), (ts, url))``."""
-        yield (value.source_mac, value.destination), (value.timestamp, value.url)
+        """``(line, record) -> ((source, destination), (ts, line, url))``."""
+        yield (
+            (value.source_mac, value.destination),
+            (value.timestamp, key, value.url),
+        )
 
     def reduce(
-        self, key: Tuple[str, str], values: Iterable[Tuple[float, str]]
+        self, key: Tuple[str, str], values: Iterable[Tuple[float, int, str]]
     ) -> Iterator[KeyValue]:
-        """Group, sort, and summarize one pair's observations."""
-        observations = sorted(values)
+        """Fold one pair's observations into an ActivitySummary."""
         source, destination = key
-        urls = tuple(
-            url for _ts, url in observations[: self.max_urls_per_pair]
-        )
-        summary = ActivitySummary.from_timestamps(
+        yield key, summary_from_observations(
             source,
             destination,
-            [ts for ts, _url in observations],
+            values,
             time_scale=self.time_scale,
-            urls=urls,
+            max_urls=self.max_urls_per_pair,
         )
-        yield key, summary

@@ -12,30 +12,19 @@ list (rank index as key).
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any, Dict, FrozenSet, Iterable, Iterator, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, Iterator
 
-import numpy as np
-
-from repro.filtering.case import BeaconingCase
-from repro.filtering.ranking import RankingWeights, rank_score
+from repro.filtering.ranking import RankingWeights, percentile_cutoff, rank_score
 from repro.filtering.tokens import TokenFilter
-from repro.jobs.records import DetectionCase
+from repro.jobs.records import DetectionCase, detection_case_to_beaconing_case
 from repro.mapreduce.job import KeyValue, MapReduceJob
 from repro.utils.validation import require_probability
 
 _GLOBAL_KEY = "ranked"
 
-
-def _to_case(case: DetectionCase) -> BeaconingCase:
-    """Bridge the MapReduce record to the filtering-layer case type."""
-    return BeaconingCase(
-        summary=case.summary,
-        detection=case.detection,
-        popularity=case.popularity,
-        similar_sources=case.similar_sources,
-        lm_score=case.lm_score,
-        rank_score=case.rank_score,
-    )
+#: Backwards-compatible alias; the bridge is public now — see
+#: :func:`repro.jobs.records.detection_case_to_beaconing_case`.
+_to_case = detection_case_to_beaconing_case
 
 
 class RankingJob(MapReduceJob):
@@ -77,7 +66,9 @@ class RankingJob(MapReduceJob):
             similar_sources=self.similar_sources.get(destination, 1),
             lm_score=self.lm_scores.get(destination, 0.0),
         )
-        score = rank_score(_to_case(enriched), self.weights)
+        score = rank_score(
+            detection_case_to_beaconing_case(enriched), self.weights
+        )
         yield _GLOBAL_KEY, replace(enriched, rank_score=score)
 
     def reduce(
@@ -94,11 +85,8 @@ class RankingJob(MapReduceJob):
         )
         if not cases:
             return
-        scores = np.asarray([case.rank_score for case in cases])
-        cutoff = (
-            float(np.quantile(scores, self.percentile))
-            if scores.size > 1
-            else -np.inf
+        cutoff = percentile_cutoff(
+            [case.rank_score for case in cases], self.percentile
         )
         rank = 0
         for case in cases:

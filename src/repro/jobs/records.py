@@ -15,6 +15,7 @@ from typing import Tuple
 
 from repro.core.detector import DetectionResult
 from repro.core.timeseries import ActivitySummary
+from repro.filtering.case import BeaconingCase
 
 
 @dataclass(frozen=True)
@@ -47,3 +48,20 @@ class DetectionCase:
     def destination(self) -> str:
         """Destination endpoint (domain)."""
         return self.summary.destination
+
+
+def detection_case_to_beaconing_case(case: DetectionCase) -> BeaconingCase:
+    """Bridge the MapReduce record to the filtering-layer case type.
+
+    The two types carry the same fields; this is the one sanctioned
+    crossing point between the job layer's picklable records and the
+    filtering layer's :class:`~repro.filtering.case.BeaconingCase`.
+    """
+    return BeaconingCase(
+        summary=case.summary,
+        detection=case.detection,
+        popularity=case.popularity,
+        similar_sources=case.similar_sources,
+        lm_score=case.lm_score,
+        rank_score=case.rank_score,
+    )

@@ -1,14 +1,15 @@
 """End-to-end MapReduce orchestration of the BAYWATCH phases.
 
-:class:`BaywatchRunner` chains the Section VII jobs — data extraction,
-(optional) rescale/merge, destination popularity, beaconing detection,
-and ranking — over a :class:`~repro.mapreduce.MapReduceEngine`, so the
-whole methodology runs with the same modular data flow as the paper's
-Hadoop deployment, serially or across worker processes.
-
-It produces the same :class:`~repro.filtering.pipeline.PipelineReport`
-as the in-process :class:`~repro.filtering.BaywatchPipeline`, so both
-front ends are interchangeable for analysis and benchmarking.
+:class:`BaywatchRunner` is the MapReduce-backed *front end* of the
+8-step funnel: it runs the Section VII extraction/rescale/popularity
+jobs over a :class:`~repro.mapreduce.MapReduceEngine`, then composes
+the same :mod:`repro.stages` objects as the in-process
+:class:`~repro.filtering.BaywatchPipeline` — only the
+periodicity-detection *executor* differs (engine-backed here, sharded
+and checkpointed in :meth:`BaywatchRunner.run_sharded`).  Both front
+ends therefore produce the same
+:class:`~repro.filtering.pipeline.PipelineReport`, funnel rows
+included, and are interchangeable for analysis and benchmarking.
 
 For production-sized batches, :meth:`BaywatchRunner.run_sharded`
 processes the expensive detection phase in bounded shards with durable
@@ -21,25 +22,38 @@ the report's quarantine list instead of aborting the batch.
 from __future__ import annotations
 
 import logging
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.core.detector import DetectionResult
 from repro.core.timeseries import ActivitySummary
-from repro.filtering.case import BeaconingCase
 from repro.filtering.novelty import NoveltyStore
-from repro.filtering.pipeline import FunnelStats, PipelineConfig, PipelineReport
+from repro.filtering.pipeline import PipelineConfig, PipelineReport
 from repro.filtering.tokens import TokenFilter
 from repro.filtering.whitelist import GlobalWhitelist
 from repro.jobs.checkpoint import CheckpointStore, run_fingerprint
 from repro.jobs.detection import BeaconingDetectionJob
 from repro.jobs.extraction import DataExtractionJob
 from repro.jobs.popularity import DestinationPopularityJob, popularity_table
-from repro.jobs.ranking_job import RankingJob, _to_case
-from repro.jobs.rescaling import RescaleMergeJob
+from repro.jobs.ranking_job import RankingJob
 from repro.jobs.records import DetectionCase
+from repro.jobs.rescaling import RescaleMergeJob
 from repro.lm.domains import DomainScorer, default_scorer
 from repro.mapreduce.engine import MapReduceEngine, QuarantinedTask
 from repro.obs import get_registry, span
-from repro.synthetic.logs import ProxyLogRecord
+from repro.sources.proxy import ProxyLogRecord, records_to_summaries
+from repro.stages import (
+    GlobalWhitelistStage,
+    LocalWhitelistStage,
+    MinEventsStage,
+    NoveltyStage,
+    PeriodicityDetectionStage,
+    PopularityIndex,
+    RankingStage,
+    StageContext,
+    TokenFilterStage,
+    build_report,
+    run_stages,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -59,6 +73,120 @@ class IncompleteRunError(RuntimeError):
         )
         self.completed = completed
         self.total = total
+
+
+class _EngineDetection:
+    """Detection executor running one detection job over the engine."""
+
+    def __init__(self, runner: "BaywatchRunner") -> None:
+        self._runner = runner
+
+    def __call__(
+        self, context: StageContext, summaries: List[ActivitySummary]
+    ) -> Tuple[List[Tuple[ActivitySummary, DetectionResult]], List[Any]]:
+        runner = self._runner
+        cases = runner._detect_batch(summaries)
+        return (
+            [(case.summary, case.detection) for case in cases],
+            list(runner.engine.last_quarantine),
+        )
+
+
+class _ShardedDetection:
+    """Detection executor running bounded shards with durable checkpoints.
+
+    Implements the sharding loop of
+    :meth:`BaywatchRunner.run_summaries_sharded`: deterministic pair
+    ordering, per-shard engine runs, checkpoint write/read on resume,
+    quarantine collection, and the ``max_shards`` budget (raising
+    :class:`IncompleteRunError` after checkpointing what finished).
+    """
+
+    def __init__(
+        self,
+        runner: "BaywatchRunner",
+        *,
+        shard_size: int,
+        checkpoint_dir: Optional[str],
+        resume: bool,
+        max_shards: Optional[int],
+        on_shard_complete: Optional[Callable[[int, int], None]],
+    ) -> None:
+        self._runner = runner
+        self.shard_size = shard_size
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        self.max_shards = max_shards
+        self.on_shard_complete = on_shard_complete
+
+    def __call__(
+        self, context: StageContext, summaries: List[ActivitySummary]
+    ) -> Tuple[List[Tuple[ActivitySummary, DetectionResult]], List[Any]]:
+        runner = self._runner
+        registry = get_registry()
+        survivors = sorted(summaries, key=lambda s: s.pair)
+        shards = [
+            survivors[i : i + self.shard_size]
+            for i in range(0, len(survivors), self.shard_size)
+        ]
+        n_shards = len(shards)
+        registry.gauge("runner.shards_total").set(n_shards)
+
+        store: Optional[CheckpointStore] = None
+        if self.checkpoint_dir is not None:
+            store = CheckpointStore(self.checkpoint_dir)
+            fingerprint = run_fingerprint(
+                (s.pair for s in survivors),
+                config_repr=repr(runner.config),
+                shard_size=self.shard_size,
+            )
+            store.begin(
+                fingerprint,
+                n_shards=n_shards,
+                shard_size=self.shard_size,
+                resume=self.resume,
+            )
+
+        detected: List[DetectionCase] = []
+        quarantined: List[QuarantinedTask] = []
+        processed = 0
+        resumed = 0
+        for index, shard in enumerate(shards):
+            if store is not None and self.resume and store.has_shard(index):
+                cases, shard_quarantine = store.read_shard(index)
+                detected.extend(cases)
+                quarantined.extend(shard_quarantine)
+                resumed += 1
+                registry.counter("mapreduce.shards_resumed").inc()
+                continue
+            if self.max_shards is not None and processed >= self.max_shards:
+                if store is not None:
+                    store.write_quarantine(quarantined)
+                completed = resumed + processed
+                logger.warning(
+                    "shard budget exhausted after %d new shards "
+                    "(%d of %d complete)", processed, completed, n_shards,
+                )
+                raise IncompleteRunError(completed, n_shards)
+            cases = runner._detect_batch(shard)
+            shard_quarantine = list(runner.engine.last_quarantine)
+            detected.extend(cases)
+            quarantined.extend(shard_quarantine)
+            if store is not None:
+                store.write_shard(index, cases, shard_quarantine)
+            processed += 1
+            if self.on_shard_complete is not None:
+                self.on_shard_complete(index, n_shards)
+        if resumed:
+            logger.info(
+                "resumed %d of %d shards from checkpoint", resumed, n_shards
+            )
+        if store is not None:
+            store.write_quarantine(quarantined)
+        return (
+            [(case.summary, case.detection) for case in detected],
+            quarantined,
+        )
 
 
 class BaywatchRunner:
@@ -142,16 +270,26 @@ class BaywatchRunner:
     ) -> List[DetectionCase]:
         """Phase D: periodicity detection over non-whitelisted pairs."""
         with span("detect"):
-            job = self.detection_job_factory(
-                self.config.detector,
-                skip_destinations=skip_destinations,
-                min_events=self.config.min_events,
-                use_threshold_cache=self.config.use_threshold_cache,
+            return self._detect_batch(
+                summaries, skip_destinations=skip_destinations
             )
-            output = self.engine.run(
-                job, [(summary.pair, summary) for summary in summaries]
-            )
-            return [case for _pair, case in output]
+
+    def _detect_batch(
+        self,
+        summaries: List[ActivitySummary],
+        skip_destinations: frozenset = frozenset(),
+    ) -> List[DetectionCase]:
+        """One detection job over the engine (no span of its own)."""
+        job = self.detection_job_factory(
+            self.config.detector,
+            skip_destinations=skip_destinations,
+            min_events=self.config.min_events,
+            use_threshold_cache=self.config.use_threshold_cache,
+        )
+        output = self.engine.run(
+            job, [(summary.pair, summary) for summary in summaries]
+        )
+        return [case for _pair, case in output]
 
     def rank(
         self,
@@ -159,7 +297,13 @@ class BaywatchRunner:
         popularity: Dict[str, float],
         similar_sources: Dict[str, int],
     ) -> List[DetectionCase]:
-        """Phase E: token/novelty filtering, scoring, global ranking."""
+        """Phase E: token/novelty filtering, scoring, global ranking.
+
+        A standalone MapReduce counterpart of funnel steps 6-8 (the
+        end-to-end run modes execute those steps through the shared
+        :mod:`repro.stages` objects instead); survivors are recorded in
+        the novelty store.
+        """
         with span("rank"):
             lm_scores = {
                 destination: self.scorer.normalized_score(destination)
@@ -184,6 +328,72 @@ class BaywatchRunner:
                 )
             return ranked
 
+    # -- shared stage plumbing -----------------------------------------------
+
+    def _stage_context(
+        self, summaries: List[ActivitySummary]
+    ) -> StageContext:
+        """Build the stage context: popularity job plus shared components."""
+        _ratios, counts, population = self.popularity(summaries)
+        get_registry().gauge("runner.population_size").set(population)
+        return StageContext(
+            config=self.config,
+            global_whitelist=self.global_whitelist,
+            novelty=self.novelty,
+            token_filter=self.token_filter,
+            popularity=PopularityIndex.from_counts(counts, population),
+            scorer_factory=lambda: self.scorer,
+        )
+
+    @staticmethod
+    def _pre_stages() -> List[Any]:
+        """Funnel steps 1-2 plus the min-events prefilter."""
+        return [GlobalWhitelistStage(), LocalWhitelistStage(), MinEventsStage()]
+
+    @staticmethod
+    def _post_stages() -> List[Any]:
+        """Funnel steps 6-8."""
+        return [TokenFilterStage(), NoveltyStage(), RankingStage()]
+
+    def whitelist_survivors(
+        self, summaries: List[ActivitySummary]
+    ) -> List[ActivitySummary]:
+        """Steps 1-2 and the min-events prefilter, in-process.
+
+        A convenience for smoke tests and ad-hoc analysis: runs the
+        popularity job plus the shared whitelist stages and returns the
+        pairs that would enter periodicity detection.
+        """
+        context = self._stage_context(summaries)
+        return run_stages(context, self._pre_stages(), summaries)
+
+    def _run_stage_graph(
+        self,
+        context: StageContext,
+        summaries: List[ActivitySummary],
+        detection: PeriodicityDetectionStage,
+        *,
+        detect_span: str = "detect",
+    ) -> PipelineReport:
+        """Whitelists -> detection -> ranking over the shared stages.
+
+        The stages are grouped under the runner's traditional phase
+        spans (``detect``, ``rank``) so phase-level timings stay
+        comparable across releases; the per-stage spans nest inside.
+        """
+        survivors = run_stages(context, self._pre_stages(), summaries)
+        with span(detect_span):
+            cases = run_stages(context, [detection], survivors)
+        with span("rank"):
+            ranked = run_stages(context, self._post_stages(), cases)
+        logger.info(
+            "runner run: %d pairs in, %d periodic, %d reported, "
+            "%d quarantined (population %d)",
+            len(summaries), len(context.detected), len(ranked),
+            len(context.quarantined), context.popularity.population,
+        )
+        return build_report(context, ranked)
+
     # -- end to end ----------------------------------------------------------
 
     def run(
@@ -202,90 +412,15 @@ class BaywatchRunner:
         *,
         analysis_time_scale: Optional[float] = None,
     ) -> PipelineReport:
-        registry = get_registry()
-        registry.counter("runner.runs").inc()
-        funnel = FunnelStats()
+        get_registry().counter("runner.runs").inc()
         summaries = self.extract(records)
         if analysis_time_scale is not None:
             summaries = self.rescale_merge(summaries, analysis_time_scale)
-        ratios, counts, population = self.popularity(summaries)
-        registry.gauge("runner.population_size").set(population)
-
-        survivors = self._whitelist_survivors(summaries, ratios, counts, funnel)
-        detected = self.detect(survivors, frozenset())
-        funnel.record("3-5 periodicity detection", len(survivors), len(detected))
-
-        return self._assemble_report(
-            summaries, detected, funnel, ratios, counts, population
-        )
-
-    # -- shared run plumbing -------------------------------------------------
-
-    def _whitelist_survivors(
-        self,
-        summaries: List[ActivitySummary],
-        ratios: Dict[str, float],
-        counts: Dict[str, int],
-        funnel: FunnelStats,
-    ) -> List[ActivitySummary]:
-        """Steps 1-2: global and local (popularity) whitelists."""
-        n_in = len(summaries)
-        not_global = [
-            s for s in summaries if s.destination not in self.global_whitelist
-        ]
-        funnel.record("1 global whitelist", n_in, len(not_global))
-
-        threshold = self.config.local_whitelist_threshold
-        local_whitelisted = frozenset(
-            destination
-            for destination, ratio in ratios.items()
-            if ratio > threshold and counts.get(destination, 0) >= 3
-        )
-        survivors = [
-            s for s in not_global if s.destination not in local_whitelisted
-        ]
-        funnel.record("2 local whitelist", len(not_global), len(survivors))
-        return survivors
-
-    def _assemble_report(
-        self,
-        summaries: List[ActivitySummary],
-        detected: List[DetectionCase],
-        funnel: FunnelStats,
-        ratios: Dict[str, float],
-        counts: Dict[str, int],
-        population: int,
-        quarantined: Sequence[QuarantinedTask] = (),
-    ) -> PipelineReport:
-        """Steps 6-8 plus report assembly (shared by both run modes)."""
-        ranked = self.rank(detected, ratios, counts)
-        funnel.record("6-8 token/novelty/ranking", len(detected), len(ranked))
-
-        def bridge(case: DetectionCase) -> BeaconingCase:
-            out = _to_case(case)
-            if out.popularity == 0.0:
-                out = BeaconingCase(
-                    summary=out.summary,
-                    detection=out.detection,
-                    popularity=ratios.get(out.destination, 0.0),
-                    similar_sources=counts.get(out.destination, 1),
-                    lm_score=out.lm_score,
-                    rank_score=out.rank_score,
-                )
-            return out
-
-        logger.info(
-            "runner run: %d pairs in, %d periodic, %d reported, "
-            "%d quarantined (population %d)",
-            len(summaries), len(detected), len(ranked), len(quarantined),
-            population,
-        )
-        return PipelineReport(
-            ranked_cases=[_to_case(case) for case in ranked],
-            detected_cases=[bridge(case) for case in detected],
-            funnel=funnel,
-            population_size=population,
-            quarantined=list(quarantined),
+        context = self._stage_context(summaries)
+        return self._run_stage_graph(
+            context,
+            summaries,
+            PeriodicityDetectionStage(_EngineDetection(self)),
         )
 
     # -- sharded, checkpointed execution -------------------------------------
@@ -304,12 +439,17 @@ class BaywatchRunner:
         """Run all phases with the detection phase sharded.
 
         See :meth:`run_summaries_sharded` for the sharding, checkpoint,
-        and resume semantics; extraction and rescaling run up front
-        (they are cheap and deterministic, so a resumed run simply
-        recomputes them from the same input).
+        and resume semantics.  Ingestion streams the records through
+        :func:`repro.sources.proxy.records_to_summaries` (``records``
+        may be a lazy iterator); extraction and rescaling are cheap and
+        deterministic, so a resumed run simply recomputes them from the
+        same input.
         """
         with span("runner.sharded"):
-            summaries = self.extract(records)
+            with span("extract"):
+                summaries = records_to_summaries(
+                    records, time_scale=self.config.time_scale
+                )
             if analysis_time_scale is not None:
                 summaries = self.rescale_merge(summaries, analysis_time_scale)
             return self.run_summaries_sharded(
@@ -356,78 +496,18 @@ class BaywatchRunner:
                 "max_shards without checkpoint_dir would discard the "
                 "completed shards"
             )
-        registry = get_registry()
-        registry.counter("runner.runs").inc()
-        funnel = FunnelStats()
-        ratios, counts, population = self.popularity(summaries)
-        registry.gauge("runner.population_size").set(population)
-
-        survivors = self._whitelist_survivors(summaries, ratios, counts, funnel)
-        survivors = sorted(survivors, key=lambda s: s.pair)
-        shards = [
-            survivors[i : i + shard_size]
-            for i in range(0, len(survivors), shard_size)
-        ]
-        n_shards = len(shards)
-        registry.gauge("runner.shards_total").set(n_shards)
-
-        store: Optional[CheckpointStore] = None
-        if checkpoint_dir is not None:
-            store = CheckpointStore(checkpoint_dir)
-            fingerprint = run_fingerprint(
-                (s.pair for s in survivors),
-                config_repr=repr(self.config),
+        get_registry().counter("runner.runs").inc()
+        context = self._stage_context(summaries)
+        detection = PeriodicityDetectionStage(
+            _ShardedDetection(
+                self,
                 shard_size=shard_size,
-            )
-            store.begin(
-                fingerprint,
-                n_shards=n_shards,
-                shard_size=shard_size,
+                checkpoint_dir=checkpoint_dir,
                 resume=resume,
+                max_shards=max_shards,
+                on_shard_complete=on_shard_complete,
             )
-
-        detected: List[DetectionCase] = []
-        quarantined: List[QuarantinedTask] = []
-        processed = 0
-        resumed = 0
-        with span("detect.sharded"):
-            for index, shard in enumerate(shards):
-                if store is not None and resume and store.has_shard(index):
-                    cases, shard_quarantine = store.read_shard(index)
-                    detected.extend(cases)
-                    quarantined.extend(shard_quarantine)
-                    resumed += 1
-                    registry.counter("mapreduce.shards_resumed").inc()
-                    continue
-                if max_shards is not None and processed >= max_shards:
-                    if store is not None:
-                        store.write_quarantine(quarantined)
-                    completed = resumed + processed
-                    logger.warning(
-                        "shard budget exhausted after %d new shards "
-                        "(%d of %d complete)", processed, completed, n_shards,
-                    )
-                    raise IncompleteRunError(completed, n_shards)
-                cases = self.detect(shard, frozenset())
-                shard_quarantine = list(self.engine.last_quarantine)
-                detected.extend(cases)
-                quarantined.extend(shard_quarantine)
-                if store is not None:
-                    store.write_shard(index, cases, shard_quarantine)
-                processed += 1
-                if on_shard_complete is not None:
-                    on_shard_complete(index, n_shards)
-        funnel.record(
-            "3-5 periodicity detection", len(survivors), len(detected)
         )
-        if resumed:
-            logger.info(
-                "resumed %d of %d shards from checkpoint", resumed, n_shards
-            )
-        if store is not None:
-            store.write_quarantine(quarantined)
-
-        return self._assemble_report(
-            summaries, detected, funnel, ratios, counts, population,
-            quarantined=quarantined,
+        return self._run_stage_graph(
+            context, summaries, detection, detect_span="detect.sharded"
         )

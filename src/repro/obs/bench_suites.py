@@ -1,6 +1,6 @@
 """Named benchmark suites for ``repro bench``.
 
-Three suites cover the pipeline's cost structure:
+Four suites cover the pipeline's cost structure:
 
 - ``micro`` — the detector's hot paths in isolation: periodogram DFT
   (scalar and batched), permutation thresholding (cold and through the
@@ -12,6 +12,12 @@ Three suites cover the pipeline's cost structure:
 - ``mapreduce`` — the local engine's map/shuffle/reduce machinery,
   serial vs. a 2-worker process pool, isolating dispatch overhead from
   detector cost.
+- ``ingestion`` — streaming record-to-summary grouping
+  (:func:`repro.sources.proxy.records_to_summaries`) at 1x and 4x the
+  record count over a fixed pair population.  Because the accumulator
+  keeps per-pair slot counts (not records), the ``peak_tracemalloc_kb``
+  probe must stay near-flat as the record count quadruples — the
+  sub-linear-memory guarantee of the streaming ingestion path.
 
 Workloads are deterministic (fixed seeds) and sized so the micro suite
 finishes in seconds — small enough for a CI smoke job, large enough
@@ -224,12 +230,63 @@ def build_mapreduce_suite() -> List[Benchmark]:
     ]
 
 
+def _ingestion_records(factor: int) -> List:
+    """``factor`` events per pair per minute over a fixed pair set.
+
+    Extra events land inside the *same* one-second time bin as the
+    base event, so the streaming accumulator's state (per-pair slot
+    counts plus a capped URL sample) is identical across factors while
+    the record count scales linearly.
+    """
+    from repro.sources.proxy import ProxyLogRecord
+
+    records = []
+    for host in range(8):
+        for site in range(2):
+            source = f"aa:bb:cc:00:00:{host:02x}"
+            destination = f"svc{site}.example.net"
+            for minute in range(750):
+                for repeat in range(factor):
+                    records.append(
+                        ProxyLogRecord(
+                            timestamp=minute * 60.0 + repeat / (factor + 1.0),
+                            source_mac=source,
+                            source_ip=f"10.0.0.{host + 1}",
+                            destination=destination,
+                            url=f"/poll?h={host}&r={repeat}",
+                        )
+                    )
+    return records
+
+
+def build_ingestion_suite() -> List[Benchmark]:
+    """Streaming grouping at 1x and 4x record counts (memory probe)."""
+    from repro.sources.proxy import records_to_summaries
+
+    base = _ingestion_records(1)
+    scaled = _ingestion_records(4)
+
+    def run_1x() -> int:
+        records_to_summaries(iter(base))
+        return len(base)
+
+    def run_4x() -> int:
+        records_to_summaries(iter(scaled))
+        return len(scaled)
+
+    return [
+        Benchmark("ingest.records_to_summaries_1x", run_1x),
+        Benchmark("ingest.records_to_summaries_4x", run_4x),
+    ]
+
+
 #: Suite name -> builder.  Builders are lazy: heavy imports and workload
 #: construction happen only when a suite is actually requested.
 SUITES: Dict[str, Callable[[], List[Benchmark]]] = {
     "micro": build_micro_suite,
     "pipeline": build_pipeline_suite,
     "mapreduce": build_mapreduce_suite,
+    "ingestion": build_ingestion_suite,
 }
 
 

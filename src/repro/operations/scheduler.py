@@ -23,7 +23,7 @@ from repro.core.timeseries import ActivitySummary, merge, rescale
 from repro.filtering.novelty import NoveltyStore
 from repro.filtering.pipeline import BaywatchPipeline, PipelineConfig, PipelineReport
 from repro.obs import get_registry, span
-from repro.synthetic.logs import ProxyLogRecord, records_to_summaries
+from repro.sources.proxy import ProxyLogRecord, records_to_summaries
 from repro.utils.validation import require, require_positive
 
 logger = logging.getLogger(__name__)

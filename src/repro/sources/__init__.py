@@ -1,8 +1,10 @@
-"""Alternative data sources (paper Section X): DNS and NetFlow.
+"""Log-source adapters feeding the pipeline's ActivitySummary stream.
 
 The core methodology only consumes (source, destination, timestamp)
-triples; these modules adapt resolver logs and flow records into the
-same ActivitySummary stream the proxy-log path produces, including the
+triples.  :mod:`repro.sources.proxy` is the primary path — the paper's
+BlueCoat web-proxy logs, with streaming record-to-summary grouping —
+while the DNS and NetFlow modules (paper Section X) adapt resolver
+logs and flow records into the same stream, including the
 source-specific caveats the paper discusses (DNS caching, NetFlow's
 lack of names/content).
 """
@@ -18,6 +20,15 @@ from repro.sources.netflow import (
     netflow_view_of_proxy,
     resolve_domain,
 )
+from repro.sources.proxy import (
+    PairConfig,
+    ProxyLogRecord,
+    SummaryAccumulator,
+    read_log,
+    records_to_summaries,
+    summary_from_observations,
+    write_log,
+)
 
 __all__ = [
     "DnsLogRecord",
@@ -27,4 +38,11 @@ __all__ = [
     "netflow_records_to_summaries",
     "netflow_view_of_proxy",
     "resolve_domain",
+    "PairConfig",
+    "ProxyLogRecord",
+    "SummaryAccumulator",
+    "read_log",
+    "records_to_summaries",
+    "summary_from_observations",
+    "write_log",
 ]

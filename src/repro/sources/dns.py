@@ -21,7 +21,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.timeseries import ActivitySummary
 from repro.lm.domains import registered_domain
-from repro.synthetic.logs import ProxyLogRecord
+from repro.sources.proxy import ProxyLogRecord
 from repro.utils.validation import require, require_positive
 
 

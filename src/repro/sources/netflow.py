@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
 from repro.core.timeseries import ActivitySummary
-from repro.synthetic.logs import ProxyLogRecord
+from repro.sources.proxy import ProxyLogRecord
 from repro.utils.validation import require
 
 

@@ -1,0 +1,144 @@
+"""The periodicity-detection stage (funnel steps 3-5) and its executors.
+
+Steps 3-5 — DFT candidate extraction, permutation thresholding and
+pruning, ACF verification — run inside
+:class:`~repro.core.PeriodicityDetector`.  The stage itself is
+execution-agnostic: a pluggable *executor* maps surviving summaries to
+``(summary, DetectionResult)`` pairs, which lets the same stage object
+run in-process (:class:`InProcessDetection`), over a MapReduce engine,
+or in checkpointed shards — the latter two executors live with the
+runner in :mod:`repro.jobs.runner`, keeping this package free of job
+dependencies.
+
+:func:`detect_pairs` is the single detection loop both the in-process
+executor and the detection MapReduce job's reduce task share, and
+:func:`build_case` is the single enrichment point turning a detection
+into a :class:`~repro.filtering.case.BeaconingCase` (popularity,
+similar sources, LM score).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.detector import DetectionResult, PeriodicityDetector
+from repro.core.timeseries import ActivitySummary
+from repro.filtering.case import BeaconingCase
+from repro.stages.base import Stage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.stages.context import StageContext
+
+__all__ = [
+    "DetectionExecutor",
+    "InProcessDetection",
+    "PeriodicityDetectionStage",
+    "build_case",
+    "detect_pairs",
+]
+
+#: An executor maps (context, summaries) to the detected
+#: ``(summary, result)`` pairs plus any quarantined units.
+DetectionExecutor = Callable[
+    ["StageContext", List[ActivitySummary]],
+    Tuple[List[Tuple[ActivitySummary, DetectionResult]], List[Any]],
+]
+
+
+def detect_pairs(
+    detector: PeriodicityDetector, summaries: Iterable[ActivitySummary]
+) -> Iterator[Tuple[ActivitySummary, DetectionResult]]:
+    """Run the detector over summaries, yielding the periodic ones.
+
+    The one detection loop shared by the in-process executor and the
+    MapReduce detection job's reduce task.
+    """
+    for summary in summaries:
+        result = detector.detect_summary(summary)
+        if result.periodic:
+            yield summary, result
+
+
+def build_case(
+    context: "StageContext",
+    summary: ActivitySummary,
+    detection: DetectionResult,
+) -> BeaconingCase:
+    """Enrich one detection into a :class:`BeaconingCase`.
+
+    Attaches the ranking indicators computed from shared run state:
+    destination popularity and similar-source count from the context's
+    :class:`~repro.stages.context.PopularityIndex` and the normalized
+    language-model score from the (lazily built) scorer.
+    """
+    destination = summary.destination
+    return BeaconingCase(
+        summary=summary,
+        detection=detection,
+        popularity=context.popularity.ratio(destination),
+        similar_sources=context.popularity.similar_sources(destination),
+        lm_score=context.scorer.normalized_score(destination),
+    )
+
+
+class InProcessDetection:
+    """Default executor: run the detector serially in this process.
+
+    Pass a prebuilt detector to share a warm
+    :class:`~repro.core.permutation.ThresholdCache` across runs;
+    otherwise one is built (once) from the context's config and cache.
+    """
+
+    def __init__(self, detector: Optional[PeriodicityDetector] = None) -> None:
+        self._detector = detector
+
+    def __call__(
+        self, context: "StageContext", summaries: List[ActivitySummary]
+    ) -> Tuple[List[Tuple[ActivitySummary, DetectionResult]], List[Any]]:
+        """Detect every summary; nothing is ever quarantined in-process."""
+        if self._detector is None:
+            self._detector = PeriodicityDetector(
+                context.config.detector,
+                threshold_cache=context.threshold_cache,
+            )
+        return list(detect_pairs(self._detector, summaries)), []
+
+
+class PeriodicityDetectionStage(Stage):
+    """Funnel steps 3-5: periodicity detection plus case enrichment.
+
+    The executor decides *where* detection runs; the stage owns the
+    invariant parts — quarantine collection, case enrichment via
+    :func:`build_case`, deterministic pair ordering, and publishing the
+    detected list on the context for the run report.
+    """
+
+    name = "3-5 periodicity detection"
+    span_name = "step3_5_periodicity_detection"
+
+    def __init__(self, executor: Optional[DetectionExecutor] = None) -> None:
+        self.executor = executor if executor is not None else InProcessDetection()
+
+    def apply(
+        self, context: "StageContext", items: Sequence[ActivitySummary]
+    ) -> List[BeaconingCase]:
+        """Detect the surviving pairs and enrich the periodic ones."""
+        results, quarantined = self.executor(context, list(items))
+        context.quarantined.extend(quarantined)
+        cases = [
+            build_case(context, summary, detection)
+            for summary, detection in results
+        ]
+        cases.sort(key=lambda case: case.pair)
+        context.detected = cases
+        return cases

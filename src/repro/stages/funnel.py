@@ -1,0 +1,174 @@
+"""The whitelist and suspicious-indication stages of the funnel.
+
+Steps 1-2 (whitelist analysis) and 6-8 (suspicious indication) as
+:class:`~repro.stages.base.Stage` objects, plus the min-events
+prefilter that sits between the whitelists and periodicity detection.
+Step bodies live *only* here: both front ends compose these instances,
+so a change to one filter's semantics reaches the in-process pipeline,
+the MapReduce runner, and the sharded runner at once.
+
+:func:`default_stages` builds the canonical eight-step sequence; front
+ends inject their own detection stage (the step that differs in *where*
+it executes, never in *what* it computes).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.core.timeseries import ActivitySummary
+from repro.filtering.case import BeaconingCase
+from repro.filtering.ranking import (
+    rank_cases,
+    rank_score,
+    strongest_per_destination,
+)
+from repro.stages.base import Stage
+from repro.stages.detection import PeriodicityDetectionStage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.stages.context import StageContext
+
+__all__ = [
+    "GlobalWhitelistStage",
+    "LocalWhitelistStage",
+    "MinEventsStage",
+    "NoveltyStage",
+    "RankingStage",
+    "TokenFilterStage",
+    "default_stages",
+]
+
+
+class GlobalWhitelistStage(Stage):
+    """Step 1: drop destinations on the global whitelist."""
+
+    name = "1 global whitelist"
+    span_name = "step1_global_whitelist"
+
+    def apply(
+        self, context: "StageContext", items: Sequence[ActivitySummary]
+    ) -> List[ActivitySummary]:
+        """Keep pairs whose destination is not globally whitelisted."""
+        whitelist = context.global_whitelist
+        return [s for s in items if s.destination not in whitelist]
+
+
+class LocalWhitelistStage(Stage):
+    """Step 2: drop organization-wide popular destinations."""
+
+    name = "2 local whitelist"
+    span_name = "step2_local_whitelist"
+
+    def apply(
+        self, context: "StageContext", items: Sequence[ActivitySummary]
+    ) -> List[ActivitySummary]:
+        """Keep pairs below the popularity threshold (tau_p)."""
+        popularity = context.popularity
+        threshold = context.config.local_whitelist_threshold
+        return [
+            s
+            for s in items
+            if not popularity.is_whitelisted(s.destination, threshold)
+        ]
+
+
+class MinEventsStage(Stage):
+    """Prefilter: pairs without enough events cannot beacon."""
+
+    #: Indented label marks this as a prefilter, not a paper step.
+    name = "  (min events)"
+    span_name = "min_events_prefilter"
+
+    def apply(
+        self, context: "StageContext", items: Sequence[ActivitySummary]
+    ) -> List[ActivitySummary]:
+        """Keep pairs with at least ``config.min_events`` requests."""
+        min_events = context.config.min_events
+        return [s for s in items if s.event_count >= min_events]
+
+
+class TokenFilterStage(Stage):
+    """Step 6: URL token analysis drops likely-benign periodic services."""
+
+    name = "6 token filter"
+    span_name = "step6_token_filter"
+
+    def apply(
+        self, context: "StageContext", items: Sequence[BeaconingCase]
+    ) -> List[BeaconingCase]:
+        """Keep cases whose URL sample does not look like benign polling."""
+        token_filter = context.token_filter
+        return [
+            case
+            for case in items
+            if not token_filter.is_likely_benign(case.summary.urls)
+        ]
+
+
+class NoveltyStage(Stage):
+    """Step 7: novelty analysis and per-destination consolidation.
+
+    Suppresses destinations reported in previous runs, consolidates
+    same-destination cases within this run (keeping the strongest), and
+    records the survivors in the novelty store so tomorrow's run
+    suppresses them in turn.
+    """
+
+    name = "7 novelty filter"
+    span_name = "step7_novelty_filter"
+
+    def apply(
+        self, context: "StageContext", items: Sequence[BeaconingCase]
+    ) -> List[BeaconingCase]:
+        """Filter to novel destinations and consolidate per destination."""
+        weights = context.config.ranking_weights
+        scored = [
+            case.with_rank_score(rank_score(case, weights)) for case in items
+        ]
+        fresh = [
+            case
+            for case in scored
+            if context.novelty.is_novel(case.source, case.destination)
+        ]
+        consolidated = strongest_per_destination(fresh)
+        for case in consolidated:
+            context.novelty.record(case.source, case.destination)
+        return consolidated
+
+
+class RankingStage(Stage):
+    """Step 8: weighted scoring and the percentile threshold."""
+
+    name = "8 weighted ranking"
+    span_name = "step8_weighted_ranking"
+
+    def apply(
+        self, context: "StageContext", items: Sequence[BeaconingCase]
+    ) -> List[BeaconingCase]:
+        """Score, threshold, and sort the surviving cases (best first)."""
+        return rank_cases(
+            items,
+            weights=context.config.ranking_weights,
+            percentile=context.config.ranking_percentile,
+        )
+
+
+def default_stages(
+    detection: Optional[PeriodicityDetectionStage] = None,
+) -> List[Stage]:
+    """The canonical 8-step funnel as a stage list.
+
+    ``detection`` substitutes the periodicity-detection stage (steps
+    3-5) — typically to select an executor (in-process, engine-backed,
+    sharded) while every other step stays shared.
+    """
+    return [
+        GlobalWhitelistStage(),
+        LocalWhitelistStage(),
+        MinEventsStage(),
+        detection if detection is not None else PeriodicityDetectionStage(),
+        TokenFilterStage(),
+        NoveltyStage(),
+        RankingStage(),
+    ]

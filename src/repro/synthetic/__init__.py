@@ -34,7 +34,7 @@ from repro.synthetic.background import (
     PeriodicService,
     browsing_trace,
 )
-from repro.synthetic.logs import (
+from repro.sources.proxy import (
     PairConfig,
     ProxyLogRecord,
     read_log,

@@ -2,7 +2,7 @@
 
 This is the substitute for the paper's proprietary 35.6 TB proxy-log
 corpus: a deterministic generator that emits
-:class:`~repro.synthetic.logs.ProxyLogRecord` streams for a population
+:class:`~repro.sources.proxy.ProxyLogRecord` streams for a population
 of hosts mixing
 
 - bursty benign browsing over a Zipf-popular site catalogue,
@@ -25,7 +25,7 @@ import numpy as np
 from repro.synthetic.background import DEFAULT_SERVICES, PeriodicService, browsing_trace
 from repro.synthetic.botnet import BOTNET_CATALOGUE
 from repro.synthetic.dga import generate_pool
-from repro.synthetic.logs import ProxyLogRecord
+from repro.sources.proxy import ProxyLogRecord
 from repro.utils.validation import require, require_positive, require_probability
 
 DAY = 86_400.0

@@ -20,7 +20,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.synthetic.beacon import BeaconSpec
-from repro.synthetic.logs import ProxyLogRecord
+from repro.sources.proxy import ProxyLogRecord
 from repro.utils.validation import require
 
 

@@ -1,193 +1,42 @@
-"""Proxy-log record format, serialization, and grouping.
+"""Deprecated alias for :mod:`repro.sources.proxy`.
 
-The paper's raw input is BlueCoat ProxySG access logs stored in HDFS.
-We model one log line as a :class:`ProxyLogRecord` and provide TSV
-(de)serialization plus the timestamp-grouping helper that turns a flat
-event stream into per-pair :class:`~repro.core.timeseries.ActivitySummary`
-records — the same transformation the data-extraction MapReduce job
-performs (Section VII-A).
+The proxy-log record format, (de)serialization, and the streaming
+record-to-summary grouping moved to :mod:`repro.sources.proxy` so that
+ingestion lives with the other log sources and the analysis layers
+(``repro.core``, ``repro.filtering``, ``repro.jobs``, ``repro.sources``)
+no longer depend on the synthetic-traffic package.  Importing the moved
+names from here still works but emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import gzip
-import io
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Tuple, Union
+import warnings
+from typing import Any, List
 
-from repro.core.timeseries import ActivitySummary
-from repro.utils.validation import require
+_MOVED = (
+    "PairConfig",
+    "ProxyLogRecord",
+    "read_log",
+    "records_to_summaries",
+    "write_log",
+)
 
-_FIELDS = ("timestamp", "source_mac", "source_ip", "destination", "url", "status", "bytes_sent")
-
-_SOURCE_FEATURES = ("mac", "ip")
-_DESTINATION_FEATURES = ("domain", "registered_domain")
+__all__ = list(_MOVED)
 
 
-@dataclass(frozen=True)
-class PairConfig:
-    """Which endpoint features define a communication pair (Table I).
-
-    The paper's evaluation keys pairs on (source MAC, destination
-    domain): MACs survive DHCP churn where IPs do not, and domains
-    survive C&C address rotation where IPs do not.  Other deployments
-    key differently (no DHCP correlation available, entity-level
-    aggregation wanted), so the choice is configuration:
-
-    - ``source_feature``: ``"mac"`` (default) or ``"ip"``,
-    - ``destination_feature``: ``"domain"`` (default) or
-      ``"registered_domain"`` (entity aggregation for subdomain flux).
-    """
-
-    source_feature: str = "mac"
-    destination_feature: str = "domain"
-
-    def __post_init__(self) -> None:
-        require(self.source_feature in _SOURCE_FEATURES,
-                f"source_feature must be one of {_SOURCE_FEATURES}")
-        require(self.destination_feature in _DESTINATION_FEATURES,
-                f"destination_feature must be one of {_DESTINATION_FEATURES}")
-
-    def source_of(self, record: "ProxyLogRecord") -> str:
-        """The pair's source endpoint for this configuration."""
-        return (
-            record.source_mac
-            if self.source_feature == "mac"
-            else record.source_ip
+def __getattr__(name: str) -> Any:
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.synthetic.logs.{name} moved to repro.sources.proxy; "
+            "importing it from repro.synthetic.logs is deprecated",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from repro.sources import proxy
 
-    def destination_of(self, record: "ProxyLogRecord") -> str:
-        """The pair's destination endpoint for this configuration."""
-        if self.destination_feature == "registered_domain":
-            from repro.lm.domains import registered_domain
-
-            return registered_domain(record.destination)
-        return record.destination
+        return getattr(proxy, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-@dataclass(frozen=True)
-class ProxyLogRecord:
-    """One web-proxy log line.
-
-    ``source_mac`` is the DHCP-correlated device identity the paper
-    prefers over IPs; ``destination`` is the requested domain; ``url``
-    is the path+query component consumed by the token filter.
-    """
-
-    timestamp: float
-    source_mac: str
-    source_ip: str
-    destination: str
-    url: str = "/"
-    status: int = 200
-    bytes_sent: int = 0
-
-    def to_line(self) -> str:
-        """Serialize to a tab-separated log line."""
-        return "\t".join(
-            (
-                f"{self.timestamp:.3f}",
-                self.source_mac,
-                self.source_ip,
-                self.destination,
-                self.url,
-                str(self.status),
-                str(self.bytes_sent),
-            )
-        )
-
-    @classmethod
-    def from_line(cls, line: str) -> "ProxyLogRecord":
-        """Parse a tab-separated log line."""
-        parts = line.rstrip("\n").split("\t")
-        require(len(parts) == len(_FIELDS), f"malformed log line: {line!r}")
-        return cls(
-            timestamp=float(parts[0]),
-            source_mac=parts[1],
-            source_ip=parts[2],
-            destination=parts[3],
-            url=parts[4],
-            status=int(parts[5]),
-            bytes_sent=int(parts[6]),
-        )
-
-
-def write_log(
-    records: Iterable[ProxyLogRecord],
-    path: Union[str, Path],
-    *,
-    compress: bool = False,
-) -> int:
-    """Write records as TSV lines (optionally gzipped); returns the count."""
-    path = Path(path)
-    opener = gzip.open if compress else open
-    count = 0
-    with opener(path, "wt", encoding="utf-8") as handle:
-        for record in records:
-            handle.write(record.to_line())
-            handle.write("\n")
-            count += 1
-    return count
-
-
-def read_log(path: Union[str, Path]) -> Iterator[ProxyLogRecord]:
-    """Stream records back from a (possibly gzipped) TSV log file."""
-    path = Path(path)
-    opener = gzip.open if path.suffix == ".gz" else open
-    with opener(path, "rt", encoding="utf-8") as handle:
-        for line in handle:
-            if line.strip():
-                yield ProxyLogRecord.from_line(line)
-
-
-def records_to_summaries(
-    records: Iterable[ProxyLogRecord],
-    *,
-    time_scale: float = 1.0,
-    keep_urls: bool = True,
-    max_urls_per_pair: int = 64,
-    aggregate_entities: bool = False,
-    pair_config: Optional[PairConfig] = None,
-) -> List[ActivitySummary]:
-    """Group a flat record stream into per-pair activity summaries.
-
-    The default communication pair is (source MAC, destination domain),
-    matching the paper's evaluation configuration; ``pair_config``
-    selects other Table I feature combinations.  Pairs with a single
-    request carry no interval information but are still emitted
-    (downstream filters need the popularity signal).
-
-    ``aggregate_entities=True`` is shorthand for a pair config whose
-    destination feature is the *registered* domain, so subdomain-fluxing
-    C&C — whose per-FQDN pairs are sparse and aperiodic — reassembles
-    into one beaconing pair (paper Challenge 2: a destination entity
-    has many addresses).
-    """
-    if pair_config is None:
-        pair_config = PairConfig(
-            destination_feature=(
-                "registered_domain" if aggregate_entities else "domain"
-            )
-        )
-    grouped: Dict[Tuple[str, str], List[ProxyLogRecord]] = {}
-    for record in records:
-        key = (pair_config.source_of(record), pair_config.destination_of(record))
-        grouped.setdefault(key, []).append(record)
-    summaries = []
-    for (source, destination), pair_records in grouped.items():
-        pair_records.sort(key=lambda r: r.timestamp)
-        urls: Tuple[str, ...] = ()
-        if keep_urls:
-            urls = tuple(r.url for r in pair_records[:max_urls_per_pair])
-        summaries.append(
-            ActivitySummary.from_timestamps(
-                source,
-                destination,
-                [r.timestamp for r in pair_records],
-                time_scale=time_scale,
-                urls=urls,
-            )
-        )
-    summaries.sort(key=lambda s: s.pair)
-    return summaries
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_MOVED))

@@ -224,7 +224,9 @@ class TestSuites:
     def test_micro_suite_builds_unique_benchmarks(self):
         from repro.obs.bench_suites import build_suite, suite_names
 
-        assert set(suite_names()) == {"micro", "pipeline", "mapreduce"}
+        assert set(suite_names()) == {
+            "micro", "pipeline", "mapreduce", "ingestion"
+        }
         benchmarks = build_suite("micro")
         names = [bench.name for bench in benchmarks]
         assert len(names) == len(set(names))

@@ -1,0 +1,116 @@
+"""Front-end parity: one stage graph, identical reports everywhere.
+
+The same synthetic enterprise trace runs through every execution mode —
+the in-process :class:`BaywatchPipeline`, the serial
+:class:`BaywatchRunner`, a 2-worker engine, and an
+interrupt-and-resume sharded run — and must produce *identical*
+:class:`PipelineReport` contents: ranked cases, detected cases, funnel
+rows, population, and quarantine list.  This is the acceptance test for
+the shared :mod:`repro.stages` graph: any funnel-semantics fork between
+front ends shows up here as a report mismatch.
+"""
+
+import pytest
+
+from repro.filtering import BaywatchPipeline, PipelineConfig
+from repro.jobs import BaywatchRunner, IncompleteRunError
+from repro.lm.domains import default_scorer
+from repro.mapreduce.engine import MapReduceEngine
+from repro.synthetic import EnterpriseConfig, EnterpriseSimulator, ImplantSpec
+
+CONFIG = dict(local_whitelist_threshold=0.2, ranking_percentile=0.5)
+
+
+@pytest.fixture(scope="module")
+def records():
+    config = EnterpriseConfig(
+        n_hosts=10,
+        n_sites=20,
+        duration=86_400.0 / 8,
+        implants=(
+            ImplantSpec("zbot", "zeus", n_infected=1, period=120.0),
+            ImplantSpec("slowbeacon", "apt", n_infected=1, period=300.0),
+        ),
+        seed=11,
+    )
+    trace, _truth = EnterpriseSimulator(config).generate()
+    return trace
+
+
+@pytest.fixture(scope="module")
+def scorer():
+    return default_scorer()
+
+
+def report_signature(report):
+    """Everything that must agree across front ends, as plain data."""
+    return {
+        "ranked": [
+            (c.source, c.destination, round(c.rank_score, 9))
+            for c in report.ranked_cases
+        ],
+        "detected": sorted(
+            (
+                c.source,
+                c.destination,
+                round(c.popularity, 9),
+                c.similar_sources,
+                round(c.lm_score, 9),
+            )
+            for c in report.detected_cases
+        ),
+        "funnel": report.funnel.steps,
+        "population": report.population_size,
+        "quarantined": [q.key for q in report.quarantined],
+    }
+
+
+@pytest.fixture(scope="module")
+def pipeline_report(records, scorer):
+    return BaywatchPipeline(
+        PipelineConfig(**CONFIG), scorer=scorer
+    ).run_records(records)
+
+
+def test_serial_runner_matches_pipeline(records, scorer, pipeline_report):
+    runner_report = BaywatchRunner(
+        PipelineConfig(**CONFIG), scorer=scorer
+    ).run(records)
+    assert report_signature(runner_report) == report_signature(pipeline_report)
+
+
+def test_two_worker_engine_matches_pipeline(records, scorer, pipeline_report):
+    with MapReduceEngine(n_workers=2, min_parallel_records=16) as engine:
+        runner_report = BaywatchRunner(
+            PipelineConfig(**CONFIG), engine=engine, scorer=scorer
+        ).run(records)
+    assert report_signature(runner_report) == report_signature(pipeline_report)
+
+
+def test_interrupted_resumed_sharded_run_matches_pipeline(
+    records, scorer, pipeline_report, tmp_path
+):
+    checkpoint = str(tmp_path / "ckpt")
+    interrupted = BaywatchRunner(PipelineConfig(**CONFIG), scorer=scorer)
+    with pytest.raises(IncompleteRunError):
+        interrupted.run_sharded(
+            records,
+            shard_size=4,
+            checkpoint_dir=checkpoint,
+            max_shards=2,
+        )
+    resumed = BaywatchRunner(PipelineConfig(**CONFIG), scorer=scorer)
+    report = resumed.run_sharded(
+        records,
+        shard_size=4,
+        checkpoint_dir=checkpoint,
+        resume=True,
+    )
+    assert report_signature(report) == report_signature(pipeline_report)
+
+
+def test_pipeline_accepts_iterator_source(records, scorer, pipeline_report):
+    streamed = BaywatchPipeline(
+        PipelineConfig(**CONFIG), scorer=scorer
+    ).run_records(iter(records))
+    assert report_signature(streamed) == report_signature(pipeline_report)

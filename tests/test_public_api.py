@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.ml",
     "repro.mapreduce",
     "repro.jobs",
+    "repro.stages",
     "repro.synthetic",
     "repro.sources",
     "repro.operations",
