@@ -97,6 +97,12 @@ def _build_parser() -> argparse.ArgumentParser:
     pipe.add_argument("--top", type=int, default=20,
                       help="print at most this many ranked cases")
     pipe.add_argument(
+        "--detection-batch-size", type=int, default=0, metavar="N",
+        help="run periodicity detection in batches of N pairs over the "
+             "shape-grouped FFT/ACF kernels (0 = serial per-pair path; "
+             "results are identical either way)",
+    )
+    pipe.add_argument(
         "--telemetry", type=Path, default=None, metavar="DIR",
         help="collect run telemetry and write report.txt/metrics.jsonl/"
              "metrics.prom into DIR",
@@ -150,6 +156,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rescale summaries to this granularity before detection",
     )
     runp.add_argument(
+        "--detection-batch-size", type=int, default=0, metavar="N",
+        help="run each reduce partition's detection in batches of N "
+             "pairs over the shape-grouped FFT/ACF kernels (0 = serial "
+             "per-pair path; results are identical either way)",
+    )
+    runp.add_argument(
         "--telemetry", type=Path, default=None, metavar="DIR",
         help="collect run telemetry and write report.txt/metrics.jsonl/"
              "metrics.prom into DIR",
@@ -191,8 +203,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite", default="micro", metavar="NAME",
-        help="suite to run: micro, pipeline, mapreduce, or 'all' "
-             "(default: micro)",
+        help="suite to run: micro, pipeline, mapreduce, ingestion, "
+             "detection_batch, or 'all' (default: micro)",
     )
     bench.add_argument("--repeats", type=int, default=5,
                        help="timed iterations per benchmark (default 5)")
@@ -301,6 +313,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     config = PipelineConfig(
         local_whitelist_threshold=args.tau_p,
         ranking_percentile=args.percentile,
+        detection_batch_size=args.detection_batch_size,
     )
     report, telemetry_dir = _run_instrumented(
         args.telemetry, lambda: BaywatchPipeline(config).run_records(records)
@@ -328,6 +341,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = PipelineConfig(
         local_whitelist_threshold=args.tau_p,
         ranking_percentile=args.percentile,
+        detection_batch_size=args.detection_batch_size,
     )
     engine = MapReduceEngine(
         n_workers=args.workers,

@@ -15,7 +15,12 @@ from repro.core.timeseries import (
     merge,
 )
 from repro.core.periodogram import SpectralPeak, candidate_peaks, power_spectrum, spectrum_frequencies
-from repro.core.permutation import PermutationResult, permutation_threshold
+from repro.core.permutation import (
+    PermutationResult,
+    ThresholdCache,
+    ThresholdCacheMismatch,
+    permutation_threshold,
+)
 from repro.core.autocorrelation import (
     HillValidation,
     autocorrelation,
@@ -36,6 +41,12 @@ from repro.core.detector import (
     DetectorConfig,
     PeriodicityDetector,
 )
+from repro.core.batch import (
+    BatchedDetector,
+    batch_autocorrelation,
+    batch_candidate_peaks,
+    batch_power_spectra,
+)
 
 __all__ = [
     "ActivitySummary",
@@ -49,6 +60,8 @@ __all__ = [
     "power_spectrum",
     "spectrum_frequencies",
     "PermutationResult",
+    "ThresholdCache",
+    "ThresholdCacheMismatch",
     "permutation_threshold",
     "HillValidation",
     "autocorrelation",
@@ -67,4 +80,8 @@ __all__ = [
     "DetectionResult",
     "DetectorConfig",
     "PeriodicityDetector",
+    "BatchedDetector",
+    "batch_autocorrelation",
+    "batch_candidate_peaks",
+    "batch_power_spectra",
 ]

@@ -29,7 +29,7 @@ MapReduce detection job emits (Section VII-D).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -147,6 +147,44 @@ _MAX_SUPPRESSED_MULTIPLE = 4
 _MIN_FUNDAMENTAL_STRENGTH = 0.5
 
 
+@dataclass
+class _PairPlan:
+    """Everything pair-level the per-scale analysis needs.
+
+    Built once per pair by :meth:`PeriodicityDetector._plan` (which also
+    consumes the pair's share of the seeded generator — GMM first, then
+    per-scale permutation draws — so the serial and batched paths see an
+    identical random stream).  The batched fast path holds many plans at
+    once while the shared-array kernels run.
+    """
+
+    ts: np.ndarray
+    duration: float
+    scales: List[float]
+    intervals: np.ndarray
+    positive: np.ndarray
+    mixture: Optional[GaussianMixture]
+    gmm_periods: List[float]
+    rng: np.random.Generator
+
+
+@dataclass
+class _ScaleWork:
+    """Pending ACF verification for one (pair, scale) slot.
+
+    Produced by :meth:`PeriodicityDetector._analyze_scale` when at least
+    one pruned candidate still needs hill validation; the ACF itself is
+    computed by the caller (serially, or as a row of a batched
+    transform) and handed to :meth:`PeriodicityDetector._verify_scale`.
+    """
+
+    scale: float
+    signal: np.ndarray
+    finalists: List[Tuple[Tuple[float, float, str, float], object]] = field(
+        default_factory=list
+    )
+
+
 def _power_near_bin(
     spectrum: np.ndarray, center: float, half_width: int
 ) -> Optional[float]:
@@ -234,18 +272,13 @@ class PeriodicityDetector:
 
     def detect(self, timestamps: Sequence[float]) -> DetectionResult:
         """Detect periodicities in a raw timestamp sequence (seconds)."""
-        cfg = self.config
         registry = get_registry()
         registry.counter("detector.pairs_total").inc()
         ts = as_sorted_timestamps(timestamps)
-        if ts.size < cfg.min_events:
-            return self._rejected(ts, f"fewer than {cfg.min_events} events")
-        duration = float(ts[-1] - ts[0])
-        if duration <= 0:
-            return self._rejected(ts, "all events in a single time slot")
-        scales = self._choose_scales(duration)
-        if not scales:
-            return self._rejected(ts, "window too short at every analysis scale")
+        early, prepared = self._screen(ts)
+        if early is not None:
+            return early
+        duration, scales = prepared
         with registry.timer("detector.detect.seconds"):
             result = self._detect_multi_scale(ts, duration, scales)
         if result.periodic:
@@ -258,21 +291,51 @@ class PeriodicityDetector:
         If the summary is coarser than the configured finest scale, the
         analysis ladder simply starts at the summary's own granularity.
         """
-        cfg = self.config
-        if summary.time_scale > cfg.time_scale:
-            # Thread the threshold cache through: coarse-granularity
-            # summaries dominate the weekly/monthly passes, and losing
-            # the cache there would re-run the permutation test for
-            # every pair (the cache is keyed on signal shape only, so
-            # sharing it across time scales is safe).
-            detector = PeriodicityDetector(
-                replace(cfg, time_scale=summary.time_scale),
-                threshold_cache=self.threshold_cache,
-            )
-            return detector.detect(summary.timestamps())
-        return self.detect(summary.timestamps())
+        return self.for_time_scale(summary.time_scale).detect(
+            summary.timestamps()
+        )
+
+    def for_time_scale(self, time_scale: float) -> "PeriodicityDetector":
+        """A detector whose analysis ladder starts at ``time_scale``.
+
+        Returns ``self`` unless the requested granularity is coarser
+        than the configured finest scale.  The threshold cache is
+        threaded through: coarse-granularity summaries dominate the
+        weekly/monthly passes, and losing the cache there would re-run
+        the permutation test for every pair (the cache is keyed on
+        signal shape only, so sharing it across time scales is safe).
+        """
+        if time_scale <= self.config.time_scale:
+            return self
+        return PeriodicityDetector(
+            replace(self.config, time_scale=time_scale),
+            threshold_cache=self.threshold_cache,
+        )
 
     # -- internals ----------------------------------------------------------
+
+    def _screen(
+        self, ts: np.ndarray
+    ) -> Tuple[Optional[DetectionResult], Optional[Tuple[float, List[float]]]]:
+        """The cheap pre-analysis gates shared by serial and batched paths.
+
+        Returns either an early rejection result, or the ``(duration,
+        scales)`` pair the full analysis needs.  Exactly one element of
+        the returned tuple is non-None.
+        """
+        cfg = self.config
+        if ts.size < cfg.min_events:
+            return self._rejected(ts, f"fewer than {cfg.min_events} events"), None
+        duration = float(ts[-1] - ts[0])
+        if duration <= 0:
+            return self._rejected(ts, "all events in a single time slot"), None
+        scales = self._choose_scales(duration)
+        if not scales:
+            return (
+                self._rejected(ts, "window too short at every analysis scale"),
+                None,
+            )
+        return None, (duration, scales)
 
     def _choose_scales(self, duration: float) -> List[float]:
         """The geometric ladder of analysis granularities for ``duration``.
@@ -307,9 +370,14 @@ class PeriodicityDetector:
             rejection_reason=reason,
         )
 
-    def _detect_multi_scale(
+    def _plan(
         self, ts: np.ndarray, duration: float, scales: List[float]
-    ) -> DetectionResult:
+    ) -> _PairPlan:
+        """Pair-level analysis plan: intervals, GMM, useful scales, rng.
+
+        This consumes the pair's seeded generator in a fixed order (GMM
+        fit first); per-scale permutation draws follow in scale order.
+        """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         intervals = intervals_from_timestamps(ts)
@@ -338,15 +406,35 @@ class PeriodicityDetector:
             else:
                 scales = scales[-1:]
 
+        return _PairPlan(
+            ts=ts,
+            duration=duration,
+            scales=list(scales),
+            intervals=intervals,
+            positive=positive,
+            mixture=mixture,
+            gmm_periods=gmm_periods,
+            rng=rng,
+        )
+
+    def _detect_multi_scale(
+        self, ts: np.ndarray, duration: float, scales: List[float]
+    ) -> DetectionResult:
+        plan = self._plan(ts, duration, scales)
         verified: List[CandidatePeriod] = []
         thresholds: List[float] = []
-        for scale in scales:
-            scale_candidates = self._detect_at_scale(
-                ts, duration, scale, intervals, positive, mixture,
-                gmm_periods, rng, thresholds,
-            )
-            verified.extend(scale_candidates)
+        for scale in plan.scales:
+            verified.extend(self._detect_at_scale(plan, scale, thresholds))
+        return self._finalize(plan, verified, thresholds)
 
+    def _finalize(
+        self,
+        plan: _PairPlan,
+        verified: List[CandidatePeriod],
+        thresholds: List[float],
+    ) -> DetectionResult:
+        """Merge per-scale survivors into the pair's final verdict."""
+        cfg = self.config
         merged = _merge_similar(verified, cfg.period_tolerance)
         threshold = thresholds[0] if thresholds else float("nan")
         reason = ""
@@ -356,51 +444,83 @@ class PeriodicityDetector:
             periodic=bool(merged),
             candidates=tuple(merged),
             power_threshold=threshold,
-            n_events=int(ts.size),
-            duration=duration,
+            n_events=int(plan.ts.size),
+            duration=plan.duration,
             time_scale=cfg.time_scale,
-            scales=tuple(scales),
-            mixture=mixture,
+            scales=tuple(plan.scales),
+            mixture=plan.mixture,
             rejection_reason=reason,
         )
 
-    def _detect_at_scale(
-        self,
-        ts: np.ndarray,
-        duration: float,
-        scale: float,
-        intervals: np.ndarray,
-        positive: np.ndarray,
-        mixture: Optional[GaussianMixture],
-        gmm_periods: List[float],
-        rng: np.random.Generator,
-        thresholds: List[float],
-    ) -> List[CandidatePeriod]:
-        """Run steps 1-3 at a single granularity; periods in seconds."""
-        cfg = self.config
-        registry = get_registry()
-        registry.counter("detector.scales_analyzed").inc()
-        signal = bin_series(ts, scale, binary=cfg.binary_signal)
-        if signal.size < cfg.min_slots:
-            return []
+    def _bin_at_scale(
+        self, plan: _PairPlan, scale: float
+    ) -> Optional[np.ndarray]:
+        """The binned signal at one scale, or None when it is too short."""
+        get_registry().counter("detector.scales_analyzed").inc()
+        signal = bin_series(plan.ts, scale, binary=self.config.binary_signal)
+        if signal.size < self.config.min_slots:
+            return None
+        return signal
 
-        with registry.timer("detector.permutation.seconds"):
+    def _scale_threshold(
+        self, signal: np.ndarray, rng: np.random.Generator
+    ) -> float:
+        """Permutation power threshold for one binned signal."""
+        cfg = self.config
+        with get_registry().timer("detector.permutation.seconds"):
             if self.threshold_cache is not None and cfg.binary_signal:
-                threshold = self.threshold_cache.threshold(
+                return self.threshold_cache.threshold(
                     signal.size, int(signal.sum())
                 )
-            else:
-                threshold = permutation_threshold(
-                    signal,
-                    permutations=cfg.permutations,
-                    confidence=cfg.confidence,
-                    rng=rng,
-                ).threshold
+            return permutation_threshold(
+                signal,
+                permutations=cfg.permutations,
+                confidence=cfg.confidence,
+                rng=rng,
+            ).threshold
+
+    def _detect_at_scale(
+        self, plan: _PairPlan, scale: float, thresholds: List[float]
+    ) -> List[CandidatePeriod]:
+        """Run steps 1-3 at a single granularity; periods in seconds."""
+        registry = get_registry()
+        signal = self._bin_at_scale(plan, scale)
+        if signal is None:
+            return []
+        threshold = self._scale_threshold(signal, plan.rng)
         thresholds.append(threshold)
         with registry.timer("detector.dft.seconds"):
-            peaks = candidate_peaks(
-                signal, threshold, max_candidates=cfg.max_candidates
-            )
+            spectrum = power_spectrum(signal)
+        work = self._analyze_scale(plan, scale, signal, spectrum, threshold)
+        if work is None:
+            return []
+        with registry.timer("detector.acf.seconds"):
+            acf = autocorrelation(signal)
+        return self._verify_scale(plan, work, acf)
+
+    def _analyze_scale(
+        self,
+        plan: _PairPlan,
+        scale: float,
+        signal: np.ndarray,
+        spectrum: np.ndarray,
+        threshold: float,
+    ) -> Optional[_ScaleWork]:
+        """Candidate extraction and pruning at one scale, pre-ACF.
+
+        The periodogram is computed once by the caller and shared by
+        spectral peak extraction and the GMM power probe (each used to
+        run its own FFT).  Returns the pending verification work, or
+        None when no candidate at this scale survives to the ACF step.
+        """
+        cfg = self.config
+        registry = get_registry()
+        peaks = candidate_peaks(
+            signal,
+            threshold,
+            max_candidates=cfg.max_candidates,
+            spectrum=spectrum,
+        )
 
         # (period_seconds, power, origin, tolerance); GMM candidates are
         # attached to the scale(s) able to resolve them.  A DFT
@@ -417,55 +537,48 @@ class PeriodicityDetector:
             )
             for peak in peaks
         ]
-        if gmm_periods:
-            # GMM candidates must clear the same permutation power bar as
-            # spectral candidates — interval clustering alone is not
-            # periodicity (bursty browsing clusters its intra-session
-            # gaps without any spectral line at that frequency).  The
-            # candidate's power is the strongest periodogram value within
-            # +-1% of its frequency: the GMM mean and the effective
-            # spectral period differ by a fraction of a percent, which at
-            # high bin indices is dozens of bins.
-            spectrum = power_spectrum(signal)
-            for period_s in gmm_periods:
-                period_slots = period_s / scale
-                if not 2.0 <= period_slots <= n / cfg.min_cycles:
-                    continue
-                center = n / period_slots
-                half_width = max(2, int(np.ceil(center * 0.01)))
-                power = _power_near_bin(spectrum, center, half_width)
-                if power is None:
-                    continue
-                if power > threshold:
-                    raw.append((period_s, power, "gmm", scale))
+        # GMM candidates must clear the same permutation power bar as
+        # spectral candidates — interval clustering alone is not
+        # periodicity (bursty browsing clusters its intra-session
+        # gaps without any spectral line at that frequency).  The
+        # candidate's power is the strongest periodogram value within
+        # +-1% of its frequency: the GMM mean and the effective
+        # spectral period differ by a fraction of a percent, which at
+        # high bin indices is dozens of bins.
+        for period_s in plan.gmm_periods:
+            period_slots = period_s / scale
+            if not 2.0 <= period_slots <= n / cfg.min_cycles:
+                continue
+            center = n / period_slots
+            half_width = max(2, int(np.ceil(center * 0.01)))
+            power = _power_near_bin(spectrum, center, half_width)
+            if power is None:
+                continue
+            if power > threshold:
+                raw.append((period_s, power, "gmm", scale))
         if not raw:
-            return []
+            return None
 
         periods = [entry[0] for entry in raw]
         registry.counter("detector.candidates_raw").inc(len(raw))
         with registry.timer("detector.pruning.seconds"):
             decisions = prune_candidates(
                 periods,
-                intervals,
-                duration=duration,
+                plan.intervals,
+                duration=plan.duration,
                 alpha=cfg.alpha,
                 min_cycles=cfg.min_cycles,
                 min_events=cfg.min_events,
-                mixture=mixture,
+                mixture=plan.mixture,
                 fold=cfg.fold_intervals,
                 tolerances=[entry[3] for entry in raw],
             )
-        survivors = [
-            (entry, decision)
-            for entry, decision in zip(raw, decisions)
-            if decision.kept
-        ]
-        if not survivors:
-            return []
 
-        acf: Optional[np.ndarray] = None
-        out: List[CandidatePeriod] = []
-        for (period_s, power, origin, _tolerance), decision in survivors:
+        finalists: List[Tuple[Tuple[float, float, str, float], object]] = []
+        for entry, decision in zip(raw, decisions):
+            if not decision.kept:
+                continue
+            period_s, _power, origin, _tolerance = entry
             period_slots = period_s / scale
             if not 1.0 <= period_slots <= signal.size - 2:
                 continue
@@ -479,21 +592,33 @@ class PeriodicityDetector:
             # need majority support.  The check is O(n) and gates the
             # more expensive ACF verification.
             if origin == "dft" and not self._has_support(
-                period_s, positive, scale, slack=2.0
+                period_s, plan.positive, scale, slack=2.0
             ):
                 continue
-            if acf is None:
-                with registry.timer("detector.acf.seconds"):
-                    acf = autocorrelation(signal)
+            finalists.append((entry, decision))
+        if not finalists:
+            return None
+        return _ScaleWork(scale=scale, signal=signal, finalists=finalists)
+
+    def _verify_scale(
+        self, plan: _PairPlan, work: _ScaleWork, acf: np.ndarray
+    ) -> List[CandidatePeriod]:
+        """ACF hill validation and period refinement for one scale."""
+        cfg = self.config
+        scale = work.scale
+        out: List[CandidatePeriod] = []
+        for (period_s, power, origin, _tolerance), decision in work.finalists:
             validation = validate_candidate(
-                acf, period_slots, min_acf_score=cfg.min_acf_score
+                acf, period_s / scale, min_acf_score=cfg.min_acf_score
             )
             if not validation.valid:
                 continue
             refined = self._refine_period(
-                validation.refined_period * scale, positive, scale
+                validation.refined_period * scale, plan.positive, scale
             )
-            if origin == "dft" and not self._has_support(refined, positive, scale):
+            if origin == "dft" and not self._has_support(
+                refined, plan.positive, scale
+            ):
                 continue
             out.append(
                 CandidatePeriod(
@@ -506,7 +631,7 @@ class PeriodicityDetector:
                     time_scale=scale,
                 )
             )
-        registry.counter("detector.candidates_verified").inc(len(out))
+        get_registry().counter("detector.candidates_verified").inc(len(out))
         return out
 
     def _has_support(

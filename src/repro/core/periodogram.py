@@ -11,7 +11,7 @@ Section IV-B, after Vlachos et al. SDM'05).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 from scipy import fft as _fft
@@ -82,6 +82,7 @@ def candidate_peaks(
     power_threshold: float,
     *,
     max_candidates: int = 32,
+    spectrum: Optional[np.ndarray] = None,
 ) -> List[SpectralPeak]:
     """Frequencies whose power strictly exceeds ``power_threshold``.
 
@@ -89,10 +90,23 @@ def candidate_peaks(
     are expressed in slots: ``period = N / k`` for DFT bin ``k``.
     An empty result means the signal is considered non-periodic
     (paper: "the original time series will be rejected").
+
+    ``spectrum`` optionally supplies the signal's precomputed
+    :func:`power_spectrum` so callers that already hold it (the
+    detector shares one periodogram between peak extraction and the GMM
+    power probe; the batched path produces rows of a shared transform)
+    skip the redundant FFT.
     """
     require(max_candidates > 0, "max_candidates must be positive")
     x = as_float_array(signal, "signal")
-    power = power_spectrum(x)
+    if spectrum is None:
+        power = power_spectrum(x)
+    else:
+        power = np.asarray(spectrum, dtype=float)
+        require(
+            power.shape == (x.size // 2,),
+            "spectrum does not match the signal length",
+        )
     freqs = spectrum_frequencies(x.size)
     selected = np.flatnonzero(power > power_threshold)
     if selected.size == 0:

@@ -11,8 +11,11 @@ indistinguishable from noise and discarded.
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -20,6 +23,9 @@ from repro.core.periodogram import batch_max_power
 from repro.obs.registry import get_registry
 from repro.utils.stats import percentile_threshold
 from repro.utils.validation import as_float_array, require, require_probability
+
+#: Version of the ``ThresholdCache.save`` JSON layout.
+CACHE_FILE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -60,9 +66,10 @@ def permutation_threshold(
     require(x.size >= 4, "signal must have at least 4 samples")
     if rng is None:
         rng = np.random.default_rng()
-    shuffled = np.empty((permutations, x.size))
-    for row in range(permutations):
-        shuffled[row] = rng.permutation(x)
+    # One vectorized shuffle of all m rows; ``Generator.permuted`` draws
+    # the same variates per row as m sequential ``rng.permutation(x)``
+    # calls, so thresholds are unchanged — only the Python loop is gone.
+    shuffled = rng.permuted(np.tile(x, (permutations, 1)), axis=1)
     maxima = batch_max_power(shuffled)
     threshold = percentile_threshold(maxima, confidence)
     return PermutationResult(
@@ -71,6 +78,10 @@ def permutation_threshold(
         permutations=permutations,
         confidence=confidence,
     )
+
+
+class ThresholdCacheMismatch(ValueError):
+    """A persisted cache was produced under different parameters."""
 
 
 class ThresholdCache:
@@ -83,6 +94,12 @@ class ThresholdCache:
     (default 5% buckets) and computes each bucket's threshold once on a
     representative synthetic signal.  The approximation error is the
     bucket width, far below the permutation estimate's own variance.
+
+    Bucket thresholds depend only on the bucket key and the cache's
+    parameters (each is derived with a generator seeded from ``seed``),
+    so warmth is shareable: :meth:`precompute` fills buckets ahead of a
+    run, and :meth:`save`/:meth:`load` persist them as JSON so workers
+    and resumed batches start warm instead of re-deriving every bucket.
     """
 
     def __init__(
@@ -98,26 +115,73 @@ class ThresholdCache:
         self.permutations = permutations
         self.confidence = confidence
         self.seed = seed
-        self._cache: dict = {}
+        self._cache: Dict[Tuple[int, int], float] = {}
+        # Exact (n_slots, n_ones) -> threshold front map: repeated
+        # lookups skip the two log() calls of the bucket math.  Derived
+        # data only — never persisted or pickled.
+        self._exact: Dict[Tuple[int, int], float] = {}
         self.hits = 0
         self.misses = 0
+        # Hit/miss counters resolved once per active registry: the
+        # registry's name->counter lookup is measurable in the
+        # million-pair loop, and the hit path must stay O(dict get).
+        self._counter_registry: Optional[object] = None
+        self._hit_counter = None
+        self._miss_counter = None
+
+    def __getstate__(self) -> dict:
+        """Drop the registry handles: counters hold locks and must be
+        re-resolved inside whatever process (and registry) unpickles us."""
+        state = dict(self.__dict__)
+        state["_counter_registry"] = None
+        state["_hit_counter"] = None
+        state["_miss_counter"] = None
+        state["_exact"] = {}  # derived; keeps worker pickles small
+        return state
+
+    def _counters(self):
+        registry = get_registry()
+        if registry is not self._counter_registry:
+            self._counter_registry = registry
+            self._hit_counter = registry.counter("detector.threshold_cache.hits")
+            self._miss_counter = registry.counter(
+                "detector.threshold_cache.misses"
+            )
+        return self._hit_counter, self._miss_counter
 
     def _bucket(self, value: int) -> int:
-        return int(round(np.log(max(value, 1)) / np.log(self.ratio)))
+        return int(round(math.log(max(value, 1)) / math.log(self.ratio)))
+
+    def _key(self, n_slots: int, n_ones: int) -> Tuple[int, int]:
+        n_ones = int(min(max(n_ones, 1), n_slots))
+        return (self._bucket(n_slots), self._bucket(n_ones))
 
     def threshold(self, n_slots: int, n_ones: int) -> float:
         """Permutation threshold for a binary signal of this shape."""
-        require(n_slots >= 4, "n_slots must be at least 4")
-        n_ones = int(min(max(n_ones, 1), n_slots))
-        key = (self._bucket(n_slots), self._bucket(n_ones))
-        cached = self._cache.get(key)
+        exact_key = (n_slots, n_ones)
+        cached = self._exact.get(exact_key)
         if cached is not None:
             self.hits += 1
-            get_registry().counter("detector.threshold_cache.hits").inc()
+            hits, _misses = self._counters()
+            hits.inc()
+            return cached
+        require(n_slots >= 4, "n_slots must be at least 4")
+        key = self._key(n_slots, n_ones)
+        cached = self._cache.get(key)
+        hits, misses = self._counters()
+        if cached is not None:
+            self.hits += 1
+            hits.inc()
+            self._exact[exact_key] = cached
             return cached
         self.misses += 1
-        get_registry().counter("detector.threshold_cache.misses").inc()
-        # Representative signal at the bucket's geometric center.
+        misses.inc()
+        value = self._compute(key)
+        self._exact[exact_key] = value
+        return value
+
+    def _compute(self, key: Tuple[int, int]) -> float:
+        """Derive one bucket's threshold on its representative signal."""
         rep_n = max(4, int(round(self.ratio ** key[0])))
         rep_k = min(rep_n, max(1, int(round(self.ratio ** key[1]))))
         signal = np.zeros(rep_n)
@@ -130,3 +194,75 @@ class ThresholdCache:
         )
         self._cache[key] = result.threshold
         return result.threshold
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    # -- warmth ------------------------------------------------------------
+
+    def precompute(self, grid: Iterable[Tuple[int, int]]) -> int:
+        """Warm every bucket covering the ``(n_slots, n_ones)`` grid.
+
+        Returns how many buckets were newly computed.  Unlike
+        :meth:`threshold`, precomputation does not touch the hit/miss
+        statistics — warming is setup, not lookup traffic.
+        """
+        computed = 0
+        for n_slots, n_ones in grid:
+            require(int(n_slots) >= 4, "n_slots must be at least 4")
+            key = self._key(int(n_slots), int(n_ones))
+            if key not in self._cache:
+                self._compute(key)
+                computed += 1
+        return computed
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the warm buckets as versioned JSON.
+
+        The file records the cache parameters (``ratio``,
+        ``permutations``, ``confidence``, ``seed``) so :meth:`load`
+        can refuse entries derived under a different configuration.
+        """
+        path = Path(path)
+        payload = {
+            "version": CACHE_FILE_VERSION,
+            "ratio": self.ratio,
+            "permutations": self.permutations,
+            "confidence": self.confidence,
+            "seed": self.seed,
+            "entries": [
+                [key[0], key[1], value]
+                for key, value in sorted(self._cache.items())
+            ],
+        }
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def load(self, path: Union[str, Path]) -> int:
+        """Merge persisted buckets into this cache; returns how many.
+
+        Raises :class:`ThresholdCacheMismatch` when the file was written
+        under different parameters (or a different file version) —
+        mixing thresholds across configurations would silently change
+        detection results.
+        """
+        path = Path(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != CACHE_FILE_VERSION:
+            raise ThresholdCacheMismatch(
+                f"threshold cache {path} has file version "
+                f"{payload.get('version')!r}; expected {CACHE_FILE_VERSION}"
+            )
+        for name in ("ratio", "permutations", "confidence", "seed"):
+            if payload.get(name) != getattr(self, name):
+                raise ThresholdCacheMismatch(
+                    f"threshold cache {path} was computed with "
+                    f"{name}={payload.get(name)!r}, this cache uses "
+                    f"{name}={getattr(self, name)!r}; refusing to load"
+                )
+        entries = payload["entries"]
+        for bucket_n, bucket_k, value in entries:
+            self._cache[(int(bucket_n), int(bucket_k))] = float(value)
+        return len(entries)

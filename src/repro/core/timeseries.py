@@ -78,11 +78,15 @@ def bin_series(
     else:
         start, end = float(ts[0]), float(ts[-1])
     n_bins = int(np.floor((end - start) / time_scale)) + 1
-    signal = np.zeros(n_bins, dtype=float)
     if ts.size:
         indices = np.floor((ts - start) / time_scale).astype(int)
         indices = np.clip(indices, 0, n_bins - 1)
-        np.add.at(signal, indices, 1.0)
+        # bincount produces the same integer slot counts as the old
+        # ``np.add.at`` scatter at a fraction of its cost (the detector
+        # bins every pair at every scale, so this is a hot path).
+        signal = np.bincount(indices, minlength=n_bins).astype(float)
+    else:
+        signal = np.zeros(n_bins, dtype=float)
     if binary:
         signal = np.minimum(signal, 1.0)
     return signal

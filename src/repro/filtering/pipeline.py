@@ -63,6 +63,11 @@ class PipelineConfig:
     min_events: int = 4
     use_threshold_cache: bool = True
     aggregate_entities: bool = False
+    #: Pairs per batched-detection chunk; 0 keeps the serial per-pair
+    #: path.  Any positive size produces identical reports (the batched
+    #: kernels are bit-for-bit equivalent) — the knob only trades peak
+    #: memory for FFT/ACF dispatch amortization.
+    detection_batch_size: int = 0
 
     def __post_init__(self) -> None:
         require_probability(
@@ -70,6 +75,10 @@ class PipelineConfig:
         )
         require_probability(self.ranking_percentile, "ranking_percentile")
         require(self.min_events >= 2, "min_events must be at least 2")
+        require(
+            self.detection_batch_size >= 0,
+            "detection_batch_size must be non-negative (0 = serial)",
+        )
 
 
 @dataclass
@@ -189,14 +198,19 @@ class BaywatchPipeline:
         # The stages module imports leaf filtering modules, so it is
         # imported lazily here to keep the package graph acyclic.
         from repro.stages import (
+            BatchedDetection,
             InProcessDetection,
             PeriodicityDetectionStage,
             default_stages,
         )
 
-        self._stages = default_stages(
-            PeriodicityDetectionStage(InProcessDetection(self.detector))
-        )
+        if self.config.detection_batch_size > 0:
+            executor = BatchedDetection(
+                self.detector, batch_size=self.config.detection_batch_size
+            )
+        else:
+            executor = InProcessDetection(self.detector)
+        self._stages = default_stages(PeriodicityDetectionStage(executor))
 
     @property
     def scorer(self) -> DomainScorer:

@@ -11,9 +11,10 @@ are missing.
 
 Layout of a checkpoint directory::
 
-    manifest.json        run fingerprint, shard size, shard count
-    shard-00007.jsonl    one line per detected case / quarantined unit
-    quarantine.jsonl     consolidated quarantine report of the last run
+    manifest.json          run fingerprint, shard size, shard count
+    shard-00007.jsonl      one line per detected case / quarantined unit
+    quarantine.jsonl       consolidated quarantine report of the last run
+    threshold-cache.json   warm permutation-threshold buckets (optional)
 
 The manifest fingerprint covers the survivor pair list and the pipeline
 configuration, so a checkpoint can never be resumed against different
@@ -39,6 +40,7 @@ from repro.mapreduce.engine import QuarantinedTask
 
 MANIFEST_FILE = "manifest.json"
 QUARANTINE_FILE = "quarantine.jsonl"
+THRESHOLD_CACHE_FILE = "threshold-cache.json"
 CHECKPOINT_VERSION = 1
 
 
@@ -251,6 +253,12 @@ class CheckpointStore:
     def quarantine_path(self) -> Path:
         return self.root / QUARANTINE_FILE
 
+    @property
+    def threshold_cache_path(self) -> Path:
+        """Where the warm threshold-cache buckets persist (see
+        :meth:`repro.core.permutation.ThresholdCache.save`)."""
+        return self.root / THRESHOLD_CACHE_FILE
+
     # -- manifest ----------------------------------------------------------
 
     def manifest(self) -> Optional[Dict[str, Any]]:
@@ -385,7 +393,11 @@ class CheckpointStore:
             path.unlink()
         for path in self.root.glob("*.tmp"):
             path.unlink()
-        for path in (self.manifest_path, self.quarantine_path):
+        for path in (
+            self.manifest_path,
+            self.quarantine_path,
+            self.threshold_cache_path,
+        ):
             if path.exists():
                 path.unlink()
 

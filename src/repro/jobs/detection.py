@@ -11,7 +11,7 @@ CandidatePeriod list for the ranking and investigation phases.
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, Iterable, Iterator, Optional, Tuple
+from typing import Any, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.detector import DetectorConfig, PeriodicityDetector
 from repro.core.permutation import ThresholdCache
@@ -22,7 +22,16 @@ from repro.utils.validation import require
 
 
 class BeaconingDetectionJob(MapReduceJob):
-    """Filtered pair summaries -> detected beaconing cases."""
+    """Filtered pair summaries -> detected beaconing cases.
+
+    ``threshold_cache`` optionally ships a pre-warmed
+    :class:`~repro.core.permutation.ThresholdCache` to every worker
+    (the job is pickled into worker processes, cache included) so
+    workers start from shared warm buckets instead of each re-deriving
+    every bucket from scratch.  ``batch_size`` > 0 switches the reduce
+    phase to the batched fast path of :mod:`repro.core.batch`,
+    amortizing FFT/ACF dispatch across all pairs of a partition.
+    """
 
     def __init__(
         self,
@@ -31,20 +40,31 @@ class BeaconingDetectionJob(MapReduceJob):
         skip_destinations: FrozenSet[str] = frozenset(),
         min_events: int = 4,
         use_threshold_cache: bool = True,
+        threshold_cache: Optional[ThresholdCache] = None,
+        batch_size: int = 0,
         n_partitions: int = 32,
     ) -> None:
         require(min_events >= 2, "min_events must be at least 2")
+        require(batch_size >= 0, "batch_size must be non-negative")
         self.detector_config = detector_config or DetectorConfig(seed=0)
         self.skip_destinations = frozenset(skip_destinations)
         self.min_events = min_events
         self.use_threshold_cache = use_threshold_cache
+        self.threshold_cache = threshold_cache
+        self.batch_size = batch_size
         self.n_partitions = n_partitions
         self._detector: Optional[PeriodicityDetector] = None
 
     def _get_detector(self) -> PeriodicityDetector:
         """Build the detector lazily (once per worker process)."""
         if self._detector is None:
-            cache = ThresholdCache() if self.use_threshold_cache else None
+            cache: Optional[ThresholdCache] = None
+            if self.use_threshold_cache:
+                cache = (
+                    self.threshold_cache
+                    if self.threshold_cache is not None
+                    else ThresholdCache()
+                )
             self._detector = PeriodicityDetector(
                 self.detector_config, threshold_cache=cache
             )
@@ -73,3 +93,35 @@ class BeaconingDetectionJob(MapReduceJob):
         detector = self._get_detector()
         for summary, result in detect_pairs(detector, values):
             yield key, DetectionCase(summary=summary, detection=result)
+
+    def reduce_partition(
+        self, grouped: Iterable[Tuple[Any, Iterable[ActivitySummary]]]
+    ) -> Iterator[KeyValue]:
+        """Cross-key fast path: batch all pairs of the partition.
+
+        With ``batch_size`` > 0 the partition's summaries are flattened
+        (preserving group order) and run through the shape-grouped
+        batched kernels, whose results are bit-for-bit identical to the
+        serial :meth:`reduce` loop.  Quarantine fallback still works:
+        a failing partition is split into single-group units, each of
+        which re-enters here as a batch of one group.
+        """
+        if self.batch_size <= 0:
+            yield from super().reduce_partition(grouped)
+            return
+        from repro.core.batch import BatchedDetector
+
+        flat: List[Tuple[Any, ActivitySummary]] = [
+            (key, summary)
+            for key, values in grouped
+            for summary in values
+        ]
+        if not flat:
+            return
+        batched = BatchedDetector(
+            self._get_detector(), batch_size=self.batch_size
+        )
+        results = batched.detect_summaries([summary for _key, summary in flat])
+        for (key, summary), result in zip(flat, results):
+            if result.periodic:
+                yield key, DetectionCase(summary=summary, detection=result)

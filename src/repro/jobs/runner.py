@@ -25,6 +25,7 @@ import logging
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.detector import DetectionResult
+from repro.core.permutation import ThresholdCache, ThresholdCacheMismatch
 from repro.core.timeseries import ActivitySummary
 from repro.filtering.novelty import NoveltyStore
 from repro.filtering.pipeline import PipelineConfig, PipelineReport
@@ -146,6 +147,8 @@ class _ShardedDetection:
                 shard_size=self.shard_size,
                 resume=self.resume,
             )
+            if self.resume:
+                self._load_threshold_cache(store, registry)
 
         detected: List[DetectionCase] = []
         quarantined: List[QuarantinedTask] = []
@@ -174,6 +177,7 @@ class _ShardedDetection:
             quarantined.extend(shard_quarantine)
             if store is not None:
                 store.write_shard(index, cases, shard_quarantine)
+                self._save_threshold_cache(store, registry)
             processed += 1
             if self.on_shard_complete is not None:
                 self.on_shard_complete(index, n_shards)
@@ -187,6 +191,44 @@ class _ShardedDetection:
             [(case.summary, case.detection) for case in detected],
             quarantined,
         )
+
+    def _load_threshold_cache(
+        self, store: CheckpointStore, registry
+    ) -> None:
+        """Warm the runner's cache from a resumed checkpoint, if present.
+
+        A parameter mismatch (the file was written under a different
+        cache configuration) is logged and skipped rather than fatal:
+        warmth is purely a speed-up, never a correctness requirement.
+        """
+        cache = self._runner.threshold_cache
+        path = store.threshold_cache_path
+        if cache is None or not path.exists():
+            return
+        try:
+            loaded = cache.load(path)
+        except ThresholdCacheMismatch as exc:
+            logger.warning("ignoring persisted threshold cache: %s", exc)
+            return
+        registry.counter("detector.threshold_cache.loaded").inc(loaded)
+        logger.info(
+            "resumed %d warm threshold buckets from %s", loaded, path
+        )
+
+    def _save_threshold_cache(
+        self, store: CheckpointStore, registry
+    ) -> None:
+        """Persist the warm buckets next to the shard checkpoints.
+
+        Saved after every completed shard so a later ``resume=True``
+        run — even after a hard kill — starts from whatever warmth this
+        run accumulated.
+        """
+        cache = self._runner.threshold_cache
+        if cache is None or len(cache) == 0:
+            return
+        cache.save(store.threshold_cache_path)
+        registry.counter("detector.threshold_cache.persisted").inc()
 
 
 class BaywatchRunner:
@@ -219,6 +261,13 @@ class BaywatchRunner:
             detection_job_factory
             if detection_job_factory is not None
             else BeaconingDetectionJob
+        )
+        # One threshold cache for the whole runner: every detection job
+        # ships it to the workers (pickled warm), in-process shards warm
+        # it cumulatively, and the sharded mode persists/restores it via
+        # the checkpoint directory.
+        self.threshold_cache: Optional[ThresholdCache] = (
+            ThresholdCache() if self.config.use_threshold_cache else None
         )
 
     @property
@@ -285,6 +334,8 @@ class BaywatchRunner:
             skip_destinations=skip_destinations,
             min_events=self.config.min_events,
             use_threshold_cache=self.config.use_threshold_cache,
+            threshold_cache=self.threshold_cache,
+            batch_size=self.config.detection_batch_size,
         )
         output = self.engine.run(
             job, [(summary.pair, summary) for summary in summaries]
@@ -342,6 +393,7 @@ class BaywatchRunner:
             novelty=self.novelty,
             token_filter=self.token_filter,
             popularity=PopularityIndex.from_counts(counts, population),
+            threshold_cache=self.threshold_cache,
             scorer_factory=lambda: self.scorer,
         )
 

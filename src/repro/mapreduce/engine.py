@@ -94,11 +94,8 @@ def _map_chunk(job: MapReduceJob, chunk: Sequence[KeyValue]) -> List[Tuple[int, 
 def _reduce_partition(
     job: MapReduceJob, grouped: List[Tuple[Any, List[Any]]]
 ) -> List[KeyValue]:
-    """Reduce all key groups of one partition."""
-    out: List[KeyValue] = []
-    for key, values in grouped:
-        out.extend(job.reduce(key, values))
-    return out
+    """Reduce all key groups of one partition (via the job's hook)."""
+    return list(job.reduce_partition(grouped))
 
 
 def _split_map_chunk(chunk: Sequence[KeyValue]) -> List[Tuple[Any, List]]:

@@ -52,3 +52,17 @@ class MapReduceJob(ABC):
         """Reduce-partition index for ``key`` (stable across processes)."""
         require(self.n_partitions >= 1, "n_partitions must be at least 1")
         return stable_hash(key) % self.n_partitions
+
+    def reduce_partition(
+        self, grouped: Iterable[Tuple[Any, Iterable[Any]]]
+    ) -> Iterator[KeyValue]:
+        """Reduce every key group of one partition.
+
+        The default chains :meth:`reduce` over the groups.  Jobs with a
+        cross-key fast path (e.g. batched detection, which amortizes
+        FFTs across all pairs of a partition) override this; quarantine
+        fallback still splits a failing partition into single-group
+        units, which re-enter through this method one group at a time.
+        """
+        for key, values in grouped:
+            yield from self.reduce(key, values)

@@ -20,6 +20,7 @@ is never imported from here).  See ``docs/ARCHITECTURE.md``.
 from repro.stages.base import Stage, run_stages
 from repro.stages.context import PopularityIndex, StageContext, build_report
 from repro.stages.detection import (
+    BatchedDetection,
     InProcessDetection,
     PeriodicityDetectionStage,
     build_case,
@@ -41,6 +42,7 @@ __all__ = [
     "PopularityIndex",
     "StageContext",
     "build_report",
+    "BatchedDetection",
     "InProcessDetection",
     "PeriodicityDetectionStage",
     "build_case",

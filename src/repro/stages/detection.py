@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.stages.context import StageContext
 
 __all__ = [
+    "BatchedDetection",
     "DetectionExecutor",
     "InProcessDetection",
     "PeriodicityDetectionStage",
@@ -112,6 +113,53 @@ class InProcessDetection:
                 threshold_cache=context.threshold_cache,
             )
         return list(detect_pairs(self._detector, summaries)), []
+
+
+class BatchedDetection:
+    """Executor running the shape-grouped batched fast path in-process.
+
+    Feeds the surviving pairs through
+    :class:`~repro.core.batch.BatchedDetector` in chunks of
+    ``batch_size``, amortizing the per-pair FFT/ACF dispatch across the
+    batch.  Batch size 1 reproduces :class:`InProcessDetection` bit for
+    bit (enforced by the parity suite), so the knob trades nothing but
+    peak memory for throughput.
+    """
+
+    def __init__(
+        self,
+        detector: Optional[PeriodicityDetector] = None,
+        *,
+        batch_size: int = 256,
+        workers: Optional[int] = None,
+    ) -> None:
+        self._detector = detector
+        self.batch_size = batch_size
+        self.workers = workers
+
+    def __call__(
+        self, context: "StageContext", summaries: List[ActivitySummary]
+    ) -> Tuple[List[Tuple[ActivitySummary, DetectionResult]], List[Any]]:
+        """Detect every summary in batches; nothing is quarantined."""
+        from repro.core.batch import BatchedDetector
+
+        if self._detector is None:
+            self._detector = PeriodicityDetector(
+                context.config.detector,
+                threshold_cache=context.threshold_cache,
+            )
+        batched = BatchedDetector(
+            self._detector, batch_size=self.batch_size, workers=self.workers
+        )
+        results = batched.detect_summaries(list(summaries))
+        return (
+            [
+                (summary, result)
+                for summary, result in zip(summaries, results)
+                if result.periodic
+            ],
+            [],
+        )
 
 
 class PeriodicityDetectionStage(Stage):

@@ -225,7 +225,8 @@ class TestSuites:
         from repro.obs.bench_suites import build_suite, suite_names
 
         assert set(suite_names()) == {
-            "micro", "pipeline", "mapreduce", "ingestion"
+            "micro", "pipeline", "mapreduce", "ingestion",
+            "detection_batch",
         }
         benchmarks = build_suite("micro")
         names = [bench.name for bench in benchmarks]

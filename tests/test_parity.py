@@ -114,3 +114,48 @@ def test_pipeline_accepts_iterator_source(records, scorer, pipeline_report):
         PipelineConfig(**CONFIG), scorer=scorer
     ).run_records(iter(records))
     assert report_signature(streamed) == report_signature(pipeline_report)
+
+
+def test_batched_pipeline_matches_serial_pipeline(
+    records, scorer, pipeline_report
+):
+    # The batched detection executor must be invisible in the report:
+    # the shape-grouped kernels are bit-for-bit equivalent to the
+    # per-pair loop, whatever the chunking.
+    batched = BaywatchPipeline(
+        PipelineConfig(**CONFIG, detection_batch_size=5), scorer=scorer
+    ).run_records(records)
+    assert report_signature(batched) == report_signature(pipeline_report)
+
+
+def test_batched_sharded_run_with_persisted_cache_matches_pipeline(
+    records, scorer, pipeline_report, tmp_path
+):
+    from pathlib import Path
+
+    from repro.core.permutation import ThresholdCache
+
+    config = PipelineConfig(**CONFIG, detection_batch_size=7)
+    checkpoint = str(tmp_path / "ckpt")
+    interrupted = BaywatchRunner(config, scorer=scorer)
+    with pytest.raises(IncompleteRunError):
+        interrupted.run_sharded(
+            records,
+            shard_size=4,
+            checkpoint_dir=checkpoint,
+            max_shards=2,
+        )
+    # The interrupted run persisted its threshold-cache warmth next to
+    # the shard checkpoints, and the file round-trips into a cache.
+    cache_path = Path(checkpoint) / "threshold-cache.json"
+    assert cache_path.is_file()
+    assert ThresholdCache().load(cache_path) > 0
+
+    resumed = BaywatchRunner(config, scorer=scorer)
+    report = resumed.run_sharded(
+        records,
+        shard_size=4,
+        checkpoint_dir=checkpoint,
+        resume=True,
+    )
+    assert report_signature(report) == report_signature(pipeline_report)
