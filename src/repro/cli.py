@@ -9,6 +9,8 @@ The subcommands cover the operational surface:
 - ``score``    — score domain names under the language model,
 - ``report``   — run the pipeline and emit an analyst report,
 - ``stats``    — render a run report from saved telemetry,
+- ``trace``    — render a distributed trace tree / export Chrome JSON,
+- ``watch``    — watch a run's live status (journal or HTTP),
 - ``bench``    — run benchmark suites / gate against a baseline.
 
 ``run`` is the operational front end: the MapReduce-backed runner with
@@ -16,7 +18,12 @@ bounded shards, durable JSONL checkpoints (``--checkpoint-dir`` /
 ``--resume``), worker-pool recovery (``--task-timeout``,
 ``--max-retries``, ``--retry-backoff``), and quarantine of poison-pill
 pairs (see ``docs/OPERATIONS.md``).  It exits 3 when ``--max-shards``
-stopped the run before every shard completed.
+stopped the run before every shard completed.  Every sharded run
+journals its progress to ``events.jsonl`` in the checkpoint (or
+telemetry) directory; ``--status-port N`` additionally serves
+``/status``, ``/metrics``, and ``/events`` over HTTP for the duration
+of the run, and ``repro watch`` follows either the journal file or the
+HTTP service.
 
 ``pipeline`` and ``report`` accept ``--telemetry <dir>`` to collect
 per-stage metrics and write ``report.txt`` / ``metrics.jsonl`` /
@@ -166,6 +173,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="collect run telemetry and write report.txt/metrics.jsonl/"
              "metrics.prom into DIR",
     )
+    runp.add_argument(
+        "--run-id", default=None, metavar="ID",
+        help="explicit run identifier for logs and the event journal "
+             "(default: generated)",
+    )
+    runp.add_argument(
+        "--status-port", type=int, default=None, metavar="PORT",
+        help="serve live /status, /metrics, and /events on "
+             "127.0.0.1:PORT for the duration of the run (0 = ephemeral "
+             "port; requires --checkpoint-dir or --telemetry for the "
+             "event journal)",
+    )
+    runp.add_argument(
+        "--status-linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep the status service up this long after the run ends "
+             "(lets pollers observe the final state)",
+    )
 
     score = sub.add_parser("score", help="score domains under the 3-gram LM")
     score.add_argument("domains", nargs="+", help="domain names to score")
@@ -196,6 +220,41 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--profile", action="store_true",
         help="also render span-profile hotspots (profiles.jsonl)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="render a distributed trace tree from saved telemetry"
+    )
+    trace.add_argument(
+        "path", type=Path,
+        help="telemetry directory (or trace.jsonl file) written by "
+             "--telemetry",
+    )
+    trace.add_argument(
+        "--chrome", type=Path, default=None, metavar="OUT.json",
+        help="also export Chrome trace-event JSON (load in Perfetto or "
+             "chrome://tracing)",
+    )
+
+    watch = sub.add_parser(
+        "watch", help="watch a run's live status (journal file or HTTP)"
+    )
+    watch.add_argument(
+        "path", type=Path, nargs="?", default=None,
+        help="event journal (events.jsonl) or the directory holding it",
+    )
+    watch.add_argument(
+        "--url", default=None, metavar="URL",
+        help="poll a repro run --status-port service instead of reading "
+             "the journal (e.g. http://127.0.0.1:8765)",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between polls (default 2)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="print one status snapshot and exit",
     )
 
     bench = sub.add_parser(
@@ -333,9 +392,12 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import time as _time
+
     from repro.jobs.checkpoint import CheckpointMismatch
     from repro.jobs.runner import BaywatchRunner, IncompleteRunError
     from repro.mapreduce.engine import MapReduceEngine
+    from repro.obs import JOURNAL_FILE, StatusServer, new_run_id
 
     records = read_log(args.input)
     config = PipelineConfig(
@@ -354,6 +416,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     checkpoint_dir = (
         str(args.checkpoint_dir) if args.checkpoint_dir is not None else None
     )
+    run_id = args.run_id if args.run_id else new_run_id()
+    # The journal lives next to the checkpoints when there are any,
+    # falling back to the telemetry directory for checkpoint-less runs.
+    journal_home = checkpoint_dir or (
+        str(args.telemetry) if args.telemetry is not None else None
+    )
+    if args.status_port is not None and journal_home is None:
+        print(
+            "error: --status-port needs --checkpoint-dir or --telemetry "
+            "(the event journal lives there)", file=sys.stderr,
+        )
+        return 2
+    if args.telemetry is not None and args.telemetry.exists() \
+            and not args.telemetry.is_dir():
+        print(
+            f"error: --telemetry target {args.telemetry} exists and is "
+            f"not a directory", file=sys.stderr,
+        )
+        return 2
+
+    # The status service needs the *live* registry (for /metrics), so
+    # one is owned here rather than delegating to _run_instrumented; a
+    # bare --status-port run gets live metrics without writing files.
+    registry: Optional[MetricsRegistry] = None
+    if args.telemetry is not None or args.status_port is not None:
+        registry = MetricsRegistry()
+
+    server: Optional[StatusServer] = None
+    if args.status_port is not None:
+        server = StatusServer(
+            journal_path=Path(journal_home) / JOURNAL_FILE,
+            registry=registry,
+            port=args.status_port,
+        )
+        port = server.start()
+        print(f"status service on http://127.0.0.1:{port} (run {run_id})")
 
     def go() -> PipelineReport:
         with engine:
@@ -364,16 +462,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 checkpoint_dir=checkpoint_dir,
                 resume=args.resume,
                 max_shards=args.max_shards,
+                run_id=run_id,
+                journal_dir=journal_home,
             )
 
+    telemetry_dir: Optional[Path] = None
     try:
-        report, telemetry_dir = _run_instrumented(args.telemetry, go)
+        if registry is not None:
+            with scoped_registry(registry):
+                report = go()
+        else:
+            report = go()
+        if args.telemetry is not None:
+            write_telemetry(args.telemetry, registry, funnel=report.funnel)
+            telemetry_dir = args.telemetry
     except IncompleteRunError as exc:
         print(f"run incomplete: {exc}")
         return 3
     except CheckpointMismatch as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if server is not None:
+            if args.status_linger > 0:
+                _time.sleep(args.status_linger)
+            server.stop()
     print(report.funnel.as_text())
     print()
     print(f"{'rank':>4s}  {'score':>6s}  {'period':>10s}  {'clients':>7s}  domain")
@@ -464,6 +577,75 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        TRACE_FILE,
+        render_trace_tree,
+        spans_from_jsonl,
+        to_chrome_trace,
+    )
+
+    path = args.path
+    if path.is_dir():
+        path = path / TRACE_FILE
+    if not path.exists():
+        print(
+            f"no trace found at {path} (sharded runs record one when "
+            f"--telemetry is on)", file=sys.stderr,
+        )
+        return 1
+    records = spans_from_jsonl(path.read_text(encoding="utf-8"))
+    if not records:
+        print(f"trace at {path} is empty", file=sys.stderr)
+        return 1
+    print(render_trace_tree(records), end="")
+    if args.chrome is not None:
+        args.chrome.write_text(to_chrome_trace(records), encoding="utf-8")
+        print(f"wrote Chrome trace to {args.chrome}")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    from repro.obs import JOURNAL_FILE, build_status, read_events, render_status
+
+    if args.url is None and args.path is None:
+        print(
+            "error: give the journal path (events.jsonl or its "
+            "directory) or --url of a --status-port service",
+            file=sys.stderr,
+        )
+        return 2
+
+    def snapshot() -> dict:
+        if args.url is not None:
+            url = args.url.rstrip("/") + "/status"
+            with urllib.request.urlopen(url, timeout=10) as response:
+                return json.loads(response.read().decode("utf-8"))
+        path = args.path
+        if path.is_dir():
+            path = path / JOURNAL_FILE
+        return build_status(read_events(path))
+
+    first = True
+    while True:
+        try:
+            status = snapshot()
+        except (OSError, urllib.error.URLError, ValueError) as exc:
+            print(f"error: cannot read status: {exc}", file=sys.stderr)
+            return 1
+        if not first:
+            print()
+        first = False
+        print(render_status(status), end="")
+        if args.once or status.get("state") in ("finished", "suspended"):
+            return 0
+        _time.sleep(args.interval)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs.bench import (
         BenchReport,
@@ -528,6 +710,8 @@ _COMMANDS = {
     "score": _cmd_score,
     "report": _cmd_report,
     "stats": _cmd_stats,
+    "trace": _cmd_trace,
+    "watch": _cmd_watch,
     "bench": _cmd_bench,
 }
 

@@ -320,6 +320,27 @@ class CheckpointStore:
                 continue
         return out
 
+    def progress(self) -> Dict[str, Any]:
+        """Ground-truth run progress from the durable files alone.
+
+        The event journal is the live view of a run; this is the
+        durable one — derived purely from the manifest and the shard
+        files on disk, so it is what ``/status`` consumers cross-check
+        the journal's shard counts against (the two agree exactly for
+        any run that was not killed mid-shard-write, and the atomic
+        shard rename guarantees no partial shard ever counts).
+        """
+        manifest = self.manifest()
+        completed = self.completed_shards()
+        total = int(manifest["n_shards"]) if manifest else 0
+        return {
+            "n_shards": total,
+            "completed": completed,
+            "done": len(completed),
+            "remaining": max(0, total - len(completed)),
+            "fingerprint": manifest.get("fingerprint") if manifest else None,
+        }
+
     def write_shard(
         self,
         index: int,

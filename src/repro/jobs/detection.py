@@ -18,6 +18,7 @@ from repro.core.permutation import ThresholdCache
 from repro.core.timeseries import ActivitySummary
 from repro.jobs.records import DetectionCase
 from repro.mapreduce.job import KeyValue, MapReduceJob
+from repro.obs import span
 from repro.utils.validation import require
 
 
@@ -87,12 +88,23 @@ class BeaconingDetectionJob(MapReduceJob):
     def reduce(
         self, key: Tuple[str, str], values: Iterable[ActivitySummary]
     ) -> Iterator[KeyValue]:
-        """Run the shared detection loop on each pair's history."""
+        """Run the shared detection loop on each pair's history.
+
+        Materialized under a ``detect`` span (rather than yielded
+        lazily) so the span brackets the actual detector work — inside
+        a worker process the span record ships back to the engine with
+        its parent link, which is how worker-side detection time shows
+        up in the merged trace tree.
+        """
         from repro.stages import detect_pairs
 
         detector = self._get_detector()
-        for summary, result in detect_pairs(detector, values):
-            yield key, DetectionCase(summary=summary, detection=result)
+        with span("detect"):
+            output = [
+                (key, DetectionCase(summary=summary, detection=result))
+                for summary, result in detect_pairs(detector, values)
+            ]
+        return iter(output)
 
     def reduce_partition(
         self, grouped: Iterable[Tuple[Any, Iterable[ActivitySummary]]]
@@ -121,7 +133,10 @@ class BeaconingDetectionJob(MapReduceJob):
         batched = BatchedDetector(
             self._get_detector(), batch_size=self.batch_size
         )
-        results = batched.detect_summaries([summary for _key, summary in flat])
+        with span("detect"):
+            results = batched.detect_summaries(
+                [summary for _key, summary in flat]
+            )
         for (key, summary), result in zip(flat, results):
             if result.periodic:
                 yield key, DetectionCase(summary=summary, detection=result)

@@ -22,6 +22,7 @@ the report's quarantine list instead of aborting the batch.
 from __future__ import annotations
 
 import logging
+import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.detector import DetectionResult
@@ -40,7 +41,18 @@ from repro.jobs.records import DetectionCase
 from repro.jobs.rescaling import RescaleMergeJob
 from repro.lm.domains import DomainScorer, default_scorer
 from repro.mapreduce.engine import MapReduceEngine, QuarantinedTask
-from repro.obs import get_registry, span
+from repro.obs import (
+    EventJournal,
+    TraceContext,
+    current_trace,
+    get_registry,
+    journal_emit,
+    new_run_id,
+    new_trace_id,
+    scoped_journal,
+    scoped_trace,
+    span,
+)
 from repro.sources.proxy import ProxyLogRecord, records_to_summaries
 from repro.stages import (
     GlobalWhitelistStage,
@@ -132,6 +144,16 @@ class _ShardedDetection:
         ]
         n_shards = len(shards)
         registry.gauge("runner.shards_total").set(n_shards)
+        journal_emit(
+            "run_start",
+            n_shards=n_shards,
+            shard_size=self.shard_size,
+            resume=self.resume,
+        )
+        if self.resume:
+            # The journal is append-only across interrupt/resume cycles;
+            # this marker separates the cycles in the stream.
+            journal_emit("resumed")
 
         store: Optional[CheckpointStore] = None
         if self.checkpoint_dir is not None:
@@ -152,6 +174,7 @@ class _ShardedDetection:
 
         detected: List[DetectionCase] = []
         quarantined: List[QuarantinedTask] = []
+        engine = runner.engine
         processed = 0
         resumed = 0
         for index, shard in enumerate(shards):
@@ -161,6 +184,16 @@ class _ShardedDetection:
                 quarantined.extend(shard_quarantine)
                 resumed += 1
                 registry.counter("mapreduce.shards_resumed").inc()
+                # Deliberately NOT shard_finish: the fold in
+                # repro.obs.service counts a shard done on either event,
+                # so resume never double-counts pairs or duplicates the
+                # finish record of the run that actually computed it.
+                journal_emit(
+                    "shard_resumed",
+                    shard=index,
+                    pairs=len(shard),
+                    detected=len(cases),
+                )
                 continue
             if self.max_shards is not None and processed >= self.max_shards:
                 if store is not None:
@@ -171,13 +204,28 @@ class _ShardedDetection:
                     "(%d of %d complete)", processed, completed, n_shards,
                 )
                 raise IncompleteRunError(completed, n_shards)
-            cases = runner._detect_batch(shard)
-            shard_quarantine = list(runner.engine.last_quarantine)
+            engine.set_run_context(run_id=engine.run_id, shard=index)
+            journal_emit("shard_start", shard=index, pairs=len(shard))
+            started = time.perf_counter()
+            try:
+                with span("shard"):
+                    cases = runner._detect_batch(shard)
+            finally:
+                engine.set_run_context(run_id=engine.run_id)
+            shard_quarantine = list(engine.last_quarantine)
             detected.extend(cases)
             quarantined.extend(shard_quarantine)
             if store is not None:
                 store.write_shard(index, cases, shard_quarantine)
                 self._save_threshold_cache(store, registry)
+            journal_emit(
+                "shard_finish",
+                shard=index,
+                pairs=len(shard),
+                detected=len(cases),
+                quarantined=len(shard_quarantine) or None,
+                seconds=round(time.perf_counter() - started, 6),
+            )
             processed += 1
             if self.on_shard_complete is not None:
                 self.on_shard_complete(index, n_shards)
@@ -211,6 +259,7 @@ class _ShardedDetection:
             logger.warning("ignoring persisted threshold cache: %s", exc)
             return
         registry.counter("detector.threshold_cache.loaded").inc(loaded)
+        journal_emit("cache_load", buckets=loaded)
         logger.info(
             "resumed %d warm threshold buckets from %s", loaded, path
         )
@@ -229,6 +278,7 @@ class _ShardedDetection:
             return
         cache.save(store.threshold_cache_path)
         registry.counter("detector.threshold_cache.persisted").inc()
+        journal_emit("cache_persist", buckets=len(cache))
 
 
 class BaywatchRunner:
@@ -487,11 +537,14 @@ class BaywatchRunner:
         resume: bool = False,
         max_shards: Optional[int] = None,
         on_shard_complete: Optional[Callable[[int, int], None]] = None,
+        run_id: Optional[str] = None,
+        journal_dir: Optional[str] = None,
     ) -> PipelineReport:
         """Run all phases with the detection phase sharded.
 
         See :meth:`run_summaries_sharded` for the sharding, checkpoint,
-        and resume semantics.  Ingestion streams the records through
+        resume, and telemetry (``run_id`` / ``journal_dir``) semantics.
+        Ingestion streams the records through
         :func:`repro.sources.proxy.records_to_summaries` (``records``
         may be a lazy iterator); extraction and rescaling are cheap and
         deterministic, so a resumed run simply recomputes them from the
@@ -511,6 +564,8 @@ class BaywatchRunner:
                 resume=resume,
                 max_shards=max_shards,
                 on_shard_complete=on_shard_complete,
+                run_id=run_id,
+                journal_dir=journal_dir,
             )
 
     def run_summaries_sharded(
@@ -522,6 +577,8 @@ class BaywatchRunner:
         resume: bool = False,
         max_shards: Optional[int] = None,
         on_shard_complete: Optional[Callable[[int, int], None]] = None,
+        run_id: Optional[str] = None,
+        journal_dir: Optional[str] = None,
     ) -> PipelineReport:
         """Detection in bounded shards with durable checkpoints.
 
@@ -540,6 +597,20 @@ class BaywatchRunner:
         process; when the budget runs out with work remaining,
         :class:`IncompleteRunError` is raised after checkpointing the
         finished shards (requires ``checkpoint_dir``).
+
+        Telemetry: each run gets a ``run_id`` (generated when not
+        given), attached to the engine's operator log lines and to every
+        record of the event journal.  The journal —
+        ``events.jsonl`` under ``journal_dir`` (defaulting to
+        ``checkpoint_dir``) — records the run's operational story:
+        run/shard start and finish, retries, quarantines, pool restarts,
+        cache persist/load, worker heartbeats; a resumed run *appends*
+        with a ``resumed`` marker so the interrupt/resume history reads
+        as one stream (``repro watch`` and the ``--status-port`` service
+        fold it live).  When telemetry is on and no distributed trace is
+        already active, a fresh trace context is installed so
+        worker-side spans come back stitched under this run (see
+        :mod:`repro.obs.tracing`).
         """
         if shard_size < 1:
             raise ValueError("shard_size must be at least 1")
@@ -548,18 +619,53 @@ class BaywatchRunner:
                 "max_shards without checkpoint_dir would discard the "
                 "completed shards"
             )
-        get_registry().counter("runner.runs").inc()
-        context = self._stage_context(summaries)
-        detection = PeriodicityDetectionStage(
-            _ShardedDetection(
-                self,
-                shard_size=shard_size,
-                checkpoint_dir=checkpoint_dir,
-                resume=resume,
-                max_shards=max_shards,
-                on_shard_complete=on_shard_complete,
-            )
-        )
-        return self._run_stage_graph(
-            context, summaries, detection, detect_span="detect.sharded"
-        )
+        if run_id is None:
+            run_id = new_run_id()
+        journal: Optional[EventJournal] = None
+        journal_home = journal_dir if journal_dir is not None else checkpoint_dir
+        if journal_home is not None:
+            journal = EventJournal.in_dir(journal_home, run_id=run_id)
+        trace = current_trace()
+        if trace is None and get_registry().enabled:
+            trace = TraceContext(trace_id=new_trace_id(), run_id=run_id)
+        self.engine.set_run_context(run_id=run_id)
+        try:
+            # The ``run`` span is the trace root: it opens *after* the
+            # trace context is installed, so every later span — the
+            # stage graph here, worker-side spans shipped back by the
+            # engine — stitches into one tree under it.
+            with scoped_journal(journal), scoped_trace(trace), span("run"):
+                get_registry().counter("runner.runs").inc()
+                context = self._stage_context(summaries)
+                detection = PeriodicityDetectionStage(
+                    _ShardedDetection(
+                        self,
+                        shard_size=shard_size,
+                        checkpoint_dir=checkpoint_dir,
+                        resume=resume,
+                        max_shards=max_shards,
+                        on_shard_complete=on_shard_complete,
+                    )
+                )
+                try:
+                    report = self._run_stage_graph(
+                        context, summaries, detection,
+                        detect_span="detect.sharded",
+                    )
+                except IncompleteRunError as exc:
+                    journal_emit(
+                        "run_suspended",
+                        completed=exc.completed,
+                        total=exc.total,
+                    )
+                    raise
+                journal_emit(
+                    "run_finish",
+                    reported=len(report.ranked_cases),
+                    quarantined=len(report.quarantined) or None,
+                )
+                return report
+        finally:
+            self.engine.set_run_context()
+            if journal is not None:
+                journal.close()

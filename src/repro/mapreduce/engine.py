@@ -27,6 +27,7 @@ failures):
 from __future__ import annotations
 
 import logging
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
@@ -44,7 +45,19 @@ from typing import (
 )
 
 from repro.mapreduce.job import KeyValue, MapReduceJob
-from repro.obs import MetricsRegistry, get_registry, scoped_registry, span
+from repro.obs import (
+    MetricsRegistry,
+    TraceContext,
+    drain_spans,
+    get_journal,
+    get_registry,
+    journal_emit,
+    record_spans,
+    scoped_registry,
+    scoped_trace,
+    span,
+    task_trace_payload,
+)
 from repro.utils.validation import require
 
 logger = logging.getLogger(__name__)
@@ -110,19 +123,44 @@ def _split_reduce_partition(
     return [(key, [(key, values)]) for key, values in grouped]
 
 
-def _run_task_with_telemetry(func, job: MapReduceJob, task):
+def _run_task_with_telemetry(
+    func,
+    job: MapReduceJob,
+    task,
+    trace: Optional[Dict[str, Optional[str]]] = None,
+    journal=None,
+    phase: str = "",
+):
     """Run one worker task under a fresh child registry.
 
-    Executed inside a worker process when the parent collects telemetry:
-    the child registry captures everything the task records (detector
-    timers, threshold-cache hits, ...) and ships it back as a picklable
-    snapshot for the parent to merge — the local analogue of Hadoop
-    counters flowing from task attempts to the job tracker.
+    Executed inside a worker process when the parent collects telemetry
+    (or journals, or traces): the child registry captures everything the
+    task records (detector timers, threshold-cache hits, ...) and ships
+    it back as a picklable snapshot for the parent to merge — the local
+    analogue of Hadoop counters flowing from task attempts to the job
+    tracker.
+
+    ``trace`` is the parent's :func:`repro.obs.task_trace_payload`: the
+    worker installs it, opens a ``task.<phase>`` span around the task,
+    and ships the completed span records back so the parent can stitch
+    them under its own span tree.  ``journal`` (an
+    :class:`~repro.obs.journal.EventJournal`, picklable by path) gets a
+    heartbeat event per task so operators see which workers are alive.
     """
     registry = MetricsRegistry()
-    with scoped_registry(registry):
-        result = func(job, task)
-    return result, registry.snapshot()
+    context = TraceContext(**trace) if trace is not None else None
+    with scoped_registry(registry), scoped_trace(context):
+        if journal is not None:
+            journal.append(
+                "heartbeat", worker=os.getpid(), phase=phase or None
+            )
+        with span(f"task.{phase}" if phase else "task"):
+            result = func(job, task)
+    return (
+        result,
+        registry.snapshot(),
+        [record.to_dict() for record in drain_spans()],
+    )
 
 
 def _chunked(items: Sequence, n_chunks: int) -> List[Sequence]:
@@ -193,8 +231,35 @@ class MapReduceEngine:
         self.quarantine = quarantine
         self.last_stats: Optional[JobStats] = None
         self.last_quarantine: List[QuarantinedTask] = []
+        # Operator-log/journal correlation context, set by the sharded
+        # runner (see set_run_context): WARNING lines about retries,
+        # pool restarts, and quarantines carry the run id and shard so
+        # they line up with the event journal.
+        self.run_id: Optional[str] = None
+        self.shard: Optional[int] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._sleep: Callable[[float], None] = time.sleep
+
+    # -- run context -------------------------------------------------------
+
+    def set_run_context(
+        self,
+        *,
+        run_id: Optional[str] = None,
+        shard: Optional[int] = None,
+    ) -> None:
+        """Attach run/shard identity to this engine's logs and events."""
+        self.run_id = run_id
+        self.shard = shard
+
+    def _log_ctx(self) -> str:
+        """``"[run <id> shard <n>] "`` prefix for operator log lines."""
+        parts = []
+        if self.run_id is not None:
+            parts.append(f"run {self.run_id}")
+        if self.shard is not None:
+            parts.append(f"shard {self.shard}")
+        return "[" + " ".join(parts) + "] " if parts else ""
 
     # -- retry / backoff machinery -----------------------------------------
 
@@ -215,7 +280,8 @@ class MapReduceEngine:
                 if failures > budget:
                     raise
                 logger.warning(
-                    "task %s failed (attempt %d of %d): %s; retrying",
+                    "%stask %s failed (attempt %d of %d): %s; retrying",
+                    self._log_ctx(),
                     getattr(func, "__name__", str(func)),
                     failures,
                     budget + 1,
@@ -224,10 +290,11 @@ class MapReduceEngine:
                 self._note_retry()
                 self._backoff(failures)
 
-    def _note_retry(self) -> None:
+    def _note_retry(self, phase: Optional[str] = None) -> None:
         if self.last_stats is not None:
             self.last_stats.task_retries += 1
         get_registry().counter("mapreduce.task_retries").inc()
+        journal_emit("retry", phase=phase, shard=self.shard)
 
     def _backoff(self, failures: int) -> None:
         """Sleep before the next retry (exponential, capped)."""
@@ -256,10 +323,11 @@ class MapReduceEngine:
                 if process.is_alive():
                     process.terminate()
             self._pool = None
-        logger.warning("worker pool restarted: %s", reason)
+        logger.warning("%sworker pool restarted: %s", self._log_ctx(), reason)
         if self.last_stats is not None:
             self.last_stats.pool_restarts += 1
         get_registry().counter("mapreduce.pool_restarts").inc()
+        journal_emit("pool_restart", reason=reason, shard=self.shard)
 
     def close(self) -> None:
         """Shut down the worker pool (no-op for serial engines)."""
@@ -285,9 +353,13 @@ class MapReduceEngine:
         if self.last_stats is not None:
             self.last_stats.tasks_quarantined += 1
         get_registry().counter("mapreduce.tasks_quarantined").inc()
+        journal_emit(
+            "quarantine", phase=phase, key=key, shard=self.shard,
+            attempts=attempts,
+        )
         logger.error(
-            "quarantined %s unit %r after %d attempts: %s",
-            phase, key, attempts, entry.error,
+            "%squarantined %s unit %r after %d attempts: %s",
+            self._log_ctx(), phase, key, attempts, entry.error,
         )
 
     def _isolate_units(
@@ -339,8 +411,9 @@ class MapReduceEngine:
                 raise
             budget = self.max_retries if retries_left is None else retries_left
             logger.warning(
-                "%s task failed all %d attempts (%s); isolating its "
-                "%d units", phase, budget + 1, exc, len(split(task)),
+                "%s%s task failed all %d attempts (%s); isolating its "
+                "%d units", self._log_ctx(), phase, budget + 1, exc,
+                len(split(task)),
             )
             return self._isolate_units(
                 func, job, split(task),
@@ -469,10 +542,18 @@ class MapReduceEngine:
         When the parent collects telemetry, each task runs under a fresh
         child registry in its worker and returns a snapshot that is
         merged here — so detector timers and cache counters recorded
-        inside worker processes are not lost.
+        inside worker processes are not lost.  When a trace context is
+        active, its ``(trace_id, parent_span_id)`` rides in the task
+        payload and the worker's span records are merged back
+        (:func:`repro.obs.record_spans`), stitching worker-side spans
+        under this engine's span tree; when a journal is active, it is
+        shipped to the workers for per-task heartbeats.
         """
         registry = get_registry()
         collect = registry.enabled
+        trace_payload = task_trace_payload()
+        journal = get_journal()
+        wrap = collect or trace_payload is not None or journal is not None
         n_tasks = len(tasks)
         results: Dict[int, List] = {}
         attempts = [0] * n_tasks
@@ -480,9 +561,12 @@ class MapReduceEngine:
         failure_rounds = 0
         while pending:
             pool = self._get_pool()
-            if collect:
+            if wrap:
                 submitted = {
-                    i: pool.submit(_run_task_with_telemetry, func, job, tasks[i])
+                    i: pool.submit(
+                        _run_task_with_telemetry, func, job, tasks[i],
+                        trace_payload, journal, phase,
+                    )
                     for i in pending
                 }
             else:
@@ -525,9 +609,10 @@ class MapReduceEngine:
                     ):
                         next_pending.append(i)
                     continue
-                if collect:
-                    result, snapshot = outcome
+                if wrap:
+                    result, snapshot, worker_spans = outcome
                     registry.merge(snapshot)
+                    record_spans(worker_spans)
                     results[i] = result
                 else:
                     results[i] = outcome
@@ -560,16 +645,19 @@ class MapReduceEngine:
         attempts[index] += 1
         if attempts[index] <= self.max_retries:
             logger.warning(
-                "parallel %s task %d failed (attempt %d of %d): %s; retrying",
-                phase, index, attempts[index], self.max_retries + 1, exc,
+                "%sparallel %s task %d failed (attempt %d of %d): %s; "
+                "retrying",
+                self._log_ctx(), phase, index, attempts[index],
+                self.max_retries + 1, exc,
             )
-            self._note_retry()
+            self._note_retry(phase)
             return False
         if not self.quarantine:
             raise exc
         logger.warning(
-            "parallel %s task %d failed all %d attempts (%s); isolating "
-            "its units", phase, index, self.max_retries + 1, exc,
+            "%sparallel %s task %d failed all %d attempts (%s); isolating "
+            "its units", self._log_ctx(), phase, index,
+            self.max_retries + 1, exc,
         )
         results[index] = self._isolate_units(
             func, job, split(task),

@@ -11,7 +11,14 @@ spent.  This package gives the reproduction the same visibility:
   peak-memory) spans over the 8 filter stages, the MapReduce phases,
   and the detector's internal steps;
 - :mod:`repro.obs.export` — the human run report (funnel + stage
-  latency tables), JSON lines, and Prometheus text format;
+  latency tables), JSON lines, Prometheus text format, and the trace
+  renderers (ASCII tree + Chrome trace-event JSON);
+- :mod:`repro.obs.journal` — the durable, append-only run event
+  journal (``events.jsonl``): shard progress, retries, quarantines,
+  pool restarts, worker heartbeats — safe under concurrent workers;
+- :mod:`repro.obs.service` — the live status/metrics HTTP service
+  (``/status``, ``/metrics``, ``/events``) behind ``repro run
+  --status-port`` and ``repro watch``;
 - :mod:`repro.obs.profiling` — span-level cProfile/tracemalloc hotspot
   collection (``span(..., profile=...)`` or ``REPRO_PROFILE``);
 - :mod:`repro.obs.bench` / :mod:`repro.obs.bench_suites` — the
@@ -36,11 +43,33 @@ from typing import Optional, TextIO
 from repro.obs.export import (
     PROFILES_FILE,
     TELEMETRY_FILES,
+    TRACE_FILE,
     from_jsonl,
     render_run_report,
+    render_trace_tree,
+    spans_from_jsonl,
+    spans_to_jsonl,
+    to_chrome_trace,
     to_jsonl,
     to_prometheus,
     write_telemetry,
+)
+from repro.obs.journal import (
+    JOURNAL_FILE,
+    JOURNAL_SCHEMA_VERSION,
+    EventJournal,
+    get_journal,
+    journal_emit,
+    read_events,
+    scoped_journal,
+    set_journal,
+    tail_events,
+)
+from repro.obs.service import (
+    STATUS_SCHEMA_VERSION,
+    StatusServer,
+    build_status,
+    render_status,
 )
 from repro.obs.profiling import (
     SpanProfile,
@@ -63,7 +92,28 @@ from repro.obs.registry import (
     set_registry,
     telemetry_enabled,
 )
-from repro.obs.tracing import Span, current_span_path, span
+from repro.obs.tracing import (
+    Span,
+    SpanRecord,
+    TraceContext,
+    TraceNode,
+    build_trace_tree,
+    clear_spans,
+    current_span_id,
+    current_span_path,
+    current_trace,
+    drain_spans,
+    new_run_id,
+    new_span_id,
+    new_trace_id,
+    pending_spans,
+    record_spans,
+    scoped_trace,
+    set_trace,
+    span,
+    start_trace,
+    task_trace_payload,
+)
 
 __all__ = [
     "Counter",
@@ -80,13 +130,48 @@ __all__ = [
     "Span",
     "span",
     "current_span_path",
+    "SpanRecord",
+    "TraceContext",
+    "TraceNode",
+    "build_trace_tree",
+    "clear_spans",
+    "current_span_id",
+    "current_trace",
+    "drain_spans",
+    "new_run_id",
+    "new_span_id",
+    "new_trace_id",
+    "pending_spans",
+    "record_spans",
+    "scoped_trace",
+    "set_trace",
+    "start_trace",
+    "task_trace_payload",
     "render_run_report",
+    "render_trace_tree",
+    "spans_to_jsonl",
+    "spans_from_jsonl",
+    "to_chrome_trace",
     "to_jsonl",
     "from_jsonl",
     "to_prometheus",
     "write_telemetry",
     "TELEMETRY_FILES",
     "PROFILES_FILE",
+    "TRACE_FILE",
+    "JOURNAL_FILE",
+    "JOURNAL_SCHEMA_VERSION",
+    "EventJournal",
+    "get_journal",
+    "set_journal",
+    "scoped_journal",
+    "journal_emit",
+    "read_events",
+    "tail_events",
+    "STATUS_SCHEMA_VERSION",
+    "StatusServer",
+    "build_status",
+    "render_status",
     "SpanProfile",
     "drain_profiles",
     "pending_profiles",

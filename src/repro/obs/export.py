@@ -13,20 +13,34 @@ Three consumers, three formats:
   ``_total``, histograms as ``_count``/``_sum`` plus quantile samples)
   for scraping into an existing monitoring stack.
 
-:func:`write_telemetry` writes all three into a directory:
-``report.txt``, ``metrics.jsonl``, ``metrics.prom``.
+:func:`write_telemetry` writes all three into a directory —
+``report.txt``, ``metrics.jsonl``, ``metrics.prom`` — each atomically
+(tmp file + rename, the same discipline as checkpoint shards) so a
+killed run never leaves a truncated telemetry file behind.  When
+distributed tracing collected span records (see
+:mod:`repro.obs.tracing`) they are drained into ``trace.jsonl``
+alongside; ``repro trace`` renders them (:func:`render_trace_tree`) or
+exports Chrome trace-event JSON (:func:`to_chrome_trace`,
+Perfetto/chrome://tracing loadable).
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 import re
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.obs import profiling
 from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import (
+    SpanRecord,
+    TraceNode,
+    build_trace_tree,
+    drain_spans,
+)
 
 __all__ = [
     "render_run_report",
@@ -36,6 +50,11 @@ __all__ = [
     "write_telemetry",
     "TELEMETRY_FILES",
     "PROFILES_FILE",
+    "TRACE_FILE",
+    "spans_to_jsonl",
+    "spans_from_jsonl",
+    "render_trace_tree",
+    "to_chrome_trace",
 ]
 
 #: Files produced by :func:`write_telemetry` in the target directory.
@@ -43,6 +62,9 @@ TELEMETRY_FILES = ("report.txt", "metrics.jsonl", "metrics.prom")
 
 #: Span-profile hotspots (written only when profiling collected any).
 PROFILES_FILE = "profiles.jsonl"
+
+#: Distributed-trace span records (written only when tracing collected any).
+TRACE_FILE = "trace.jsonl"
 
 #: A funnel is a FunnelStats-like object (with ``.steps``) or the raw
 #: list of (step_name, pairs_in, pairs_out) triples.
@@ -278,29 +300,170 @@ def _prom_name(name: str) -> str:
     return f"repro_{cleaned}"
 
 
+def _prom_escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring (backslash and newline only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def to_prometheus(registry: MetricsRegistry) -> str:
-    """Prometheus-style text exposition of the registry."""
+    """Prometheus text exposition of the registry.
+
+    Emits ``# HELP`` and ``# TYPE`` headers for every metric and escapes
+    label values, so the output passes promtool-style parsing; the HELP
+    string carries the original dotted metric name, which survives the
+    underscore mangling and keeps the exposition greppable.
+    """
     lines: List[str] = []
     for name, value in registry.counters():
         prom = _prom_name(name)
+        lines.append(f"# HELP {prom}_total "
+                     f"{_prom_escape_help(f'repro counter {name}')}")
         lines.append(f"# TYPE {prom}_total counter")
         lines.append(f"{prom}_total {value}")
     for name, value in registry.gauges():
         prom = _prom_name(name)
+        lines.append(f"# HELP {prom} "
+                     f"{_prom_escape_help(f'repro gauge {name}')}")
         lines.append(f"# TYPE {prom} gauge")
         lines.append(f"{prom} {value}")
     for h in registry.histograms():
         prom = _prom_name(h.name)
+        lines.append(f"# HELP {prom} "
+                     f"{_prom_escape_help(f'repro histogram {h.name}')}")
         lines.append(f"# TYPE {prom} summary")
         for quantile, value in (
             ("0.5", h.quantile(0.5)),
             ("0.95", h.quantile(0.95)),
             ("0.99", h.quantile(0.99)),
         ):
-            lines.append(f'{prom}{{quantile="{quantile}"}} {value}')
+            lines.append(
+                f'{prom}{{quantile="{_prom_escape_label(quantile)}"}} {value}'
+            )
         lines.append(f"{prom}_sum {h.total}")
         lines.append(f"{prom}_count {h.count}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- distributed traces -----------------------------------------------------
+
+
+def spans_to_jsonl(records: Iterable[SpanRecord]) -> str:
+    """One JSON object per span record, one per line."""
+    return "".join(
+        json.dumps(record.to_dict(), sort_keys=True) + "\n"
+        for record in records
+    )
+
+
+def spans_from_jsonl(text: str) -> List[SpanRecord]:
+    """Inverse of :func:`spans_to_jsonl` (skips undecodable lines)."""
+    records: List[SpanRecord] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(payload, dict) and "span_id" in payload:
+            records.append(SpanRecord.from_dict(payload))
+    return records
+
+
+def _render_node(
+    node: TraceNode, lines: List[str], prefix: str, last: bool, root: bool
+) -> None:
+    record = node.record
+    if root:
+        connector, child_prefix = "", ""
+    else:
+        connector = "└─ " if last else "├─ "
+        child_prefix = prefix + ("   " if last else "│  ")
+    marker = " (orphaned)" if node.orphaned else ""
+    error = " !" if record.error else ""
+    label = f"{prefix}{connector}{record.name}{marker}{error}"
+    lines.append(
+        f"{label:56s} {_fmt_seconds(record.seconds):>10s}  pid {record.pid}"
+    )
+    for index, child in enumerate(node.children):
+        _render_node(
+            child, lines, child_prefix if not root else "",
+            index == len(node.children) - 1, False,
+        )
+
+
+def render_trace_tree(records: Iterable[SpanRecord]) -> str:
+    """ASCII rendering of the stitched trace tree(s).
+
+    One header per trace id, then the span tree with durations and the
+    pid each span ran in — worker-side spans show their worker pids
+    under the engine's spans.  Orphaned subtrees (parent span lost with
+    a crashed worker) are flagged rather than hidden.
+    """
+    records = list(records)
+    if not records:
+        return "(no trace recorded)\n"
+    by_trace: Dict[str, List[SpanRecord]] = {}
+    for record in records:
+        by_trace.setdefault(record.trace_id, []).append(record)
+    lines: List[str] = []
+    for trace_id in sorted(
+        by_trace, key=lambda t: min(r.start for r in by_trace[t])
+    ):
+        group = by_trace[trace_id]
+        run_id = next((r.run_id for r in group if r.run_id), None)
+        pids = sorted({r.pid for r in group})
+        header = f"trace {trace_id[:16]}"
+        if run_id:
+            header += f"  run {run_id}"
+        header += f"  ({len(group)} spans, {len(pids)} process"
+        header += "es)" if len(pids) != 1 else ")"
+        lines.append(header)
+        for root in build_trace_tree(group):
+            _render_node(root, lines, "", True, True)
+        lines.append("")
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def to_chrome_trace(records: Iterable[SpanRecord]) -> str:
+    """Chrome trace-event JSON (Perfetto / chrome://tracing loadable).
+
+    Each span becomes one complete (``"ph": "X"``) event with
+    microsecond timestamps; pid/tid are the recording process, so the
+    timeline groups engine and worker spans by process.
+    """
+    events: List[Dict[str, Any]] = []
+    for record in sorted(records, key=lambda r: r.start):
+        events.append(
+            {
+                "name": record.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": record.start * 1e6,
+                "dur": record.seconds * 1e6,
+                "pid": record.pid,
+                "tid": record.pid,
+                "args": {
+                    "path": record.path,
+                    "span_id": record.span_id,
+                    "parent_id": record.parent_id,
+                    "trace_id": record.trace_id,
+                    "run_id": record.run_id,
+                    "error": record.error,
+                },
+            }
+        )
+    return json.dumps(
+        {"traceEvents": events, "displayTimeUnit": "ms"}, sort_keys=True
+    )
 
 
 # -- one-stop writer --------------------------------------------------------
@@ -317,7 +480,12 @@ def write_telemetry(
 
     When span profiling collected hotspots during the run (``profile=``
     spans or ``REPRO_PROFILE``), they are drained into ``profiles.jsonl``
-    alongside — ``repro stats --profile`` renders them.  Creates the
+    alongside — ``repro stats --profile`` renders them.  When
+    distributed tracing collected span records (a trace context was
+    active, see :mod:`repro.obs.tracing`), they are drained into
+    ``trace.jsonl`` — ``repro trace`` renders them.  Every file is
+    written atomically (tmp + rename, the checkpoint-shard discipline)
+    so a kill mid-write never leaves truncated telemetry.  Creates the
     directory if needed; returns the written paths keyed by file name.
     """
     target = Path(directory)
@@ -330,9 +498,14 @@ def write_telemetry(
     profiles = profiling.drain_profiles()
     if profiles:
         outputs[PROFILES_FILE] = profiling.profiles_to_jsonl(profiles)
+    spans = drain_spans()
+    if spans:
+        outputs[TRACE_FILE] = spans_to_jsonl(spans)
     written: Dict[str, Path] = {}
     for name, payload in outputs.items():
         path = target / name
-        path.write_text(payload, encoding="utf-8")
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, path)
         written[name] = path
     return written

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Iterable, List, Sequence
 
-from repro.obs import get_registry, span
+from repro.obs import get_registry, journal_emit, span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.stages.context import StageContext
@@ -63,4 +63,10 @@ def run_stages(
         context.funnel.record(stage.name, n_in, len(survivors))
         registry.counter(f"stage.{stage.span_name}.pairs_in").inc(n_in)
         registry.counter(f"stage.{stage.span_name}.pairs_out").inc(len(survivors))
+        journal_emit(
+            "stage",
+            stage=stage.span_name,
+            pairs_in=n_in,
+            pairs_out=len(survivors),
+        )
     return survivors

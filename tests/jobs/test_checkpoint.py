@@ -321,3 +321,55 @@ class TestQuarantineEndToEnd:
         )
         with pytest.raises(RuntimeError, match="poisoned pair"):
             runner.run_sharded(records, shard_size=5)
+
+
+class TestProgress:
+    def test_progress_tracks_manifest_and_shards(
+        self, enterprise, pipeline_config, tmp_path
+    ):
+        records, _truth = enterprise
+        ckpt = tmp_path / "ckpt"
+        runner = BaywatchRunner(pipeline_config)
+        with pytest.raises(IncompleteRunError):
+            runner.run_sharded(
+                records, shard_size=5, checkpoint_dir=str(ckpt), max_shards=2
+            )
+        store = CheckpointStore(str(ckpt))
+        progress = store.progress()
+        assert progress["done"] == 2
+        assert progress["completed"] == [0, 1]
+        assert progress["n_shards"] > 2
+        assert progress["remaining"] == progress["n_shards"] - 2
+        assert progress["fingerprint"]
+
+        BaywatchRunner(pipeline_config).run_sharded(
+            records, shard_size=5, checkpoint_dir=str(ckpt), resume=True
+        )
+        progress = store.progress()
+        assert progress["remaining"] == 0
+        assert progress["done"] == progress["n_shards"]
+
+    def test_progress_on_fresh_directory(self, tmp_path):
+        progress = CheckpointStore(str(tmp_path)).progress()
+        assert progress == {
+            "n_shards": 0,
+            "completed": [],
+            "done": 0,
+            "remaining": 0,
+            "fingerprint": None,
+        }
+
+    def test_clear_keeps_the_event_journal(
+        self, enterprise, pipeline_config, tmp_path
+    ):
+        """A fresh (non-resume) run clears shards but never the journal."""
+        records, _truth = enterprise
+        ckpt = tmp_path / "ckpt"
+        runner = BaywatchRunner(pipeline_config)
+        runner.run_sharded(records, shard_size=5, checkpoint_dir=str(ckpt))
+        journal = ckpt / "events.jsonl"
+        assert journal.exists()
+        size_after_first = journal.stat().st_size
+        CheckpointStore(str(ckpt)).clear()
+        assert journal.exists()
+        assert journal.stat().st_size == size_after_first

@@ -146,3 +146,82 @@ class TestConfigureLogging:
         configure_logging(logging.INFO)
         child = logging.getLogger("repro.mapreduce.engine")
         assert child.getEffectiveLevel() == logging.INFO
+
+
+class TestPrometheusFormat:
+    """The exposition must survive promtool: HELP/TYPE and escaping."""
+
+    def test_help_and_type_precede_every_metric(self, registry):
+        text = to_prometheus(registry)
+        lines = text.splitlines()
+        for index, line in enumerate(lines):
+            if line.startswith("#") or not line:
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            base = name
+            for suffix in ("_count", "_sum", "_total"):
+                if base.endswith(suffix):
+                    base = base[: -len(suffix)]
+            header_names = {
+                header.split()[2]
+                for header in lines[:index]
+                if header.startswith(("# HELP", "# TYPE"))
+            }
+            assert any(
+                candidate in header_names for candidate in (name, base)
+            ), f"sample line {line!r} has no preceding HELP/TYPE"
+
+    def test_help_lines_for_each_kind(self, registry):
+        text = to_prometheus(registry)
+        assert "# HELP repro_detector_threshold_cache_hits_total" in text
+        assert "# TYPE repro_pipeline_population_size gauge" in text
+        assert "# HELP repro_pipeline_population_size" in text
+        assert "# TYPE repro_span_pipeline_seconds summary" in text
+
+    def test_label_escaping(self):
+        from repro.obs.export import _prom_escape_help, _prom_escape_label
+
+        assert _prom_escape_label('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+        assert _prom_escape_help("line1\nline2\\x") == "line1\\nline2\\\\x"
+
+
+class TestAtomicTelemetryWrites:
+    def test_no_tmp_files_left_behind(self, registry, tmp_path):
+        target = tmp_path / "telemetry"
+        write_telemetry(target, registry, funnel=FUNNEL)
+        assert not list(target.glob("*.tmp"))
+
+    def test_rewrite_replaces_existing_files(self, registry, tmp_path):
+        target = tmp_path / "telemetry"
+        write_telemetry(target, registry, funnel=FUNNEL)
+        first = (target / "metrics.jsonl").read_text()
+        registry.counter("detector.threshold_cache.hits").inc()
+        write_telemetry(target, registry, funnel=FUNNEL)
+        assert (target / "metrics.jsonl").read_text() != first
+
+    def test_trace_spans_drain_into_trace_jsonl(self, registry, tmp_path):
+        from repro.obs import (
+            TRACE_FILE,
+            clear_spans,
+            pending_spans,
+            scoped_registry,
+            span,
+            spans_from_jsonl,
+            start_trace,
+            set_trace,
+        )
+
+        clear_spans()
+        try:
+            with scoped_registry(registry):
+                start_trace("writeme")
+                with span("traced"):
+                    pass
+            written = write_telemetry(tmp_path / "t", registry)
+            assert TRACE_FILE in written
+            records = spans_from_jsonl(written[TRACE_FILE].read_text())
+            assert records[0].name == "traced"
+            assert pending_spans() == []  # drained, not copied
+        finally:
+            set_trace(None)
+            clear_spans()

@@ -1,0 +1,212 @@
+"""Tests for status folding and the HTTP status service."""
+
+import json
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    STATUS_SCHEMA_VERSION,
+    EventJournal,
+    MetricsRegistry,
+    StatusServer,
+    build_status,
+    render_status,
+)
+
+
+def _event(kind, **fields):
+    return {"v": 1, "ts": fields.pop("ts", 100.0), "event": kind, **fields}
+
+
+class TestBuildStatus:
+    def test_empty_journal(self):
+        status = build_status([])
+        assert status["schema"] == STATUS_SCHEMA_VERSION
+        assert status["state"] == "unknown"
+        assert status["shards"] == {
+            "total": 0, "done": 0, "running": 0, "states": {},
+        }
+
+    def test_running_run(self):
+        status = build_status([
+            _event("run_start", n_shards=4, run_id="r1", ts=10.0),
+            _event("shard_start", shard=0, ts=11.0),
+            _event("shard_finish", shard=0, pairs=100, detected=3,
+                   seconds=2.0, ts=13.0),
+            _event("shard_start", shard=1, ts=13.0),
+        ])
+        assert status["run_id"] == "r1"
+        assert status["state"] == "running"
+        assert status["shards"]["total"] == 4
+        assert status["shards"]["done"] == 1
+        assert status["shards"]["running"] == 1
+        assert status["pairs"] == {"processed": 100, "detected": 3}
+        assert status["throughput"]["pairs_per_second"] == pytest.approx(50.0)
+        # 3 shards remain at ~2s each.
+        assert status["throughput"]["eta_seconds"] == pytest.approx(6.0)
+        assert status["last_event_ts"] == 13.0
+
+    def test_finished_run(self):
+        status = build_status([
+            _event("run_start", n_shards=1),
+            _event("shard_finish", shard=0, pairs=10, seconds=1.0),
+            _event("run_finish"),
+        ])
+        assert status["state"] == "finished"
+        assert status["throughput"]["eta_seconds"] == 0.0
+
+    def test_resume_cycle_does_not_double_count_shards(self):
+        """shard_finish (run 1) + shard_resumed (run 2) count once."""
+        status = build_status([
+            _event("run_start", n_shards=3),
+            _event("shard_finish", shard=0, pairs=50, seconds=1.0),
+            _event("run_suspended", completed=1, total=3),
+            _event("run_start", n_shards=3),
+            _event("resumed"),
+            _event("shard_resumed", shard=0, pairs=50),
+            _event("shard_finish", shard=1, pairs=50, seconds=1.0),
+            _event("shard_finish", shard=2, pairs=50, seconds=1.0),
+            _event("run_finish"),
+        ])
+        assert status["resumed"] is True
+        assert status["state"] == "finished"
+        assert status["shards"]["done"] == 3
+        # Pairs are only counted from shard_finish events; the resumed
+        # shard's pairs were counted by the run that computed it.
+        assert status["pairs"]["processed"] == 150
+
+    def test_suspended_run(self):
+        status = build_status([
+            _event("run_start", n_shards=5),
+            _event("shard_finish", shard=0, pairs=10, seconds=1.0),
+            _event("run_suspended", completed=1, total=5),
+        ])
+        assert status["state"] == "suspended"
+
+    def test_issue_counters_and_heartbeats(self):
+        status = build_status([
+            _event("run_start", n_shards=2),
+            _event("heartbeat", worker=111, ts=20.0),
+            _event("heartbeat", worker=222, ts=21.0),
+            _event("heartbeat", worker=111, ts=25.0),
+            _event("retry", shard=0),
+            _event("retry", shard=0),
+            _event("pool_restart", reason="timeout"),
+            _event("quarantine", key=["h", "d"]),
+        ])
+        assert status["workers"] == {"111": 25.0, "222": 21.0}
+        assert status["retries"] == 2
+        assert status["pool_restarts"] == 1
+        assert status["quarantined"] == 1
+
+    def test_render_status_mentions_the_essentials(self):
+        status = build_status([
+            _event("run_start", n_shards=2, run_id="r9"),
+            _event("shard_finish", shard=0, pairs=10, detected=2,
+                   seconds=1.0),
+            _event("retry", shard=1),
+        ])
+        text = render_status(status)
+        assert "r9" in text
+        assert "1/2" in text
+        assert "10 processed" in text
+        assert "retries 1" in text
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type", ""),
+            response.read().decode("utf-8"),
+        )
+
+
+PROM_LINE = re.compile(
+    r"^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+)$"
+)
+
+
+@pytest.fixture
+def server(tmp_path):
+    journal = EventJournal.in_dir(tmp_path, run_id="svc1")
+    journal.append("run_start", n_shards=2)
+    journal.append("shard_finish", shard=0, pairs=64, detected=1,
+                   seconds=0.5)
+    registry = MetricsRegistry()
+    registry.counter("runner.runs").inc()
+    registry.gauge("runner.shards_total").set(2)
+    registry.histogram("span.run.seconds").observe(1.25)
+    with StatusServer(
+        journal_path=journal.path, registry=registry, port=0
+    ) as status_server:
+        yield status_server
+
+
+class TestStatusServer:
+    def test_status_endpoint_folds_the_journal(self, server):
+        code, content_type, body = _get(server.url + "/status")
+        assert code == 200
+        assert content_type.startswith("application/json")
+        status = json.loads(body)
+        assert status["run_id"] == "svc1"
+        assert status["shards"]["total"] == 2
+        assert status["shards"]["done"] == 1
+
+    def test_status_sees_new_events_without_restart(self, server, tmp_path):
+        EventJournal.in_dir(tmp_path, run_id="svc1").append(
+            "shard_finish", shard=1, pairs=64, seconds=0.5
+        )
+        status = json.loads(_get(server.url + "/status")[2])
+        assert status["shards"]["done"] == 2
+
+    def test_metrics_endpoint_is_valid_prometheus_text(self, server):
+        code, content_type, body = _get(server.url + "/metrics")
+        assert code == 200
+        assert content_type.startswith("text/plain")
+        assert "# HELP repro_runner_runs_total" in body
+        assert "# TYPE repro_runner_runs_total counter" in body
+        assert "repro_runner_runs_total 1" in body
+        for line in body.splitlines():
+            assert PROM_LINE.match(line), f"invalid exposition line: {line!r}"
+
+    def test_events_endpoint_tails_ndjson(self, server):
+        code, content_type, body = _get(server.url + "/events?n=1")
+        assert code == 200
+        assert "ndjson" in content_type
+        lines = [line for line in body.splitlines() if line]
+        assert len(lines) == 1
+        assert json.loads(lines[0])["event"] == "shard_finish"
+
+    def test_events_bad_count_falls_back(self, server):
+        code, _type, body = _get(server.url + "/events?n=bogus")
+        assert code == 200
+        assert body.strip()
+
+    def test_index_lists_routes(self, server):
+        code, _type, body = _get(server.url + "/")
+        assert code == 200
+        assert "/status" in body and "/metrics" in body
+
+    def test_unknown_route_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_server_without_journal_serves_empty_status(self):
+        with StatusServer(registry=MetricsRegistry(), port=0) as bare:
+            status = json.loads(_get(bare.url + "/status")[2])
+        assert status["state"] == "unknown"
+
+    def test_stop_is_idempotent_and_start_returns_port(self, tmp_path):
+        status_server = StatusServer(
+            journal_path=tmp_path / "events.jsonl", port=0
+        )
+        port = status_server.start()
+        assert port > 0
+        assert status_server.start() == port  # already running: same port
+        status_server.stop()
+        status_server.stop()  # second stop must be a no-op

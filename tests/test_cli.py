@@ -323,3 +323,98 @@ class TestRun:
             "--max-retries", "2", "--percentile", "0.5",
         ])
         assert code == 0
+
+
+class TestObservability:
+    def test_run_journals_and_trace_renders(self, trace_path, tmp_path,
+                                            capsys):
+        out, _truth = trace_path
+        ckpt, tel = tmp_path / "ckpt", tmp_path / "tel"
+        code = main([
+            "run", str(out), "--workers", "2", "--shard-size", "4",
+            "--checkpoint-dir", str(ckpt), "--telemetry", str(tel),
+            "--percentile", "0.5", "--run-id", "cliobs01",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        journal = (ckpt / "events.jsonl").read_text()
+        assert '"run_id": "cliobs01"' in journal
+        assert '"event": "run_finish"' in journal
+
+        chrome = tmp_path / "chrome.json"
+        code = main(["trace", str(tel), "--chrome", str(chrome)])
+        assert code == 0
+        rendered = capsys.readouterr().out
+        assert "cliobs01" in rendered
+        assert "run" in rendered
+        payload = json.loads(chrome.read_text())
+        assert payload["traceEvents"]
+        assert all(event["ph"] == "X" for event in payload["traceEvents"])
+
+        code = main(["watch", str(ckpt), "--once"])
+        assert code == 0
+        status_text = capsys.readouterr().out
+        assert "cliobs01" in status_text
+        assert "[finished]" in status_text
+
+    def test_run_with_status_port_serves_and_stops(self, trace_path,
+                                                   tmp_path, capsys):
+        out, _truth = trace_path
+        ckpt = tmp_path / "ckpt"
+        code = main([
+            "run", str(out), "--shard-size", "4",
+            "--checkpoint-dir", str(ckpt), "--percentile", "0.5",
+            "--status-port", "0",
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "status service on http://127.0.0.1:" in captured
+        assert (ckpt / "events.jsonl").exists()
+
+    def test_status_port_requires_a_journal_home(self, trace_path, capsys):
+        out, _truth = trace_path
+        code = main(["run", str(out), "--status-port", "0"])
+        assert code == 2
+        assert "--status-port needs" in capsys.readouterr().err
+
+    def test_watch_polls_http_service(self, tmp_path, capsys):
+        from repro.obs import EventJournal, StatusServer
+
+        journal = EventJournal.in_dir(tmp_path, run_id="httpwatch")
+        journal.append("run_start", n_shards=1)
+        journal.append("shard_finish", shard=0, pairs=4, seconds=0.1)
+        journal.append("run_finish")
+        with StatusServer(journal_path=journal.path, port=0) as server:
+            code = main(["watch", "--url", server.url, "--once"])
+        assert code == 0
+        status_text = capsys.readouterr().out
+        assert "httpwatch" in status_text
+        assert "1/1" in status_text
+
+    def test_watch_follows_until_finished(self, tmp_path, capsys):
+        journal_dir = tmp_path
+        from repro.obs import EventJournal
+
+        journal = EventJournal.in_dir(journal_dir, run_id="follow")
+        journal.append("run_start", n_shards=1)
+        journal.append("shard_finish", shard=0, pairs=4, seconds=0.1)
+        journal.append("run_finish")
+        # state == finished, so the poll loop exits on the first pass
+        # even without --once.
+        code = main(["watch", str(journal_dir), "--interval", "0.01"])
+        assert code == 0
+        assert "[finished]" in capsys.readouterr().out
+
+    def test_watch_without_source_exits_2(self, capsys):
+        assert main(["watch"]) == 2
+        assert "journal path" in capsys.readouterr().err
+
+    def test_trace_missing_file_exits_1(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path)]) == 1
+        assert "no trace found" in capsys.readouterr().err
+
+    def test_trace_empty_file_exits_1(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.jsonl"
+        trace_file.write_text("")
+        assert main(["trace", str(trace_file)]) == 1
+        assert "empty" in capsys.readouterr().err
