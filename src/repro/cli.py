@@ -11,7 +11,16 @@ The subcommands cover the operational surface:
 - ``stats``    — render a run report from saved telemetry,
 - ``trace``    — render a distributed trace tree / export Chrome JSON,
 - ``watch``    — watch a run's live status (journal or HTTP),
+- ``explain``  — show one pair's verdict chain from saved provenance,
+- ``audit``    — per-stage drop/near-miss analytics from saved provenance,
+- ``diff-runs`` — verdict-level drift between two provenance stores,
 - ``bench``    — run benchmark suites / gate against a baseline.
+
+``pipeline`` and ``run`` accept ``--provenance <dir>`` (with
+``--provenance-sample``) to record per-pair decision provenance —
+one :class:`~repro.obs.VerdictRecord` per funnel step per kept pair —
+which ``explain``/``audit``/``diff-runs`` read back (see
+``docs/OBSERVABILITY.md``).
 
 ``run`` is the operational front end: the MapReduce-backed runner with
 bounded shards, durable JSONL checkpoints (``--checkpoint-dir`` /
@@ -65,6 +74,21 @@ from repro.sources.proxy import read_log, write_log
 logger = logging.getLogger(__name__)
 
 
+def _add_provenance_options(parser: argparse.ArgumentParser) -> None:
+    """Shared ``--provenance`` flags for ``pipeline`` and ``run``."""
+    parser.add_argument(
+        "--provenance", type=Path, default=None, metavar="DIR",
+        help="record per-pair verdict chains and write provenance.jsonl "
+             "into DIR (read it back with repro explain/audit/diff-runs)",
+    )
+    parser.add_argument(
+        "--provenance-sample", type=float, default=0.05, metavar="RATE",
+        help="fraction of early-dropped pairs that keep full verdict "
+             "chains; survivors and near-misses are always recorded "
+             "(default 0.05)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -114,6 +138,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="collect run telemetry and write report.txt/metrics.jsonl/"
              "metrics.prom into DIR",
     )
+    _add_provenance_options(pipe)
 
     runp = sub.add_parser(
         "run",
@@ -190,6 +215,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="keep the status service up this long after the run ends "
              "(lets pollers observe the final state)",
     )
+    _add_provenance_options(runp)
 
     score = sub.add_parser("score", help="score domains under the 3-gram LM")
     score.add_argument("domains", nargs="+", help="domain names to score")
@@ -255,6 +281,43 @@ def _build_parser() -> argparse.ArgumentParser:
     watch.add_argument(
         "--once", action="store_true",
         help="print one status snapshot and exit",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="show the verdict chain for one (host, destination) pair",
+    )
+    explain.add_argument("source", help="client host (source IP / name)")
+    explain.add_argument("destination", help="destination domain")
+    explain.add_argument(
+        "path", type=Path,
+        help="provenance.jsonl, or the --provenance / checkpoint "
+             "directory holding it",
+    )
+
+    audit = sub.add_parser(
+        "audit",
+        help="per-stage drop-reason histograms and near-misses for a run",
+    )
+    audit.add_argument(
+        "path", type=Path,
+        help="provenance.jsonl, or the --provenance / checkpoint "
+             "directory holding it",
+    )
+    audit.add_argument(
+        "--json", action="store_true",
+        help="emit the audit report as JSON instead of text",
+    )
+
+    diff = sub.add_parser(
+        "diff-runs",
+        help="verdict-level drift between two provenance stores",
+    )
+    diff.add_argument("run_a", type=Path, help="baseline provenance store")
+    diff.add_argument("run_b", type=Path, help="candidate provenance store")
+    diff.add_argument(
+        "--json", action="store_true",
+        help="emit the diff as JSON instead of text",
     )
 
     bench = sub.add_parser(
@@ -367,16 +430,39 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _provenance_policy(args: argparse.Namespace):
+    """Build the ProvenancePolicy for --provenance, or None without it."""
+    if args.provenance is None:
+        return None
+    from repro.obs import ProvenancePolicy
+
+    try:
+        return ProvenancePolicy(sample_early_drops=args.provenance_sample)
+    except ValueError as exc:
+        raise SystemExit(f"error: --provenance-sample: {exc}")
+
+
+def _write_provenance_dir(directory: Path, report: PipelineReport) -> None:
+    from repro.obs import PROVENANCE_FILE, write_provenance
+
+    path = directory / PROVENANCE_FILE
+    write_provenance(path, report.provenance)
+    print(f"wrote {len(report.provenance)} verdict records to {path}")
+
+
 def _cmd_pipeline(args: argparse.Namespace) -> int:
     records = read_log(args.input)
     config = PipelineConfig(
         local_whitelist_threshold=args.tau_p,
         ranking_percentile=args.percentile,
         detection_batch_size=args.detection_batch_size,
+        provenance=_provenance_policy(args),
     )
     report, telemetry_dir = _run_instrumented(
         args.telemetry, lambda: BaywatchPipeline(config).run_records(records)
     )
+    if args.provenance is not None:
+        _write_provenance_dir(args.provenance, report)
     print(report.funnel.as_text())
     print()
     print(f"{'rank':>4s}  {'score':>6s}  {'period':>10s}  {'clients':>7s}  domain")
@@ -404,6 +490,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         local_whitelist_threshold=args.tau_p,
         ranking_percentile=args.percentile,
         detection_batch_size=args.detection_batch_size,
+        provenance=_provenance_policy(args),
     )
     engine = MapReduceEngine(
         n_workers=args.workers,
@@ -487,6 +574,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if args.status_linger > 0:
                 _time.sleep(args.status_linger)
             server.stop()
+    if args.provenance is not None:
+        _write_provenance_dir(args.provenance, report)
     print(report.funnel.as_text())
     print()
     print(f"{'rank':>4s}  {'score':>6s}  {'period':>10s}  {'clients':>7s}  domain")
@@ -594,7 +683,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             f"--telemetry is on)", file=sys.stderr,
         )
         return 1
-    records = spans_from_jsonl(path.read_text(encoding="utf-8"))
+    try:
+        records = spans_from_jsonl(path.read_text(encoding="utf-8"))
+    except (KeyError, TypeError, ValueError) as exc:
+        print(
+            f"trace at {path} is not readable (corrupt record or newer "
+            f"schema): {exc}", file=sys.stderr,
+        )
+        return 1
     if not records:
         print(f"trace at {path} is empty", file=sys.stderr)
         return 1
@@ -644,6 +740,70 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         if args.once or status.get("state") in ("finished", "suspended"):
             return 0
         _time.sleep(args.interval)
+
+
+def _read_provenance_store(path: Path) -> Optional[list]:
+    """Read a provenance store, printing a one-line error on failure."""
+    from repro.obs import ProvenanceSchemaError, read_provenance
+
+    try:
+        return read_provenance(path)
+    except (FileNotFoundError, ProvenanceSchemaError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs import render_explain
+
+    records = _read_provenance_store(args.path)
+    if records is None:
+        return 1
+    chain = [
+        record for record in records
+        if record.source == args.source and record.destination == args.destination
+    ]
+    if not chain:
+        print(
+            f"no verdict records for ({args.source}, {args.destination}) "
+            f"in {args.path} — the pair may have been dropped early and "
+            f"not sampled (raise --provenance-sample to keep more early "
+            f"drops)", file=sys.stderr,
+        )
+        return 1
+    print(render_explain(chain), end="")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.obs import audit_report, render_audit
+
+    records = _read_provenance_store(args.path)
+    if records is None:
+        return 1
+    report = audit_report(records)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_audit(report), end="")
+    return 0
+
+
+def _cmd_diff_runs(args: argparse.Namespace) -> int:
+    from repro.obs import diff_runs, render_diff
+
+    records_a = _read_provenance_store(args.run_a)
+    if records_a is None:
+        return 1
+    records_b = _read_provenance_store(args.run_b)
+    if records_b is None:
+        return 1
+    diff = diff_runs(records_a, records_b)
+    if args.json:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+        return 0
+    print(render_diff(diff), end="")
+    return 1 if diff["changed"] or diff["only_a"] or diff["only_b"] else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -712,6 +872,9 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "trace": _cmd_trace,
     "watch": _cmd_watch,
+    "explain": _cmd_explain,
+    "audit": _cmd_audit,
+    "diff-runs": _cmd_diff_runs,
     "bench": _cmd_bench,
 }
 

@@ -277,6 +277,9 @@ class BatchedDetector:
                         slot.signal, unit.plan.rng
                     )
                     unit.thresholds.append(threshold)
+                    margin = slot.spectrum_max - threshold
+                    if margin > unit.plan.margin:
+                        unit.plan.margin = margin
                     if slot.spectrum_max <= threshold:
                         continue  # nothing can clear the bar; see _Slot
                     slot.work = unit.detector._analyze_scale(

@@ -127,6 +127,15 @@ class DetectionResult:
     scales: Tuple[float, ...] = ()
     mixture: Optional[GaussianMixture] = None
     rejection_reason: str = ""
+    #: Machine-readable rejection code for decision provenance (empty
+    #: for periodic results), e.g. ``"spectral:power<threshold"``.
+    rejection_code: str = ""
+    #: Candidates extracted across all scales before/after pruning.
+    n_candidates_raw: int = 0
+    n_candidates_pruned: int = 0
+    #: Best (max power - threshold) margin over all analysed scales;
+    #: NaN when no scale was analysed.  Near-miss detection keys on it.
+    spectral_margin: float = float("nan")
 
     @property
     def dominant(self) -> Optional[CandidatePeriod]:
@@ -166,6 +175,11 @@ class _PairPlan:
     mixture: Optional[GaussianMixture]
     gmm_periods: List[float]
     rng: np.random.Generator
+    # Provenance accumulators, folded into the DetectionResult by
+    # _finalize; both the serial and batched paths update them.
+    n_raw: int = 0
+    n_pruned: int = 0
+    margin: float = float("-inf")
 
 
 @dataclass
@@ -325,14 +339,32 @@ class PeriodicityDetector:
         """
         cfg = self.config
         if ts.size < cfg.min_events:
-            return self._rejected(ts, f"fewer than {cfg.min_events} events"), None
+            return (
+                self._rejected(
+                    ts,
+                    f"fewer than {cfg.min_events} events",
+                    code="spectral:min_events",
+                ),
+                None,
+            )
         duration = float(ts[-1] - ts[0])
         if duration <= 0:
-            return self._rejected(ts, "all events in a single time slot"), None
+            return (
+                self._rejected(
+                    ts,
+                    "all events in a single time slot",
+                    code="spectral:single_slot",
+                ),
+                None,
+            )
         scales = self._choose_scales(duration)
         if not scales:
             return (
-                self._rejected(ts, "window too short at every analysis scale"),
+                self._rejected(
+                    ts,
+                    "window too short at every analysis scale",
+                    code="spectral:window_too_short",
+                ),
                 None,
             )
         return None, (duration, scales)
@@ -357,7 +389,9 @@ class PeriodicityDetector:
             scale *= cfg.scale_factor
         return scales
 
-    def _rejected(self, ts: np.ndarray, reason: str) -> DetectionResult:
+    def _rejected(
+        self, ts: np.ndarray, reason: str, code: str = ""
+    ) -> DetectionResult:
         get_registry().counter("detector.pairs_rejected_early").inc()
         duration = float(ts[-1] - ts[0]) if ts.size >= 2 else 0.0
         return DetectionResult(
@@ -368,6 +402,7 @@ class PeriodicityDetector:
             duration=duration,
             time_scale=self.config.time_scale,
             rejection_reason=reason,
+            rejection_code=code,
         )
 
     def _plan(
@@ -438,8 +473,16 @@ class PeriodicityDetector:
         merged = _merge_similar(verified, cfg.period_tolerance)
         threshold = thresholds[0] if thresholds else float("nan")
         reason = ""
+        code = ""
         if not merged:
             reason = "no candidate survived pruning and ACF verification"
+            if plan.n_raw == 0:
+                code = "spectral:power<threshold"
+            elif plan.n_pruned == 0:
+                code = "pruning:rejected"
+            else:
+                code = "acf:below_min_score"
+        margin = plan.margin if plan.margin > float("-inf") else float("nan")
         return DetectionResult(
             periodic=bool(merged),
             candidates=tuple(merged),
@@ -450,6 +493,10 @@ class PeriodicityDetector:
             scales=tuple(plan.scales),
             mixture=plan.mixture,
             rejection_reason=reason,
+            rejection_code=code,
+            n_candidates_raw=plan.n_raw,
+            n_candidates_pruned=plan.n_pruned,
+            spectral_margin=margin,
         )
 
     def _bin_at_scale(
@@ -491,6 +538,9 @@ class PeriodicityDetector:
         thresholds.append(threshold)
         with registry.timer("detector.dft.seconds"):
             spectrum = power_spectrum(signal)
+        margin = float(spectrum.max()) - threshold
+        if margin > plan.margin:
+            plan.margin = margin
         work = self._analyze_scale(plan, scale, signal, spectrum, threshold)
         if work is None:
             return []
@@ -560,6 +610,7 @@ class PeriodicityDetector:
             return None
 
         periods = [entry[0] for entry in raw]
+        plan.n_raw += len(raw)
         registry.counter("detector.candidates_raw").inc(len(raw))
         with registry.timer("detector.pruning.seconds"):
             decisions = prune_candidates(
@@ -596,6 +647,7 @@ class PeriodicityDetector:
             ):
                 continue
             finalists.append((entry, decision))
+        plan.n_pruned += len(finalists)
         if not finalists:
             return None
         return _ScaleWork(scale=scale, signal=signal, finalists=finalists)

@@ -45,6 +45,7 @@ from repro.filtering.tokens import TokenFilter
 from repro.filtering.whitelist import GlobalWhitelist
 from repro.lm.domains import DomainScorer, default_scorer
 from repro.obs import get_registry, span
+from repro.obs.provenance import ProvenancePolicy, VerdictRecord
 from repro.sources.proxy import ProxyLogRecord, records_to_summaries
 from repro.utils.validation import require, require_probability
 
@@ -68,6 +69,14 @@ class PipelineConfig:
     #: kernels are bit-for-bit equivalent) — the knob only trades peak
     #: memory for FFT/ACF dispatch amortization.
     detection_batch_size: int = 0
+    #: Decision-provenance sampling policy.  None (the default) keeps
+    #: every per-pair verdict path disabled at zero overhead; a
+    #: :class:`~repro.obs.provenance.ProvenancePolicy` records full
+    #: chains for survivors and near-misses plus a deterministic sample
+    #: of early drops.  Part of ``repr`` and therefore of the sharded
+    #: run fingerprint: a checkpoint cannot silently resume with a
+    #: different provenance setting.
+    provenance: Optional[ProvenancePolicy] = None
 
     def __post_init__(self) -> None:
         require_probability(
@@ -147,6 +156,9 @@ class PipelineReport:
     funnel: FunnelStats
     population_size: int
     quarantined: List[Any] = field(default_factory=list)
+    #: Per-pair verdict records when the run's config enabled decision
+    #: provenance (canonically sorted; see :mod:`repro.obs.provenance`).
+    provenance: List[VerdictRecord] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.funnel.validate()
@@ -250,6 +262,11 @@ class BaywatchPipeline:
 
         registry = get_registry()
         registry.counter("pipeline.runs").inc()
+        recorder = None
+        if self.config.provenance is not None:
+            from repro.obs.provenance import ProvenanceRecorder
+
+            recorder = ProvenanceRecorder(self.config.provenance)
         context = StageContext(
             config=self.config,
             global_whitelist=self.global_whitelist,
@@ -257,6 +274,7 @@ class BaywatchPipeline:
             token_filter=self.token_filter,
             threshold_cache=self._threshold_cache,
             scorer_factory=lambda: self.scorer,
+            provenance=recorder,
         )
         with span("local_whitelist_build"):
             context.popularity = PopularityIndex.from_summaries(summaries)

@@ -37,6 +37,12 @@ from repro.core.gmm import GaussianComponent, GaussianMixture
 from repro.core.timeseries import ActivitySummary
 from repro.jobs.records import DetectionCase
 from repro.mapreduce.engine import QuarantinedTask
+from repro.obs.provenance import (
+    PROVENANCE_FILE,
+    VerdictRecord,
+    records_from_jsonl,
+    records_to_jsonl,
+)
 
 MANIFEST_FILE = "manifest.json"
 QUARANTINE_FILE = "quarantine.jsonl"
@@ -137,6 +143,10 @@ def detection_to_dict(result: DetectionResult) -> Dict[str, Any]:
         "scales": list(result.scales),
         "mixture": _mixture_to_dict(result.mixture),
         "rejection_reason": result.rejection_reason,
+        "rejection_code": result.rejection_code,
+        "n_candidates_raw": result.n_candidates_raw,
+        "n_candidates_pruned": result.n_candidates_pruned,
+        "spectral_margin": _finite(result.spectral_margin),
     }
 
 
@@ -154,6 +164,12 @@ def detection_from_dict(payload: Dict[str, Any]) -> DetectionResult:
         scales=tuple(payload["scales"]),
         mixture=_mixture_from_dict(payload["mixture"]),
         rejection_reason=payload["rejection_reason"],
+        # .get() defaults keep checkpoints from before the provenance
+        # fields readable.
+        rejection_code=payload.get("rejection_code", ""),
+        n_candidates_raw=payload.get("n_candidates_raw", 0),
+        n_candidates_pruned=payload.get("n_candidates_pruned", 0),
+        spectral_margin=_unfinite(payload.get("spectral_margin")),
     )
 
 
@@ -244,6 +260,14 @@ class CheckpointStore:
 
     def _shard_path(self, index: int) -> Path:
         return self.root / f"shard-{index:05d}.jsonl"
+
+    def _provenance_shard_path(self, index: int) -> Path:
+        return self.root / f"provenance-{index:05d}.jsonl"
+
+    @property
+    def provenance_path(self) -> Path:
+        """The merged provenance store the runner writes at run end."""
+        return self.root / PROVENANCE_FILE
 
     @property
     def manifest_path(self) -> Path:
@@ -382,6 +406,33 @@ class CheckpointStore:
                 )
         return cases, quarantined
 
+    # -- provenance --------------------------------------------------------
+
+    def write_provenance_shard(
+        self, index: int, records: Sequence[VerdictRecord]
+    ) -> Path:
+        """Persist one shard's verdict records (atomic: tmp + rename).
+
+        Written *before* :meth:`write_shard` — the shard file is the
+        commit point, so a completed shard always has its provenance on
+        disk and a resumed run never recomputes (or duplicates) verdict
+        records.
+        """
+        path = self._provenance_shard_path(index)
+        self._write_atomic(path, records_to_jsonl(records))
+        return path
+
+    def has_provenance_shard(self, index: int) -> bool:
+        """True when shard ``index`` has its provenance sidecar on disk."""
+        return self._provenance_shard_path(index).exists()
+
+    def read_provenance_shard(self, index: int) -> List[VerdictRecord]:
+        """Load one shard's verdict records ([] when the file is absent)."""
+        path = self._provenance_shard_path(index)
+        if not path.exists():
+            return []
+        return records_from_jsonl(path.read_text(encoding="utf-8"))
+
     # -- quarantine report -------------------------------------------------
 
     def write_quarantine(self, entries: Sequence[QuarantinedTask]) -> Path:
@@ -412,12 +463,15 @@ class CheckpointStore:
         """Remove every shard, the manifest, and the quarantine report."""
         for path in self.root.glob("shard-*.jsonl"):
             path.unlink()
+        for path in self.root.glob("provenance-*.jsonl"):
+            path.unlink()
         for path in self.root.glob("*.tmp"):
             path.unlink()
         for path in (
             self.manifest_path,
             self.quarantine_path,
             self.threshold_cache_path,
+            self.provenance_path,
         ):
             if path.exists():
                 path.unlink()

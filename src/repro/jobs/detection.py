@@ -13,12 +13,13 @@ from __future__ import annotations
 
 from typing import Any, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
-from repro.core.detector import DetectorConfig, PeriodicityDetector
+from repro.core.detector import DetectionResult, DetectorConfig, PeriodicityDetector
 from repro.core.permutation import ThresholdCache
 from repro.core.timeseries import ActivitySummary
 from repro.jobs.records import DetectionCase
 from repro.mapreduce.job import KeyValue, MapReduceJob
 from repro.obs import span
+from repro.obs.provenance import ProvenancePolicy
 from repro.utils.validation import require
 
 
@@ -44,6 +45,8 @@ class BeaconingDetectionJob(MapReduceJob):
         threshold_cache: Optional[ThresholdCache] = None,
         batch_size: int = 0,
         n_partitions: int = 32,
+        provenance_policy: Optional[ProvenancePolicy] = None,
+        provenance_pairs: FrozenSet[Tuple[str, str]] = frozenset(),
     ) -> None:
         require(min_events >= 2, "min_events must be at least 2")
         require(batch_size >= 0, "batch_size must be non-negative")
@@ -54,7 +57,31 @@ class BeaconingDetectionJob(MapReduceJob):
         self.threshold_cache = threshold_cache
         self.batch_size = batch_size
         self.n_partitions = n_partitions
+        #: When set, non-periodic results the provenance policy wants
+        #: (sampled pairs, detection near-misses, and the explicitly
+        #: requested ``provenance_pairs``) are also emitted, so the
+        #: caller can reconstruct full verdict chains without re-running
+        #: detection.  Both are picklable and ship to workers.
+        self.provenance_policy = provenance_policy
+        self.provenance_pairs = frozenset(provenance_pairs)
         self._detector: Optional[PeriodicityDetector] = None
+
+    def _ships_result(
+        self, source: str, destination: str, result: DetectionResult
+    ) -> bool:
+        """Should this (possibly non-periodic) result leave the worker?"""
+        if result.periodic:
+            return True
+        policy = self.provenance_policy
+        if policy is None:
+            return False
+        if (source, destination) in self.provenance_pairs:
+            return True
+        if policy.pair_sampled(source, destination):
+            return True
+        return policy.margin_near_miss(
+            result.spectral_margin, result.power_threshold
+        )
 
     def _get_detector(self) -> PeriodicityDetector:
         """Build the detector lazily (once per worker process)."""
@@ -100,10 +127,22 @@ class BeaconingDetectionJob(MapReduceJob):
 
         detector = self._get_detector()
         with span("detect"):
-            output = [
-                (key, DetectionCase(summary=summary, detection=result))
-                for summary, result in detect_pairs(detector, values)
-            ]
+            if self.provenance_policy is None:
+                output = [
+                    (key, DetectionCase(summary=summary, detection=result))
+                    for summary, result in detect_pairs(detector, values)
+                ]
+            else:
+                output = []
+                for summary in values:
+                    result = detector.detect_summary(summary)
+                    if self._ships_result(
+                        summary.source, summary.destination, result
+                    ):
+                        output.append(
+                            (key, DetectionCase(summary=summary,
+                                                detection=result))
+                        )
         return iter(output)
 
     def reduce_partition(
@@ -138,5 +177,5 @@ class BeaconingDetectionJob(MapReduceJob):
                 [summary for _key, summary in flat]
             )
         for (key, summary), result in zip(flat, results):
-            if result.periodic:
+            if self._ships_result(summary.source, summary.destination, result):
                 yield key, DetectionCase(summary=summary, detection=result)

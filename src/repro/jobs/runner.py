@@ -41,6 +41,11 @@ from repro.jobs.records import DetectionCase
 from repro.jobs.rescaling import RescaleMergeJob
 from repro.lm.domains import DomainScorer, default_scorer
 from repro.mapreduce.engine import MapReduceEngine, QuarantinedTask
+from repro.obs.provenance import (
+    ProvenanceRecorder,
+    VerdictRecord,
+    write_provenance,
+)
 from repro.obs import (
     EventJournal,
     TraceContext,
@@ -88,6 +93,40 @@ class IncompleteRunError(RuntimeError):
         self.total = total
 
 
+def _detection_records(
+    cases: List[DetectionCase], recorder: ProvenanceRecorder
+) -> List[VerdictRecord]:
+    """Steps 3-5 verdict records for every shipped detection result."""
+    from repro.stages import detection_verdicts
+
+    return [
+        record
+        for case in cases
+        for record in detection_verdicts(
+            case.source, case.destination, case.detection, recorder.policy
+        )
+    ]
+
+
+def _absorb_detection_provenance(
+    recorder: ProvenanceRecorder,
+    summaries: List[ActivitySummary],
+    records: List[VerdictRecord],
+) -> None:
+    """Fold worker-shipped detection verdicts into the recorder.
+
+    Pairs the workers shipped no result for were non-periodic and
+    outside the sampling policy — an in-process run would have closed
+    and dropped those chains, so they are discarded here, keeping the
+    final store identical across executors.
+    """
+    recorded = {record.pair for record in records}
+    recorder.extend(records)
+    for summary in summaries:
+        if summary.pair not in recorded:
+            recorder.discard(summary.source, summary.destination)
+
+
 class _EngineDetection:
     """Detection executor running one detection job over the engine."""
 
@@ -98,7 +137,17 @@ class _EngineDetection:
         self, context: StageContext, summaries: List[ActivitySummary]
     ) -> Tuple[List[Tuple[ActivitySummary, DetectionResult]], List[Any]]:
         runner = self._runner
-        cases = runner._detect_batch(summaries)
+        recorder = context.provenance
+        if recorder is None:
+            cases = runner._detect_batch(summaries)
+        else:
+            cases = runner._detect_batch(
+                summaries, provenance_pairs=recorder.required_pairs()
+            )
+            _absorb_detection_provenance(
+                recorder, summaries, _detection_records(cases, recorder)
+            )
+            cases = [case for case in cases if case.detection.periodic]
         return (
             [(case.summary, case.detection) for case in cases],
             list(runner.engine.last_quarantine),
@@ -175,11 +224,31 @@ class _ShardedDetection:
         detected: List[DetectionCase] = []
         quarantined: List[QuarantinedTask] = []
         engine = runner.engine
+        recorder = context.provenance
+        # Near-miss chains must keep full records; computed once — stage
+        # records do not change while the detection loop runs.
+        required = (
+            recorder.required_pairs() if recorder is not None else frozenset()
+        )
         processed = 0
         resumed = 0
         for index, shard in enumerate(shards):
-            if store is not None and self.resume and store.has_shard(index):
+            resumable = (
+                store is not None and self.resume and store.has_shard(index)
+            )
+            if resumable and recorder is not None \
+                    and not store.has_provenance_shard(index):
+                # A shard without its provenance sidecar (a checkpoint
+                # from a crash between the two writes, or one that
+                # predates provenance): the checkpointed cases are only
+                # the periodic survivors, so dropped-pair verdicts are
+                # unrecoverable from them — re-run the shard instead.
+                resumable = False
+            if resumable:
                 cases, shard_quarantine = store.read_shard(index)
+                if recorder is not None:
+                    records = store.read_provenance_shard(index)
+                    _absorb_detection_provenance(recorder, shard, records)
                 detected.extend(cases)
                 quarantined.extend(shard_quarantine)
                 resumed += 1
@@ -209,15 +278,34 @@ class _ShardedDetection:
             started = time.perf_counter()
             try:
                 with span("shard"):
-                    cases = runner._detect_batch(shard)
+                    if recorder is None:
+                        cases = runner._detect_batch(shard)
+                    else:
+                        cases = runner._detect_batch(
+                            shard, provenance_pairs=required
+                        )
             finally:
                 engine.set_run_context(run_id=engine.run_id)
             shard_quarantine = list(engine.last_quarantine)
+            shard_records: List[VerdictRecord] = []
+            if recorder is not None:
+                shard_records = _detection_records(cases, recorder)
+                # Only periodic cases feed the funnel and the checkpoint;
+                # the policy-shipped non-periodic results live on solely
+                # as verdict records.
+                cases = [case for case in cases if case.detection.periodic]
             detected.extend(cases)
             quarantined.extend(shard_quarantine)
             if store is not None:
+                if recorder is not None:
+                    # Before write_shard: the shard file is the commit
+                    # point, so shard-on-disk implies provenance-on-disk
+                    # and a resume never recomputes verdict records.
+                    store.write_provenance_shard(index, shard_records)
                 store.write_shard(index, cases, shard_quarantine)
                 self._save_threshold_cache(store, registry)
+            if recorder is not None:
+                _absorb_detection_provenance(recorder, shard, shard_records)
             journal_emit(
                 "shard_finish",
                 shard=index,
@@ -377,8 +465,21 @@ class BaywatchRunner:
         self,
         summaries: List[ActivitySummary],
         skip_destinations: frozenset = frozenset(),
+        provenance_pairs: frozenset = frozenset(),
     ) -> List[DetectionCase]:
-        """One detection job over the engine (no span of its own)."""
+        """One detection job over the engine (no span of its own).
+
+        With provenance enabled the job also ships the non-periodic
+        results the policy samples (plus ``provenance_pairs``, the
+        chains that must stay complete), so callers can emit full
+        verdict chains without re-running detection.  The provenance
+        keywords are only passed when the policy is set, keeping custom
+        ``detection_job_factory`` seams that predate them working.
+        """
+        kwargs: Dict[str, Any] = {}
+        if self.config.provenance is not None:
+            kwargs["provenance_policy"] = self.config.provenance
+            kwargs["provenance_pairs"] = frozenset(provenance_pairs)
         job = self.detection_job_factory(
             self.config.detector,
             skip_destinations=skip_destinations,
@@ -386,6 +487,7 @@ class BaywatchRunner:
             use_threshold_cache=self.config.use_threshold_cache,
             threshold_cache=self.threshold_cache,
             batch_size=self.config.detection_batch_size,
+            **kwargs,
         )
         output = self.engine.run(
             job, [(summary.pair, summary) for summary in summaries]
@@ -445,6 +547,11 @@ class BaywatchRunner:
             popularity=PopularityIndex.from_counts(counts, population),
             threshold_cache=self.threshold_cache,
             scorer_factory=lambda: self.scorer,
+            provenance=(
+                ProvenanceRecorder(self.config.provenance)
+                if self.config.provenance is not None
+                else None
+            ),
         )
 
     @staticmethod
@@ -659,6 +766,11 @@ class BaywatchRunner:
                         total=exc.total,
                     )
                     raise
+                if checkpoint_dir is not None and report.provenance:
+                    write_provenance(
+                        CheckpointStore(checkpoint_dir).provenance_path,
+                        report.provenance,
+                    )
                 journal_emit(
                     "run_finish",
                     reported=len(report.ranked_cases),

@@ -58,12 +58,30 @@ from repro.obs.journal import (
     JOURNAL_FILE,
     JOURNAL_SCHEMA_VERSION,
     EventJournal,
+    JournalSchemaError,
     get_journal,
     journal_emit,
     read_events,
     scoped_journal,
     set_journal,
     tail_events,
+)
+from repro.obs.provenance import (
+    PROVENANCE_FILE,
+    PROVENANCE_SCHEMA_VERSION,
+    ProvenancePolicy,
+    ProvenanceRecorder,
+    ProvenanceSchemaError,
+    VerdictRecord,
+    audit_report,
+    chain_outcome,
+    diff_runs,
+    group_chains,
+    read_provenance,
+    render_audit,
+    render_diff,
+    render_explain,
+    write_provenance,
 )
 from repro.obs.service import (
     STATUS_SCHEMA_VERSION,
@@ -161,6 +179,7 @@ __all__ = [
     "TRACE_FILE",
     "JOURNAL_FILE",
     "JOURNAL_SCHEMA_VERSION",
+    "JournalSchemaError",
     "EventJournal",
     "get_journal",
     "set_journal",
@@ -172,6 +191,21 @@ __all__ = [
     "StatusServer",
     "build_status",
     "render_status",
+    "PROVENANCE_FILE",
+    "PROVENANCE_SCHEMA_VERSION",
+    "ProvenancePolicy",
+    "ProvenanceRecorder",
+    "ProvenanceSchemaError",
+    "VerdictRecord",
+    "audit_report",
+    "chain_outcome",
+    "diff_runs",
+    "group_chains",
+    "read_provenance",
+    "render_audit",
+    "render_diff",
+    "render_explain",
+    "write_provenance",
     "SpanProfile",
     "drain_profiles",
     "pending_profiles",

@@ -185,7 +185,27 @@ def build_pipeline_suite() -> List[Benchmark]:
         pipeline.run_records(records)
         return len(records)
 
-    return [Benchmark("pipeline.run_records", run_pipeline)]
+    from repro.obs.provenance import ProvenancePolicy
+
+    def run_pipeline_provenance() -> int:
+        # Same funnel with decision provenance at the default sampling
+        # policy: the delta against ``pipeline.run_records`` is the
+        # provenance overhead, bounded at 5% by the acceptance gate.
+        pipeline = BaywatchPipeline(
+            PipelineConfig(
+                local_whitelist_threshold=0.15,
+                ranking_percentile=0.0,
+                provenance=ProvenancePolicy(),
+            ),
+            scorer=scorer,
+        )
+        pipeline.run_records(records)
+        return len(records)
+
+    return [
+        Benchmark("pipeline.run_records", run_pipeline),
+        Benchmark("pipeline.run_records_provenance", run_pipeline_provenance),
+    ]
 
 
 class _PairCountJob(MapReduceJob):
@@ -354,10 +374,13 @@ def build_detection_batch_suite() -> List[Benchmark]:
     - ``detection.batched`` — kernels plus one precomputed warm shared
       cache (warmed at suite build time; warmth is the shareable,
       persistable artifact the runner ships to workers).
+    - ``detection.batched_provenance`` — the warm batched path plus
+      per-pair verdict-record derivation at the default provenance
+      sampling policy (the bound on decision-provenance overhead).
     - ``detection.cache_precompute`` — cost of warming that cache from
       the workload grid (the one-time setup the warm path amortizes).
 
-    All three detection variants produce bit-identical results (the
+    All the detection variants produce bit-identical results (the
     parity suite enforces this); the GMM interval screen is disabled so
     the suite isolates the spectral path the kernels accelerate.
     """
@@ -398,10 +421,30 @@ def build_detection_batch_suite() -> List[Benchmark]:
         ThresholdCache().precompute(grid)
         return len(grid)
 
+    from repro.obs.provenance import ProvenancePolicy
+    from repro.stages import detection_verdicts
+
+    policy = ProvenancePolicy()
+
+    def run_batched_provenance() -> int:
+        # Warm batched detection plus per-pair verdict derivation at the
+        # default sampling policy — what a provenance-enabled executor
+        # does per shard; delta vs ``detection.batched`` is the overhead.
+        detector = PeriodicityDetector(config, threshold_cache=warm_cache)
+        results = BatchedDetector(
+            detector, batch_size=256
+        ).detect_summaries(summaries)
+        for summary, result in zip(summaries, results):
+            detection_verdicts(
+                summary.source, summary.destination, result, policy
+            )
+        return len(summaries)
+
     return [
         Benchmark("detection.per_pair", run_per_pair),
         Benchmark("detection.batched_cold", run_batched_cold),
         Benchmark("detection.batched", run_batched_warm),
+        Benchmark("detection.batched_provenance", run_batched_provenance),
         Benchmark("detection.cache_precompute", run_precompute),
     ]
 

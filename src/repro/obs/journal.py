@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Optional, Union
 __all__ = [
     "JOURNAL_FILE",
     "JOURNAL_SCHEMA_VERSION",
+    "JournalSchemaError",
     "EventJournal",
     "read_events",
     "tail_events",
@@ -55,6 +56,15 @@ JOURNAL_FILE = "events.jsonl"
 
 #: Version stamped into every event as ``"v"``.
 JOURNAL_SCHEMA_VERSION = 1
+
+
+class JournalSchemaError(ValueError):
+    """A journal written by a newer schema than this reader understands.
+
+    A ``ValueError`` subclass so existing readers that already guard
+    with ``except ValueError`` (``repro watch``, the status service)
+    degrade to a clear one-line message instead of a traceback.
+    """
 
 
 def _jsonable(value: Any) -> Any:
@@ -161,7 +171,11 @@ def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
 
     A line that does not parse as a JSON object — typically a torn
     trailing line left by a killed writer — is skipped, never fatal: the
-    journal must stay readable mid-run and after any crash.
+    journal must stay readable mid-run and after any crash.  A line that
+    *does* parse but carries a schema version newer than
+    :data:`JOURNAL_SCHEMA_VERSION` raises :class:`JournalSchemaError`
+    instead of being misread: forward compatibility fails loudly with
+    one clear line, not with silently wrong status.
     """
     path = Path(path)
     if not path.exists():
@@ -176,8 +190,16 @@ def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
                 record = json.loads(line)
             except ValueError:
                 continue
-            if isinstance(record, dict):
-                events.append(record)
+            if not isinstance(record, dict):
+                continue
+            version = record.get("v")
+            if isinstance(version, int) and version > JOURNAL_SCHEMA_VERSION:
+                raise JournalSchemaError(
+                    f"journal {path} uses schema v{version}; this reader "
+                    f"understands up to v{JOURNAL_SCHEMA_VERSION} — "
+                    f"upgrade repro to read it"
+                )
+            events.append(record)
     return events
 
 

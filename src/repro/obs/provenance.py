@@ -1,0 +1,669 @@
+"""Decision provenance: per-pair verdict records for the BAYWATCH funnel.
+
+Aggregate funnel counts (``FunnelStats``) say how many pairs each step
+dropped; they cannot answer the analyst's actual question — *why did this
+(host, dest) pair get flagged, or silently disappear at step 4?*  This
+module holds the decision-level layer:
+
+``VerdictRecord``
+    One stage decision for one (source, destination) pair: stage name,
+    kept/dropped, a machine-readable reason (``whitelist:global``,
+    ``popularity:sources<3``, ``spectral:power<threshold``, ...) and the
+    governing numbers (score, threshold, margin, candidate periods).
+
+``ProvenancePolicy``
+    The sampling policy bounding overhead: survivors and near-misses are
+    always recorded in full; early drops are kept for a deterministic
+    hash-based sample of pairs so that every executor (serial, batched,
+    sharded workers) selects exactly the same pairs.
+
+``ProvenanceRecorder``
+    Accumulates per-pair verdict chains while a run executes and applies
+    the storage policy when a chain closes (pair dropped) or the run ends
+    (pair survived).
+
+The JSONL store helpers mirror the event journal: records carry a schema
+version, torn trailing lines (a writer killed mid-record) are tolerated,
+and records from a *newer* schema raise :class:`ProvenanceSchemaError`
+with a one-line message instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "PROVENANCE_FILE",
+    "PROVENANCE_SCHEMA_VERSION",
+    "STAGE_ORDER",
+    "STAGE_STEPS",
+    "STAGE_TITLES",
+    "ProvenancePolicy",
+    "ProvenanceRecorder",
+    "ProvenanceSchemaError",
+    "VerdictRecord",
+    "audit_report",
+    "chain_outcome",
+    "diff_runs",
+    "group_chains",
+    "read_provenance",
+    "records_from_jsonl",
+    "records_to_jsonl",
+    "render_audit",
+    "render_diff",
+    "render_explain",
+    "write_provenance",
+]
+
+PROVENANCE_SCHEMA_VERSION = 1
+
+#: Merged store filename (checkpoint dir or ``--provenance`` dir).
+PROVENANCE_FILE = "provenance.jsonl"
+
+#: Per-shard store filename pattern inside a checkpoint dir.
+PROVENANCE_SHARD_PATTERN = "provenance-%05d.jsonl"
+
+# Funnel stages in decision order.  The step labels match the paper's
+# 8-step numbering; the min-events prefilter is an implementation detail
+# sitting between steps 2 and 3, shown as step "-".
+_STAGES: Tuple[Tuple[str, str, str], ...] = (
+    ("global_whitelist", "1", "global whitelist"),
+    ("local_whitelist", "2", "local (popularity) whitelist"),
+    ("min_events", "-", "min-events prefilter"),
+    ("spectral", "3", "spectral candidates (DFT)"),
+    ("pruning", "4", "candidate pruning"),
+    ("acf", "5", "ACF verification"),
+    ("token_filter", "6", "URL token filter"),
+    ("novelty", "7", "novelty + consolidation"),
+    ("ranking", "8", "weighted ranking"),
+)
+
+STAGE_ORDER: Dict[str, int] = {name: i for i, (name, _, _) in enumerate(_STAGES)}
+STAGE_STEPS: Dict[str, str] = {name: step for name, step, _ in _STAGES}
+STAGE_TITLES: Dict[str, str] = {name: title for name, _, title in _STAGES}
+
+
+class ProvenanceSchemaError(ValueError):
+    """A provenance record is corrupt or from a newer schema version."""
+
+
+def _clean_value(value: Any) -> Any:
+    """Coerce a verdict value into something JSON-stable.
+
+    Non-finite floats become ``None`` so that a live record compares
+    equal to its JSON round trip (JSON has no NaN/Infinity).
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, (list, tuple)):
+        return [_clean_value(item) for item in value]
+    try:
+        as_float = float(value)
+    except (TypeError, ValueError):
+        return str(value)
+    return as_float if math.isfinite(as_float) else None
+
+
+def clean_values(values: Mapping[str, Any]) -> Dict[str, Any]:
+    """Sanitise a values mapping for storage in a :class:`VerdictRecord`."""
+    return {str(key): _clean_value(value) for key, value in values.items()}
+
+
+@dataclass(frozen=True)
+class VerdictRecord:
+    """One funnel-stage decision for one (source, destination) pair."""
+
+    source: str
+    destination: str
+    stage: str
+    kept: bool
+    reason: str = ""
+    near_miss: bool = False
+    values: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        return (self.source, self.destination)
+
+    @property
+    def step(self) -> str:
+        """The paper's step label ("1".."8", or "-" for prefilters)."""
+        return STAGE_STEPS.get(self.stage, "?")
+
+    @property
+    def order(self) -> int:
+        return STAGE_ORDER.get(self.stage, len(STAGE_ORDER))
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "v": PROVENANCE_SCHEMA_VERSION,
+            "source": self.source,
+            "destination": self.destination,
+            "stage": self.stage,
+            "step": self.step,
+            "kept": self.kept,
+        }
+        if self.reason:
+            payload["reason"] = self.reason
+        if self.near_miss:
+            payload["near_miss"] = True
+        if self.values:
+            payload["values"] = self.values
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "VerdictRecord":
+        version = payload.get("v")
+        if isinstance(version, int) and version > PROVENANCE_SCHEMA_VERSION:
+            raise ProvenanceSchemaError(
+                f"provenance record has schema v{version} but this build reads "
+                f"v{PROVENANCE_SCHEMA_VERSION} or older; upgrade repro to read it"
+            )
+        try:
+            return cls(
+                source=str(payload["source"]),
+                destination=str(payload["destination"]),
+                stage=str(payload["stage"]),
+                kept=bool(payload["kept"]),
+                reason=str(payload.get("reason", "")),
+                near_miss=bool(payload.get("near_miss", False)),
+                values=dict(payload.get("values", {})),
+            )
+        except KeyError as exc:
+            raise ProvenanceSchemaError(
+                f"corrupt provenance record: missing field {exc.args[0]!r}"
+            ) from exc
+
+
+def pair_sample_key(source: str, destination: str) -> float:
+    """Deterministic uniform-[0, 1) key for a pair.
+
+    Hash-based so every executor — serial, batched, a sharded worker on
+    another machine — selects exactly the same sampled pairs.
+    """
+    digest = hashlib.sha256(
+        source.encode("utf-8", "surrogatepass")
+        + b"\x00"
+        + destination.encode("utf-8", "surrogatepass")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class ProvenancePolicy:
+    """Sampling policy bounding provenance overhead.
+
+    Survivor chains are always stored in full.  Chains dropped along the
+    way are stored when any decision in them was a *near miss* (within
+    ``near_miss_epsilon``, relative, of the governing threshold) or when
+    the pair falls into the deterministic ``sample_early_drops`` sample.
+    The policy is a frozen dataclass so it pickles into MapReduce jobs
+    and participates in the run fingerprint via ``repr``.
+    """
+
+    sample_early_drops: float = 0.05
+    near_miss_epsilon: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sample_early_drops <= 1.0:
+            raise ValueError(
+                f"sample_early_drops must be in [0, 1], "
+                f"got {self.sample_early_drops}"
+            )
+        if self.near_miss_epsilon < 0.0:
+            raise ValueError(
+                f"near_miss_epsilon must be >= 0, got {self.near_miss_epsilon}"
+            )
+
+    def pair_sampled(self, source: str, destination: str) -> bool:
+        """Is this pair in the deterministic early-drop sample?"""
+        if self.sample_early_drops <= 0.0:
+            return False
+        return pair_sample_key(source, destination) < self.sample_early_drops
+
+    def value_near_miss(self, value: float, cutoff: float) -> bool:
+        """Was ``value`` within epsilon (relative) of ``cutoff``?"""
+        if not (math.isfinite(value) and math.isfinite(cutoff)):
+            return False
+        scale = max(abs(cutoff), 1.0)
+        return abs(value - cutoff) <= self.near_miss_epsilon * scale
+
+    def margin_near_miss(self, margin: float, threshold: float) -> bool:
+        """Was a spectral power margin (max power - threshold) a near miss?"""
+        if not (math.isfinite(margin) and math.isfinite(threshold)):
+            return False
+        scale = max(abs(threshold), 1.0)
+        return abs(margin) <= self.near_miss_epsilon * scale
+
+
+class ProvenanceRecorder:
+    """Accumulates verdict chains and applies the storage policy.
+
+    A chain stays *open* while its pair keeps surviving stages.  A
+    ``kept=False`` record closes the chain: it is stored when the chain
+    holds a near miss or the pair is in the deterministic sample,
+    otherwise it is forgotten.  Chains still open at :meth:`drain` time
+    are survivors and always stored.
+    """
+
+    def __init__(self, policy: Optional[ProvenancePolicy] = None) -> None:
+        self.policy = policy if policy is not None else ProvenancePolicy()
+        self._chains: Dict[Tuple[str, str], List[VerdictRecord]] = {}
+        self._stored: List[VerdictRecord] = []
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        source: str,
+        destination: str,
+        stage: str,
+        *,
+        kept: bool,
+        reason: str = "",
+        near_miss: bool = False,
+        **values: Any,
+    ) -> None:
+        """Append one decision to the pair's chain."""
+        self.extend([
+            VerdictRecord(
+                source=source,
+                destination=destination,
+                stage=stage,
+                kept=kept,
+                reason=reason,
+                near_miss=near_miss,
+                values=clean_values(values),
+            )
+        ])
+
+    def extend(self, records: Iterable[VerdictRecord]) -> None:
+        """Fold prebuilt records in; a ``kept=False`` record closes its chain."""
+        with self._lock:
+            for record in records:
+                chain = self._chains.setdefault(record.pair, [])
+                chain.append(record)
+                if not record.kept:
+                    self._close(record.pair)
+
+    def _close(self, pair: Tuple[str, str]) -> None:
+        chain = self._chains.pop(pair, None)
+        if not chain:
+            return
+        if any(r.near_miss for r in chain) or self.policy.pair_sampled(*pair):
+            self._stored.extend(chain)
+
+    def discard(self, source: str, destination: str) -> None:
+        """Forget a pair whose fate was decided outside the policy.
+
+        Sharded executors call this for pairs a worker chose not to ship
+        records for — by construction those pairs are neither sampled nor
+        near misses, so an in-process run would not have stored them
+        either.
+        """
+        with self._lock:
+            self._chains.pop((source, destination), None)
+
+    def required_pairs(self) -> FrozenSet[Tuple[str, str]]:
+        """Open-chain pairs that MUST keep full records (near misses so far).
+
+        Shipped into sharded detection jobs so workers return the
+        detector's verdict even when the pair is not in the sample.
+        """
+        with self._lock:
+            return frozenset(
+                pair
+                for pair, chain in self._chains.items()
+                if any(r.near_miss for r in chain)
+            )
+
+    def drain(self) -> List[VerdictRecord]:
+        """Flush open chains as survivors and return the canonical store.
+
+        Records are sorted by (source, destination, stage order) so every
+        executor produces an identical store for the same input.
+        """
+        with self._lock:
+            for pair in sorted(self._chains):
+                self._stored.extend(self._chains.pop(pair))
+            out = self._stored
+            self._stored = []
+        out.sort(key=lambda r: (r.source, r.destination, r.order))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# JSONL store
+# ---------------------------------------------------------------------------
+
+
+def records_to_jsonl(records: Iterable[VerdictRecord]) -> str:
+    """Serialise records, one JSON object per line."""
+    lines = [json.dumps(r.to_dict(), sort_keys=True) for r in records]
+    return "".join(line + "\n" for line in lines)
+
+
+def records_from_jsonl(text: str) -> List[VerdictRecord]:
+    """Parse a provenance JSONL document.
+
+    Undecodable lines (a writer killed mid-record leaves a torn trailing
+    line) are skipped; structurally corrupt or newer-schema records raise
+    :class:`ProvenanceSchemaError` with a one-line message.
+    """
+    records: List[VerdictRecord] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            continue  # torn line
+        if not isinstance(payload, dict):
+            continue
+        records.append(VerdictRecord.from_dict(payload))
+    return records
+
+
+def write_provenance(path: Path, records: Iterable[VerdictRecord]) -> Path:
+    """Atomically write a provenance store (tmp + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(records_to_jsonl(records), encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def read_provenance(path: Path) -> List[VerdictRecord]:
+    """Read a provenance store from a file or a checkpoint directory.
+
+    A directory is resolved to its merged ``provenance.jsonl`` when
+    present, otherwise to the sorted union of its per-shard
+    ``provenance-*.jsonl`` files (a run that was interrupted before the
+    final merge).
+    """
+    path = Path(path)
+    if path.is_dir():
+        merged = path / PROVENANCE_FILE
+        if merged.exists():
+            path = merged
+        else:
+            shards = sorted(path.glob("provenance-*.jsonl"))
+            if not shards:
+                raise FileNotFoundError(
+                    f"no provenance records under {path} (expected "
+                    f"{PROVENANCE_FILE} or provenance-*.jsonl)"
+                )
+            records: List[VerdictRecord] = []
+            for shard in shards:
+                records.extend(
+                    records_from_jsonl(shard.read_text(encoding="utf-8"))
+                )
+            records.sort(key=lambda r: (r.source, r.destination, r.order))
+            return records
+    if not path.exists():
+        raise FileNotFoundError(f"no provenance records at {path}")
+    return records_from_jsonl(path.read_text(encoding="utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# Analytics: explain / audit / diff
+# ---------------------------------------------------------------------------
+
+
+def group_chains(
+    records: Iterable[VerdictRecord],
+) -> Dict[Tuple[str, str], List[VerdictRecord]]:
+    """Group records into per-pair chains, each in stage order."""
+    chains: Dict[Tuple[str, str], List[VerdictRecord]] = {}
+    for record in records:
+        chains.setdefault(record.pair, []).append(record)
+    for chain in chains.values():
+        chain.sort(key=lambda r: r.order)
+    return chains
+
+
+def chain_outcome(chain: List[VerdictRecord]) -> Tuple[str, str]:
+    """Summarise a chain as ``(outcome, detail)``.
+
+    ``("reported", "")`` for a pair that survived the whole funnel,
+    ``("dropped", stage)`` for a pair dropped at ``stage``, and
+    ``("undecided", stage)`` for a partial chain (e.g. an interrupted
+    run) whose last recorded stage is ``stage``.
+    """
+    if not chain:
+        return ("undecided", "")
+    last = chain[-1]
+    if not last.kept:
+        return ("dropped", last.stage)
+    if last.stage == "ranking":
+        return ("reported", "")
+    return ("undecided", last.stage)
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, list):
+        return "[" + ", ".join(_format_value(v) for v in value) + "]"
+    return str(value)
+
+
+def _format_values(values: Mapping[str, Any]) -> str:
+    return " ".join(f"{k}={_format_value(v)}" for k, v in sorted(values.items()))
+
+
+def render_explain(chain: List[VerdictRecord]) -> str:
+    """Render one pair's verdict chain as an ASCII table."""
+    if not chain:
+        return "(no records)"
+    source, destination = chain[0].pair
+    lines = [f"verdict chain for ({source}, {destination})"]
+    for record in chain:
+        mark = "PASS" if record.kept else "DROP"
+        title = STAGE_TITLES.get(record.stage, record.stage)
+        line = f"  step {record.step:>2}  {mark}  {title:<30}"
+        detail = []
+        if record.reason:
+            detail.append(record.reason)
+        if record.near_miss:
+            detail.append("(near miss)")
+        if record.values:
+            detail.append(_format_values(record.values))
+        if detail:
+            line += "  " + "  ".join(detail)
+        lines.append(line.rstrip())
+    outcome, stage = chain_outcome(chain)
+    if outcome == "reported":
+        lines.append("  => REPORTED (survived all 8 steps)")
+    elif outcome == "dropped":
+        lines.append(
+            f"  => DROPPED at step {STAGE_STEPS.get(stage, '?')} "
+            f"({STAGE_TITLES.get(stage, stage)})"
+        )
+    else:
+        lines.append(f"  => UNDECIDED (last recorded stage: {stage or 'none'})")
+    return "\n".join(lines)
+
+
+def audit_report(records: List[VerdictRecord]) -> Dict[str, Any]:
+    """Aggregate decision analytics over a provenance store."""
+    from repro.obs.registry import MetricsRegistry
+
+    chains = group_chains(records)
+    stages: Dict[str, Dict[str, Any]] = {}
+    registry = MetricsRegistry()
+    near_misses: List[Dict[str, Any]] = []
+    outcomes = {"reported": 0, "dropped": 0, "undecided": 0}
+
+    for pair, chain in sorted(chains.items()):
+        outcome, _stage = chain_outcome(chain)
+        outcomes[outcome] += 1
+        for record in chain:
+            row = stages.setdefault(
+                record.stage,
+                {"kept": 0, "dropped": 0, "reasons": {}},
+            )
+            if record.kept:
+                row["kept"] += 1
+            else:
+                row["dropped"] += 1
+            if record.reason:
+                reasons = row["reasons"]
+                reasons[record.reason] = reasons.get(record.reason, 0) + 1
+            if record.near_miss:
+                near_misses.append(
+                    {
+                        "source": record.source,
+                        "destination": record.destination,
+                        "stage": record.stage,
+                        "kept": record.kept,
+                        "values": record.values,
+                    }
+                )
+            for key in ("score", "cutoff", "threshold", "margin", "acf_score"):
+                value = record.values.get(key)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    registry.histogram(
+                        f"provenance.{record.stage}.{key}"
+                    ).observe(float(value))
+
+    distributions = {
+        hist.name.split("provenance.", 1)[1]: {
+            "count": hist.count,
+            "mean": hist.mean,
+            **hist.percentiles(),
+        }
+        for hist in registry.histograms()
+    }
+    ordered_stages = dict(
+        sorted(stages.items(), key=lambda kv: STAGE_ORDER.get(kv[0], 99))
+    )
+    return {
+        "schema": PROVENANCE_SCHEMA_VERSION,
+        "pairs": len(chains),
+        "records": len(records),
+        "outcomes": outcomes,
+        "stages": ordered_stages,
+        "distributions": distributions,
+        "near_misses": near_misses,
+    }
+
+
+def render_audit(audit: Mapping[str, Any]) -> str:
+    """Render :func:`audit_report` output for a terminal."""
+    lines = [
+        f"provenance audit: {audit['pairs']} pairs, "
+        f"{audit['records']} records",
+        "outcomes: "
+        + "  ".join(f"{k} {v}" for k, v in sorted(audit["outcomes"].items())),
+        "",
+        "per-stage decisions:",
+    ]
+    for stage, row in audit["stages"].items():
+        step = STAGE_STEPS.get(stage, "?")
+        lines.append(
+            f"  step {step:>2}  {stage:<16} kept {row['kept']:>6}  "
+            f"dropped {row['dropped']:>6}"
+        )
+        for reason, count in sorted(
+            row["reasons"].items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            lines.append(f"           - {reason}: {count}")
+    if audit["distributions"]:
+        lines.append("")
+        lines.append("distributions:")
+        for name, stats in audit["distributions"].items():
+            lines.append(
+                f"  {name:<28} n={stats['count']:<6} "
+                f"mean={stats['mean']:.6g} p50={stats['p50']:.6g} "
+                f"p95={stats['p95']:.6g}"
+            )
+    lines.append("")
+    lines.append(f"near misses: {len(audit['near_misses'])}")
+    for miss in audit["near_misses"][:20]:
+        lines.append(
+            f"  ({miss['source']}, {miss['destination']}) at "
+            f"{miss['stage']}  {_format_values(miss['values'])}".rstrip()
+        )
+    if len(audit["near_misses"]) > 20:
+        lines.append(f"  ... and {len(audit['near_misses']) - 20} more")
+    return "\n".join(lines)
+
+
+def diff_runs(
+    a_records: List[VerdictRecord], b_records: List[VerdictRecord]
+) -> Dict[str, Any]:
+    """Verdict-level drift between two provenance stores."""
+
+    def outcome_map(records):
+        return {
+            pair: chain_outcome(chain)
+            for pair, chain in group_chains(records).items()
+        }
+
+    a_outcomes = outcome_map(a_records)
+    b_outcomes = outcome_map(b_records)
+    changed = []
+    for pair in sorted(set(a_outcomes) & set(b_outcomes)):
+        if a_outcomes[pair] != b_outcomes[pair]:
+            (a_out, a_stage) = a_outcomes[pair]
+            (b_out, b_stage) = b_outcomes[pair]
+            changed.append(
+                {
+                    "source": pair[0],
+                    "destination": pair[1],
+                    "a": {"outcome": a_out, "stage": a_stage},
+                    "b": {"outcome": b_out, "stage": b_stage},
+                }
+            )
+    only_a = sorted(set(a_outcomes) - set(b_outcomes))
+    only_b = sorted(set(b_outcomes) - set(a_outcomes))
+    return {
+        "pairs_a": len(a_outcomes),
+        "pairs_b": len(b_outcomes),
+        "changed": changed,
+        "only_a": [{"source": s, "destination": d} for s, d in only_a],
+        "only_b": [{"source": s, "destination": d} for s, d in only_b],
+    }
+
+
+def render_diff(diff: Mapping[str, Any]) -> str:
+    """Render :func:`diff_runs` output for a terminal."""
+    lines = [
+        f"run A: {diff['pairs_a']} pairs   run B: {diff['pairs_b']} pairs",
+        f"changed outcome: {len(diff['changed'])}",
+    ]
+    for entry in diff["changed"]:
+        a, b = entry["a"], entry["b"]
+
+        def _fmt(side):
+            if side["outcome"] == "dropped":
+                stage = side["stage"]
+                return f"dropped at step {STAGE_STEPS.get(stage, '?')} ({stage})"
+            return side["outcome"]
+
+        lines.append(
+            f"  ({entry['source']}, {entry['destination']}): "
+            f"{_fmt(a)} -> {_fmt(b)}"
+        )
+    if diff["only_a"]:
+        lines.append(f"only in A: {len(diff['only_a'])}")
+        for entry in diff["only_a"][:10]:
+            lines.append(f"  ({entry['source']}, {entry['destination']})")
+    if diff["only_b"]:
+        lines.append(f"only in B: {len(diff['only_b'])}")
+        for entry in diff["only_b"][:10]:
+            lines.append(f"  ({entry['source']}, {entry['destination']})")
+    if not diff["changed"] and not diff["only_a"] and not diff["only_b"]:
+        lines.append("no drift: identical verdicts for all shared pairs")
+    return "\n".join(lines)

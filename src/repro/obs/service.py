@@ -60,10 +60,13 @@ def build_status(
     ``shard_finish`` events' pair counts and durations; worker liveness
     from the newest ``heartbeat`` per worker pid.
     """
+    # An empty (or not-yet-created) journal folds to state "waiting":
+    # a watcher pointed at a run that has not started yet should see
+    # "waiting for run", not an error or a bogus terminal state.
     status: Dict[str, Any] = {
         "schema": STATUS_SCHEMA_VERSION,
         "run_id": None,
-        "state": "unknown",
+        "state": "waiting",
         "resumed": False,
         "shards": {"total": 0, "done": 0, "running": 0, "states": {}},
         "pairs": {"processed": 0, "detected": 0},
@@ -148,6 +151,8 @@ def render_status(status: Dict[str, Any]) -> str:
     """Human one-glance rendering of a :func:`build_status` dict."""
     shards = status["shards"]
     throughput = status["throughput"]
+    if status.get("state") == "waiting" and not status.get("events"):
+        return "waiting for run (no journal events yet)\n"
     lines = [
         f"run {status['run_id'] or '?'}  [{status['state']}]"
         + ("  (resumed)" if status.get("resumed") else ""),

@@ -25,6 +25,8 @@ from repro.stages.detection import (
     PeriodicityDetectionStage,
     build_case,
     detect_pairs,
+    detection_verdicts,
+    record_detection_verdicts,
 )
 from repro.stages.funnel import (
     GlobalWhitelistStage,
@@ -47,6 +49,8 @@ __all__ = [
     "PeriodicityDetectionStage",
     "build_case",
     "detect_pairs",
+    "detection_verdicts",
+    "record_detection_verdicts",
     "GlobalWhitelistStage",
     "LocalWhitelistStage",
     "MinEventsStage",

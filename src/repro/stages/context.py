@@ -32,6 +32,7 @@ from repro.filtering.pipeline import FunnelStats, PipelineConfig, PipelineReport
 from repro.filtering.tokens import TokenFilter
 from repro.filtering.whitelist import GlobalWhitelist
 from repro.lm.domains import DomainScorer, default_scorer
+from repro.obs.provenance import ProvenanceRecorder
 
 __all__ = ["PopularityIndex", "StageContext", "build_report"]
 
@@ -113,6 +114,9 @@ class StageContext:
     detected: List[BeaconingCase] = field(default_factory=list)
     #: Poison-pill units a fault-tolerant executor dropped.
     quarantined: List[Any] = field(default_factory=list)
+    #: Decision-provenance recorder; None (the default) disables
+    #: per-pair verdict records entirely.
+    provenance: Optional[ProvenanceRecorder] = None
     #: Builds the LM scorer on first use (training takes ~1 s).
     scorer_factory: Callable[[], DomainScorer] = default_scorer
     _scorer: Optional[DomainScorer] = field(default=None, repr=False)
@@ -140,4 +144,9 @@ def build_report(
         funnel=context.funnel,
         population_size=context.popularity.population,
         quarantined=list(context.quarantined),
+        provenance=(
+            context.provenance.drain()
+            if context.provenance is not None
+            else []
+        ),
     )

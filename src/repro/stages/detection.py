@@ -34,6 +34,12 @@ from typing import (
 from repro.core.detector import DetectionResult, PeriodicityDetector
 from repro.core.timeseries import ActivitySummary
 from repro.filtering.case import BeaconingCase
+from repro.obs.provenance import (
+    ProvenancePolicy,
+    ProvenanceRecorder,
+    VerdictRecord,
+    clean_values,
+)
 from repro.stages.base import Stage
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -46,7 +52,117 @@ __all__ = [
     "PeriodicityDetectionStage",
     "build_case",
     "detect_pairs",
+    "detection_verdicts",
+    "record_detection_verdicts",
 ]
+
+#: Early-screen rejection codes (see PeriodicityDetector._screen); the
+#: whole pair is decided before any spectrum exists.
+_EARLY_CODES = frozenset(
+    ["spectral:min_events", "spectral:single_slot", "spectral:window_too_short"]
+)
+
+
+def detection_verdicts(
+    source: str,
+    destination: str,
+    result: DetectionResult,
+    policy: ProvenancePolicy,
+) -> List[VerdictRecord]:
+    """Verdict records for funnel steps 3-5, derived from one result.
+
+    A pure function of the (extended) :class:`DetectionResult`, so the
+    serial detector, the batched fast path, and a sharded worker that
+    round-tripped the result through a checkpoint all produce the exact
+    same chain.
+    """
+    records: List[VerdictRecord] = []
+
+    def rec(
+        stage: str,
+        kept: bool,
+        reason: str = "",
+        near_miss: bool = False,
+        **values: Any,
+    ) -> None:
+        records.append(
+            VerdictRecord(
+                source=source,
+                destination=destination,
+                stage=stage,
+                kept=kept,
+                reason=reason,
+                near_miss=near_miss,
+                values=clean_values(values),
+            )
+        )
+
+    if result.rejection_code in _EARLY_CODES:
+        rec(
+            "spectral",
+            False,
+            result.rejection_code,
+            events=result.n_events,
+            duration=result.duration,
+        )
+        return records
+
+    threshold = result.power_threshold
+    margin = result.spectral_margin
+    if not result.periodic and result.n_candidates_raw == 0:
+        rec(
+            "spectral",
+            False,
+            "spectral:power<threshold",
+            near_miss=policy.margin_near_miss(margin, threshold),
+            threshold=threshold,
+            margin=margin,
+        )
+        return records
+    rec(
+        "spectral",
+        True,
+        threshold=threshold,
+        margin=margin,
+        candidates=result.n_candidates_raw,
+    )
+    if not result.periodic and result.n_candidates_pruned == 0:
+        rec("pruning", False, "pruning:rejected",
+            candidates=result.n_candidates_raw)
+        return records
+    rec(
+        "pruning",
+        True,
+        candidates_in=result.n_candidates_raw,
+        candidates_out=result.n_candidates_pruned,
+    )
+    if not result.periodic:
+        rec("acf", False, "acf:below_min_score",
+            candidates=result.n_candidates_pruned)
+        return records
+    dominant = result.dominant
+    rec(
+        "acf",
+        True,
+        acf_score=dominant.acf_score,
+        period=dominant.period,
+        p_value=dominant.p_value,
+        periods=[candidate.period for candidate in result.candidates],
+    )
+    return records
+
+
+def record_detection_verdicts(
+    recorder: ProvenanceRecorder,
+    pairs: Iterable[Tuple[ActivitySummary, DetectionResult]],
+) -> None:
+    """Fold detection verdicts for fully known (summary, result) pairs."""
+    for summary, result in pairs:
+        recorder.extend(
+            detection_verdicts(
+                summary.source, summary.destination, result, recorder.policy
+            )
+        )
 
 #: An executor maps (context, summaries) to the detected
 #: ``(summary, result)`` pairs plus any quarantined units.
@@ -112,7 +228,16 @@ class InProcessDetection:
                 context.config.detector,
                 threshold_cache=context.threshold_cache,
             )
-        return list(detect_pairs(self._detector, summaries)), []
+        recorder = context.provenance
+        if recorder is None:
+            return list(detect_pairs(self._detector, summaries)), []
+        detected: List[Tuple[ActivitySummary, DetectionResult]] = []
+        for summary in summaries:
+            result = self._detector.detect_summary(summary)
+            record_detection_verdicts(recorder, [(summary, result)])
+            if result.periodic:
+                detected.append((summary, result))
+        return detected, []
 
 
 class BatchedDetection:
@@ -152,6 +277,10 @@ class BatchedDetection:
             self._detector, batch_size=self.batch_size, workers=self.workers
         )
         results = batched.detect_summaries(list(summaries))
+        if context.provenance is not None:
+            record_detection_verdicts(
+                context.provenance, zip(summaries, results)
+            )
         return (
             [
                 (summary, result)

@@ -7,6 +7,12 @@ Step bodies live *only* here: both front ends compose these instances,
 so a change to one filter's semantics reaches the in-process pipeline,
 the MapReduce runner, and the sharded runner at once.
 
+When the context carries a
+:class:`~repro.obs.provenance.ProvenanceRecorder`, every stage also
+emits one :class:`~repro.obs.provenance.VerdictRecord` per pair it
+inspects; with provenance off (the default) each stage keeps its
+original single-comprehension body.
+
 :func:`default_stages` builds the canonical eight-step sequence; front
 ends inject their own detection stage (the step that differs in *where*
 it executes, never in *what* it computes).
@@ -19,6 +25,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 from repro.core.timeseries import ActivitySummary
 from repro.filtering.case import BeaconingCase
 from repro.filtering.ranking import (
+    percentile_cutoff,
     rank_cases,
     rank_score,
     strongest_per_destination,
@@ -51,7 +58,22 @@ class GlobalWhitelistStage(Stage):
     ) -> List[ActivitySummary]:
         """Keep pairs whose destination is not globally whitelisted."""
         whitelist = context.global_whitelist
-        return [s for s in items if s.destination not in whitelist]
+        recorder = context.provenance
+        if recorder is None:
+            return [s for s in items if s.destination not in whitelist]
+        kept: List[ActivitySummary] = []
+        for s in items:
+            hit = s.destination in whitelist
+            recorder.record(
+                s.source,
+                s.destination,
+                "global_whitelist",
+                kept=not hit,
+                reason="whitelist:global" if hit else "",
+            )
+            if not hit:
+                kept.append(s)
+        return kept
 
 
 class LocalWhitelistStage(Stage):
@@ -66,11 +88,43 @@ class LocalWhitelistStage(Stage):
         """Keep pairs below the popularity threshold (tau_p)."""
         popularity = context.popularity
         threshold = context.config.local_whitelist_threshold
-        return [
-            s
-            for s in items
-            if not popularity.is_whitelisted(s.destination, threshold)
-        ]
+        recorder = context.provenance
+        if recorder is None:
+            return [
+                s
+                for s in items
+                if not popularity.is_whitelisted(s.destination, threshold)
+            ]
+        from repro.stages.context import MIN_WHITELIST_SOURCES
+
+        kept: List[ActivitySummary] = []
+        for s in items:
+            sources = popularity.similar_sources(s.destination)
+            ratio = popularity.ratio(s.destination)
+            whitelisted = popularity.is_whitelisted(s.destination, threshold)
+            if whitelisted:
+                reason = "popularity:whitelisted"
+            elif sources < MIN_WHITELIST_SOURCES:
+                reason = f"popularity:sources<{MIN_WHITELIST_SOURCES}"
+            else:
+                reason = "popularity:ratio<=threshold"
+            recorder.record(
+                s.source,
+                s.destination,
+                "local_whitelist",
+                kept=not whitelisted,
+                reason=reason,
+                near_miss=(
+                    sources >= MIN_WHITELIST_SOURCES
+                    and recorder.policy.value_near_miss(ratio, threshold)
+                ),
+                ratio=ratio,
+                sources=sources,
+                threshold=threshold,
+            )
+            if not whitelisted:
+                kept.append(s)
+        return kept
 
 
 class MinEventsStage(Stage):
@@ -85,7 +139,24 @@ class MinEventsStage(Stage):
     ) -> List[ActivitySummary]:
         """Keep pairs with at least ``config.min_events`` requests."""
         min_events = context.config.min_events
-        return [s for s in items if s.event_count >= min_events]
+        recorder = context.provenance
+        if recorder is None:
+            return [s for s in items if s.event_count >= min_events]
+        kept: List[ActivitySummary] = []
+        for s in items:
+            ok = s.event_count >= min_events
+            recorder.record(
+                s.source,
+                s.destination,
+                "min_events",
+                kept=ok,
+                reason="" if ok else "prefilter:min_events",
+                events=s.event_count,
+                min_events=min_events,
+            )
+            if ok:
+                kept.append(s)
+        return kept
 
 
 class TokenFilterStage(Stage):
@@ -99,11 +170,26 @@ class TokenFilterStage(Stage):
     ) -> List[BeaconingCase]:
         """Keep cases whose URL sample does not look like benign polling."""
         token_filter = context.token_filter
-        return [
-            case
-            for case in items
-            if not token_filter.is_likely_benign(case.summary.urls)
-        ]
+        recorder = context.provenance
+        if recorder is None:
+            return [
+                case
+                for case in items
+                if not token_filter.is_likely_benign(case.summary.urls)
+            ]
+        kept: List[BeaconingCase] = []
+        for case in items:
+            benign = token_filter.is_likely_benign(case.summary.urls)
+            recorder.record(
+                case.source,
+                case.destination,
+                "token_filter",
+                kept=not benign,
+                reason="token:benign_pattern" if benign else "",
+            )
+            if not benign:
+                kept.append(case)
+        return kept
 
 
 class NoveltyStage(Stage):
@@ -123,15 +209,36 @@ class NoveltyStage(Stage):
     ) -> List[BeaconingCase]:
         """Filter to novel destinations and consolidate per destination."""
         weights = context.config.ranking_weights
+        recorder = context.provenance
         scored = [
             case.with_rank_score(rank_score(case, weights)) for case in items
         ]
-        fresh = [
-            case
-            for case in scored
-            if context.novelty.is_novel(case.source, case.destination)
-        ]
+        fresh: List[BeaconingCase] = []
+        for case in scored:
+            novel = context.novelty.is_novel(case.source, case.destination)
+            if not novel and recorder is not None:
+                recorder.record(
+                    case.source,
+                    case.destination,
+                    "novelty",
+                    kept=False,
+                    reason="novelty:already_reported",
+                )
+            if novel:
+                fresh.append(case)
         consolidated = strongest_per_destination(fresh)
+        if recorder is not None:
+            winners = {case.pair for case in consolidated}
+            for case in fresh:
+                won = case.pair in winners
+                recorder.record(
+                    case.source,
+                    case.destination,
+                    "novelty",
+                    kept=won,
+                    reason="" if won else "novelty:consolidated",
+                    rank_score=case.rank_score,
+                )
         for case in consolidated:
             context.novelty.record(case.source, case.destination)
         return consolidated
@@ -147,11 +254,27 @@ class RankingStage(Stage):
         self, context: "StageContext", items: Sequence[BeaconingCase]
     ) -> List[BeaconingCase]:
         """Score, threshold, and sort the surviving cases (best first)."""
-        return rank_cases(
-            items,
-            weights=context.config.ranking_weights,
-            percentile=context.config.ranking_percentile,
-        )
+        weights = context.config.ranking_weights
+        percentile = context.config.ranking_percentile
+        ranked = rank_cases(items, weights=weights, percentile=percentile)
+        recorder = context.provenance
+        if recorder is not None and items:
+            scores = [rank_score(case, weights) for case in items]
+            cutoff = percentile_cutoff(scores, percentile)
+            kept_pairs = {case.pair for case in ranked}
+            for case, score in zip(items, scores):
+                kept = case.pair in kept_pairs
+                recorder.record(
+                    case.source,
+                    case.destination,
+                    "ranking",
+                    kept=kept,
+                    reason="" if kept else "rank:below_percentile",
+                    near_miss=recorder.policy.value_near_miss(score, cutoff),
+                    score=score,
+                    cutoff=cutoff,
+                )
+        return ranked
 
 
 def default_stages(

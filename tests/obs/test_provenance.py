@@ -1,0 +1,304 @@
+"""Decision-provenance unit tests: policy, recorder, store, CLI."""
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.obs.provenance import (
+    PROVENANCE_FILE,
+    PROVENANCE_SCHEMA_VERSION,
+    ProvenancePolicy,
+    ProvenanceRecorder,
+    ProvenanceSchemaError,
+    VerdictRecord,
+    audit_report,
+    chain_outcome,
+    clean_values,
+    diff_runs,
+    group_chains,
+    pair_sample_key,
+    read_provenance,
+    records_from_jsonl,
+    records_to_jsonl,
+    render_audit,
+    render_diff,
+    render_explain,
+    write_provenance,
+)
+
+
+def _chain(source="h1", destination="evil.example", *, drop_at=None,
+           near_miss_at=None):
+    stages = ["global_whitelist", "local_whitelist", "min_events",
+              "spectral", "pruning", "acf", "token_filter", "novelty",
+              "ranking"]
+    out = []
+    for stage in stages:
+        dropped = stage == drop_at
+        out.append(VerdictRecord(
+            source=source, destination=destination, stage=stage,
+            kept=not dropped,
+            reason=f"{stage}:reason" if dropped else "",
+            near_miss=stage == near_miss_at,
+        ))
+        if dropped:
+            break
+    return out
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProvenancePolicy(sample_early_drops=1.5)
+        with pytest.raises(ValueError):
+            ProvenancePolicy(sample_early_drops=-0.1)
+        with pytest.raises(ValueError):
+            ProvenancePolicy(near_miss_epsilon=-1.0)
+
+    def test_pair_sampling_is_deterministic_and_bounded(self):
+        policy = ProvenancePolicy(sample_early_drops=0.5)
+        first = [policy.pair_sampled("h", f"d{i}") for i in range(200)]
+        second = [policy.pair_sampled("h", f"d{i}") for i in range(200)]
+        assert first == second
+        rate = sum(first) / len(first)
+        assert 0.3 < rate < 0.7
+        assert not any(
+            ProvenancePolicy(sample_early_drops=0.0).pair_sampled("h", f"d{i}")
+            for i in range(50)
+        )
+        assert all(
+            ProvenancePolicy(sample_early_drops=1.0).pair_sampled("h", f"d{i}")
+            for i in range(50)
+        )
+
+    def test_sample_key_uniform_range(self):
+        keys = [pair_sample_key("a", f"b{i}") for i in range(100)]
+        assert all(0.0 <= k < 1.0 for k in keys)
+        assert len(set(keys)) == len(keys)
+
+    def test_value_near_miss_relative(self):
+        policy = ProvenancePolicy(near_miss_epsilon=0.1)
+        assert policy.value_near_miss(95.0, 100.0)
+        assert not policy.value_near_miss(80.0, 100.0)
+        # Small cutoffs use an absolute epsilon floor of eps * 1.0.
+        assert policy.value_near_miss(0.05, 0.01)
+        assert not policy.value_near_miss(float("nan"), 1.0)
+        assert not policy.value_near_miss(1.0, float("inf"))
+
+    def test_margin_near_miss(self):
+        policy = ProvenancePolicy(near_miss_epsilon=0.1)
+        assert policy.margin_near_miss(-0.05, 0.5)
+        assert policy.margin_near_miss(0.05, 0.5)
+        assert not policy.margin_near_miss(5.0, 0.5)
+        assert not policy.margin_near_miss(float("nan"), 0.5)
+
+
+class TestRecorder:
+    def test_survivor_chain_always_stored(self):
+        recorder = ProvenanceRecorder(ProvenancePolicy(sample_early_drops=0.0))
+        recorder.extend(_chain())
+        records = recorder.drain()
+        assert len(records) == 9
+        assert all(r.kept for r in records)
+
+    def test_unsampled_early_drop_is_forgotten(self):
+        policy = ProvenancePolicy(sample_early_drops=0.0)
+        recorder = ProvenanceRecorder(policy)
+        recorder.extend(_chain(drop_at="local_whitelist"))
+        assert recorder.drain() == []
+
+    def test_near_miss_drop_is_stored(self):
+        policy = ProvenancePolicy(sample_early_drops=0.0)
+        recorder = ProvenanceRecorder(policy)
+        recorder.extend(_chain(drop_at="ranking", near_miss_at="ranking"))
+        records = recorder.drain()
+        assert records and not records[-1].kept
+
+    def test_sampled_drop_is_stored(self):
+        recorder = ProvenanceRecorder(ProvenancePolicy(sample_early_drops=1.0))
+        recorder.extend(_chain(drop_at="global_whitelist"))
+        assert len(recorder.drain()) == 1
+
+    def test_discard_forgets_even_survivors(self):
+        recorder = ProvenanceRecorder(ProvenancePolicy(sample_early_drops=1.0))
+        recorder.extend(_chain()[:4])
+        recorder.discard("h1", "evil.example")
+        assert recorder.drain() == []
+
+    def test_required_pairs_are_open_near_miss_chains(self):
+        recorder = ProvenanceRecorder(ProvenancePolicy(sample_early_drops=0.0))
+        recorder.extend(_chain("h1", "a", near_miss_at="local_whitelist")[:3])
+        recorder.extend(_chain("h2", "b")[:3])
+        assert recorder.required_pairs() == frozenset({("h1", "a")})
+
+    def test_drain_sorts_canonically(self):
+        recorder = ProvenanceRecorder(ProvenancePolicy(sample_early_drops=1.0))
+        recorder.extend(_chain("h2", "z", drop_at="min_events"))
+        recorder.extend(_chain("h1", "a", drop_at="min_events"))
+        records = recorder.drain()
+        keys = [(r.source, r.destination, r.order) for r in records]
+        assert keys == sorted(keys)
+        assert recorder.drain() == []
+
+
+class TestStore:
+    def test_clean_values_strips_non_finite(self):
+        import numpy as np
+
+        cleaned = clean_values({
+            "score": np.float64(1.5),
+            "nan": float("nan"),
+            "inf": float("inf"),
+            "periods": (60.0, float("nan")),
+            "n": 3,
+        })
+        assert cleaned == {
+            "score": 1.5, "nan": None, "inf": None,
+            "periods": [60.0, None], "n": 3,
+        }
+
+    def test_jsonl_round_trip(self):
+        records = _chain(drop_at="ranking", near_miss_at="ranking")
+        assert records_from_jsonl(records_to_jsonl(records)) == records
+
+    def test_torn_trailing_line_is_skipped(self):
+        text = records_to_jsonl(_chain()[:2]) + '{"v": 1, "source": "tr'
+        assert len(records_from_jsonl(text)) == 2
+
+    def test_newer_schema_raises_one_liner(self):
+        text = json.dumps({
+            "v": PROVENANCE_SCHEMA_VERSION + 1, "source": "h",
+            "destination": "d", "stage": "acf", "kept": True,
+        })
+        with pytest.raises(ProvenanceSchemaError, match="upgrade repro"):
+            records_from_jsonl(text)
+
+    def test_corrupt_record_raises(self):
+        with pytest.raises(ProvenanceSchemaError, match="missing field"):
+            records_from_jsonl('{"v": 1, "source": "h"}')
+
+    def test_write_and_read_file_and_dir(self, tmp_path):
+        records = _chain()
+        path = write_provenance(tmp_path / "store" / PROVENANCE_FILE, records)
+        assert read_provenance(path) == records
+        assert read_provenance(tmp_path / "store") == records
+
+    def test_read_missing_store_message(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no provenance"):
+            read_provenance(tmp_path / "nope")
+
+
+class TestAnalytics:
+    def test_chain_outcomes(self):
+        assert chain_outcome(_chain()) == ("reported", "")
+        assert chain_outcome(_chain(drop_at="spectral")) == (
+            "dropped", "spectral"
+        )
+        assert chain_outcome(_chain()[:3]) == ("undecided", "min_events")
+
+    def test_group_chains(self):
+        records = _chain("h1", "a") + _chain("h2", "b", drop_at="spectral")
+        chains = group_chains(records)
+        assert set(chains) == {("h1", "a"), ("h2", "b")}
+
+    def test_render_explain_shows_all_steps_and_outcome(self):
+        text = render_explain(_chain())
+        for step in "12345678":
+            assert f"step  {step}" in text
+        assert "=> REPORTED" in text
+        dropped = render_explain(_chain(drop_at="pruning"))
+        assert "DROP" in dropped
+        assert "=> DROPPED at step 4" in dropped
+
+    def test_audit_report_counts_and_json(self):
+        records = (
+            _chain("h1", "a")
+            + _chain("h2", "b", drop_at="local_whitelist")
+            + _chain("h3", "c", drop_at="ranking", near_miss_at="ranking")
+        )
+        audit = audit_report(records)
+        assert audit["outcomes"] == {
+            "reported": 1, "dropped": 2, "undecided": 0,
+        }
+        assert audit["stages"]["local_whitelist"]["dropped"] == 1
+        assert audit["near_misses"]
+        json.dumps(audit)  # must be JSON-able for --json
+        assert "per-stage decisions" in render_audit(audit)
+
+    def test_diff_runs_detects_drift(self):
+        a = _chain("h1", "a") + _chain("h2", "b")
+        b = _chain("h1", "a", drop_at="ranking") + _chain("h3", "c")
+        diff = diff_runs(a, b)
+        assert [
+            (entry["source"], entry["destination"])
+            for entry in diff["changed"]
+        ] == [("h1", "a")]
+        assert diff["changed"][0]["a"]["outcome"] == "reported"
+        assert diff["changed"][0]["b"]["outcome"] == "dropped"
+        assert diff["only_a"] == [{"source": "h2", "destination": "b"}]
+        assert diff["only_b"] == [{"source": "h3", "destination": "c"}]
+        assert "changed outcome: 1" in render_diff(diff)
+        same = diff_runs(a, a)
+        assert not same["changed"] and not same["only_a"]
+
+
+class TestCli:
+    @pytest.fixture
+    def store(self, tmp_path):
+        records = (
+            _chain("h1", "evil.example")
+            + _chain("h2", "benign.example", drop_at="local_whitelist")
+        )
+        write_provenance(tmp_path / PROVENANCE_FILE, records)
+        return tmp_path
+
+    def test_explain_found(self, store, capsys):
+        assert main(["explain", "h1", "evil.example", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "=> REPORTED" in out
+
+    def test_explain_absent_pair_hints_sampling(self, store, capsys):
+        assert main(["explain", "h9", "gone.example", str(store)]) == 1
+        assert "--provenance-sample" in capsys.readouterr().err
+
+    def test_explain_missing_store(self, tmp_path, capsys):
+        assert main(["explain", "a", "b", str(tmp_path / "none")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_audit_text_and_json(self, store, capsys):
+        assert main(["audit", str(store)]) == 0
+        assert "provenance audit" in capsys.readouterr().out
+        assert main(["audit", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pairs"] == 2
+
+    def test_diff_runs_exit_codes(self, store, tmp_path, capsys):
+        other = tmp_path / "other"
+        write_provenance(
+            other / PROVENANCE_FILE, _chain("h1", "evil.example")
+        )
+        assert main(["diff-runs", str(store), str(store)]) == 0
+        capsys.readouterr()
+        assert main(["diff-runs", str(store), str(other)]) == 1
+        capsys.readouterr()
+        assert main([
+            "diff-runs", str(store), str(other), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["only_a"]
+
+    def test_newer_schema_store_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / PROVENANCE_FILE
+        path.write_text(
+            json.dumps({
+                "v": PROVENANCE_SCHEMA_VERSION + 1, "source": "h",
+                "destination": "d", "stage": "acf", "kept": True,
+            }) + "\n",
+            encoding="utf-8",
+        )
+        assert main(["audit", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "upgrade repro" in err
+        assert "Traceback" not in err

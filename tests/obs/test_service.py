@@ -25,7 +25,7 @@ class TestBuildStatus:
     def test_empty_journal(self):
         status = build_status([])
         assert status["schema"] == STATUS_SCHEMA_VERSION
-        assert status["state"] == "unknown"
+        assert status["state"] == "waiting"
         assert status["shards"] == {
             "total": 0, "done": 0, "running": 0, "states": {},
         }
@@ -199,7 +199,7 @@ class TestStatusServer:
     def test_server_without_journal_serves_empty_status(self):
         with StatusServer(registry=MetricsRegistry(), port=0) as bare:
             status = json.loads(_get(bare.url + "/status")[2])
-        assert status["state"] == "unknown"
+        assert status["state"] == "waiting"
 
     def test_stop_is_idempotent_and_start_returns_port(self, tmp_path):
         status_server = StatusServer(

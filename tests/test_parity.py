@@ -128,6 +128,75 @@ def test_batched_pipeline_matches_serial_pipeline(
     assert report_signature(batched) == report_signature(pipeline_report)
 
 
+def verdict_signature(records):
+    """Everything that must agree across executors, per verdict record."""
+    return [
+        (
+            r.source,
+            r.destination,
+            r.stage,
+            r.kept,
+            r.reason,
+            r.near_miss,
+            tuple(sorted(r.values.items(), key=lambda kv: kv[0])),
+        )
+        for r in records
+    ]
+
+
+@pytest.mark.parametrize("sample", [1.0, 0.05])
+def test_provenance_verdicts_identical_across_executors(
+    records, scorer, tmp_path, sample
+):
+    # The same verdict chains — stage, kept/dropped, reason, near-miss
+    # flag, and governing numbers — must come out of the in-process
+    # pipeline, the batched pipeline, the serial runner, and an
+    # interrupt-and-resumed sharded run, and survive the JSONL
+    # round-trip through the checkpoint directory unchanged.
+    from repro.obs import ProvenancePolicy, read_provenance
+
+    policy = ProvenancePolicy(sample_early_drops=sample)
+    config = dict(CONFIG, provenance=policy)
+
+    base = BaywatchPipeline(
+        PipelineConfig(**config), scorer=scorer
+    ).run_records(records)
+    assert base.provenance, "provenance-enabled run recorded nothing"
+    base_sig = verdict_signature(base.provenance)
+
+    batched = BaywatchPipeline(
+        PipelineConfig(**config, detection_batch_size=8), scorer=scorer
+    ).run_records(records)
+    assert verdict_signature(batched.provenance) == base_sig
+
+    runner = BaywatchRunner(
+        PipelineConfig(**config), scorer=scorer
+    ).run(records)
+    assert verdict_signature(runner.provenance) == base_sig
+
+    checkpoint = str(tmp_path / f"ckpt-{sample}")
+    with pytest.raises(IncompleteRunError):
+        BaywatchRunner(PipelineConfig(**config), scorer=scorer).run_sharded(
+            records, shard_size=4, checkpoint_dir=checkpoint, max_shards=2
+        )
+    sharded = BaywatchRunner(
+        PipelineConfig(**config), scorer=scorer
+    ).run_sharded(
+        records, shard_size=4, checkpoint_dir=checkpoint, resume=True
+    )
+    assert verdict_signature(sharded.provenance) == base_sig
+    assert report_signature(sharded) == report_signature(base)
+
+    from pathlib import Path
+
+    merged = read_provenance(Path(checkpoint))
+    assert verdict_signature(merged) == base_sig
+
+
+def test_provenance_off_records_nothing(records, scorer, pipeline_report):
+    assert pipeline_report.provenance == []
+
+
 def test_batched_sharded_run_with_persisted_cache_matches_pipeline(
     records, scorer, pipeline_report, tmp_path
 ):
