@@ -56,6 +56,7 @@ def bin_series(
     *,
     span: Optional[Tuple[float, float]] = None,
     binary: bool = False,
+    oob: str = "drop",
 ) -> np.ndarray:
     """Bin event timestamps into the discrete signal ``x(n)``.
 
@@ -64,23 +65,47 @@ def bin_series(
     {0, 1} (presence/absence), which makes the periodogram insensitive to
     per-slot request multiplicity.
 
-    ``span`` optionally fixes the covered ``(start, end)`` window; by
-    default the window runs from the first to the last event (inclusive).
+    Slots are half-open — slot ``n`` covers ``[start + n*time_scale,
+    start + (n+1)*time_scale)`` — except that the final slot also
+    admits events at exactly ``end``, so the covered window is the
+    closed ``[start, end]``.
+
+    ``span`` fixes the ``(start, end)`` window explicitly; by default
+    the window runs from the first to the last event.  ``oob`` names
+    the policy for events outside an explicit span: ``"drop"`` (the
+    default) ignores them, ``"raise"`` rejects the call — use it when
+    an out-of-span event means an upstream windowing bug rather than
+    expected clutter.  Without ``span`` no event can be out of range
+    and ``oob`` is moot.
     """
     require_positive(time_scale, "time_scale")
+    require(oob in ("drop", "raise"), "oob must be 'drop' or 'raise'")
     ts = as_sorted_timestamps(timestamps)
     if span is not None:
         start, end = float(span[0]), float(span[1])
         require(end > start, "span end must be greater than span start")
-        ts = ts[(ts >= start) & (ts <= end)]
+        in_span = (ts >= start) & (ts <= end)
+        if oob == "raise" and not np.all(in_span):
+            n_out = int(ts.size - np.count_nonzero(in_span))
+            raise ValueError(
+                f"{n_out} event(s) fall outside the span [{start}, {end}]"
+            )
+        ts = ts[in_span]
     elif ts.size == 0:
         return np.zeros(0, dtype=float)
     else:
         start, end = float(ts[0]), float(ts[-1])
     n_bins = int(np.floor((end - start) / time_scale)) + 1
     if ts.size:
+        # In-span slots cannot leave [0, n_bins - 1]: floor and the
+        # correctly-rounded subtraction/division are monotone, so
+        # start <= ts <= end pins floor((ts - start) / time_scale)
+        # between 0 and floor((end - start) / time_scale).  (An np.clip
+        # used to sit here; besides being dead for in-span events it
+        # would have silently folded any out-of-span event into an edge
+        # bin — a spurious spike at the window border — instead of
+        # surfacing it.)
         indices = np.floor((ts - start) / time_scale).astype(int)
-        indices = np.clip(indices, 0, n_bins - 1)
         # bincount produces the same integer slot counts as the old
         # ``np.add.at`` scatter at a fraction of its cost (the detector
         # bins every pair at every scale, so this is a hot path).
@@ -114,7 +139,10 @@ class ActivitySummary:
         ivals = as_float_array(self.intervals, "intervals")
         if np.any(ivals < 0):
             raise ValueError("intervals must be non-negative")
-        object.__setattr__(self, "intervals", tuple(float(i) for i in ivals))
+        # tolist() converts to Python floats in C — identical values to
+        # the old per-element float() loop, an order of magnitude
+        # cheaper on the ingestion hot path.
+        object.__setattr__(self, "intervals", tuple(ivals.tolist()))
         object.__setattr__(self, "urls", tuple(self.urls))
 
     # -- constructors ------------------------------------------------------

@@ -69,6 +69,13 @@ class PipelineConfig:
     #: kernels are bit-for-bit equivalent) — the knob only trades peak
     #: memory for FFT/ACF dispatch amortization.
     detection_batch_size: int = 0
+    #: Hand detection workers their pair payloads through a
+    #: :class:`~repro.mapreduce.shm.SummaryArena` instead of pickled
+    #: summaries.  Only the MapReduce front end consults this (the
+    #: in-process pipeline has no workers); reports are bit-identical
+    #: either way — the knob trades per-task serialization for one
+    #: shared segment per detection batch.
+    use_shared_memory: bool = False
     #: Decision-provenance sampling policy.  None (the default) keeps
     #: every per-pair verdict path disabled at zero overhead; a
     #: :class:`~repro.obs.provenance.ProvenancePolicy` records full
@@ -238,6 +245,26 @@ class BaywatchPipeline:
         with span("records_to_summaries"):
             summaries = records_to_summaries(
                 records,
+                time_scale=self.config.time_scale,
+                aggregate_entities=self.config.aggregate_entities,
+            )
+        return self.run_summaries(summaries)
+
+    def run_chunks(self, chunks: Iterable[Any]) -> PipelineReport:
+        """Run the pipeline on columnar record chunks.
+
+        The zero-copy counterpart of :meth:`run_records`:
+        :class:`~repro.sources.columnar.RecordChunk` batches (e.g. from
+        :func:`~repro.sources.columnar.read_log_chunks`) fold into
+        summaries through the vectorized accumulator, producing a
+        report bit-identical to the per-record path over the same
+        events.
+        """
+        from repro.sources.columnar import summaries_from_chunks
+
+        with span("chunks_to_summaries"):
+            summaries = summaries_from_chunks(
+                chunks,
                 time_scale=self.config.time_scale,
                 aggregate_entities=self.config.aggregate_entities,
             )

@@ -139,8 +139,20 @@ def percentile_cutoff(scores: Sequence[float], percentile: float) -> float:
     reported (paper Section V-D).  With fewer than two scores the
     threshold is vacuous (``-inf``).  Shared by the in-process
     :func:`rank_cases` and the ranking MapReduce job's reduce task.
+
+    NaN scores are rejected outright: ``np.quantile`` propagates a
+    single NaN into a NaN threshold, and since every ``score >= nan``
+    comparison is False the report would come back silently empty — a
+    detection run that looks clean instead of failing loudly.
     """
     values = np.asarray(list(scores), dtype=float)
+    n_nan = int(np.count_nonzero(np.isnan(values)))
+    if n_nan:
+        raise ValueError(
+            f"{n_nan} of {values.size} rank scores are NaN; a NaN score "
+            f"would poison the percentile threshold and silently empty "
+            f"the report"
+        )
     if values.size > 1:
         return float(np.quantile(values, percentile))
     return float(-np.inf)

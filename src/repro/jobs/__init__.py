@@ -8,10 +8,18 @@ from repro.jobs.popularity import DestinationPopularityJob, popularity_table
 from repro.jobs.detection import BeaconingDetectionJob
 from repro.jobs.ranking_job import RankingJob
 from repro.jobs.runner import BaywatchRunner, IncompleteRunError
-from repro.jobs.summary_store import SummaryStore
+from repro.jobs.summary_store import (
+    SummaryPacker,
+    SummaryStore,
+    pack_summaries,
+    unpack_summaries,
+)
 
 __all__ = [
+    "SummaryPacker",
     "SummaryStore",
+    "pack_summaries",
+    "unpack_summaries",
     "CheckpointMismatch",
     "CheckpointStore",
     "DetectionCase",

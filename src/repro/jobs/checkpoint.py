@@ -25,11 +25,14 @@ checkpoint with standard tools.
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import json
 import math
 import os
 from pathlib import Path
+
+import numpy as np
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.detector import CandidatePeriod, DetectionResult
@@ -63,25 +66,43 @@ def _unfinite(value: Optional[float]) -> float:
 
 
 def summary_to_dict(summary: ActivitySummary) -> Dict[str, Any]:
-    """JSON-encodable form of an :class:`ActivitySummary`."""
+    """JSON-encodable form of an :class:`ActivitySummary`.
+
+    Intervals are packed as base64 little-endian ``f8`` rather than a
+    JSON float list: bit-exact by construction (no text round-trip),
+    ~2.5x smaller on disk, and much cheaper to parse back — interval
+    arrays dominate shard size for chatty pairs.
+    """
+    intervals = np.asarray(summary.intervals, dtype="<f8")
     return {
         "source": summary.source,
         "destination": summary.destination,
         "time_scale": summary.time_scale,
         "first_timestamp": summary.first_timestamp,
-        "intervals": list(summary.intervals),
+        "intervals_f8": base64.b64encode(intervals.tobytes()).decode("ascii"),
         "urls": list(summary.urls),
     }
 
 
 def summary_from_dict(payload: Dict[str, Any]) -> ActivitySummary:
-    """Inverse of :func:`summary_to_dict`."""
+    """Inverse of :func:`summary_to_dict`.
+
+    Accepts both encodings: packed ``intervals_f8`` and the legacy
+    ``intervals`` float list, so checkpoints written before the packed
+    codec resume unchanged.
+    """
+    if "intervals_f8" in payload:
+        intervals: Any = np.frombuffer(
+            base64.b64decode(payload["intervals_f8"]), dtype="<f8"
+        )
+    else:
+        intervals = tuple(payload["intervals"])
     return ActivitySummary(
         source=payload["source"],
         destination=payload["destination"],
         time_scale=payload["time_scale"],
         first_timestamp=payload["first_timestamp"],
-        intervals=tuple(payload["intervals"]),
+        intervals=intervals,
         urls=tuple(payload["urls"]),
     )
 

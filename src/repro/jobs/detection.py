@@ -33,6 +33,15 @@ class BeaconingDetectionJob(MapReduceJob):
     every bucket from scratch.  ``batch_size`` > 0 switches the reduce
     phase to the batched fast path of :mod:`repro.core.batch`,
     amortizing FFT/ACF dispatch across all pairs of a partition.
+
+    **Arena mode** (:meth:`bind_arena`): instead of pickling every
+    summary into every worker task, the caller packs the batch into a
+    :class:`~repro.mapreduce.shm.SummaryArena` and feeds the engine
+    ``(pair, index)`` inputs; workers attach to the shared segment via
+    the handle pickled with the job and resolve indices to zero-copy
+    :class:`~repro.mapreduce.shm.SummaryView` objects.  Results are
+    bit-identical either way — views materialize back into real
+    summaries only for the few cases that ship.
     """
 
     def __init__(
@@ -65,6 +74,42 @@ class BeaconingDetectionJob(MapReduceJob):
         self.provenance_policy = provenance_policy
         self.provenance_pairs = frozenset(provenance_pairs)
         self._detector: Optional[PeriodicityDetector] = None
+        #: Set by :meth:`bind_arena`; a tiny picklable header that rides
+        #: to workers in place of the summary payloads.
+        self.arena_handle = None
+        self._arena = None
+
+    # -- shared-memory arena -----------------------------------------------
+
+    def bind_arena(self, arena) -> None:
+        """Resolve integer inputs against a shared-memory summary arena.
+
+        The caller keeps ownership of the segment (and unlinks it after
+        the run); this job only records the attachment handle and, for
+        in-process execution, reuses the caller's mapping directly.
+        """
+        self._arena = arena
+        self.arena_handle = arena.handle()
+
+    def _get_arena(self):
+        if self._arena is None and self.arena_handle is not None:
+            from repro.mapreduce.shm import SummaryArena
+
+            self._arena = SummaryArena.attach(self.arena_handle)
+        return self._arena
+
+    def _resolve(self, value):
+        """An input value -> something summary-shaped (view or summary)."""
+        if isinstance(value, int):
+            return self._get_arena().view(value)
+        return value
+
+    @staticmethod
+    def _materialize(summary) -> ActivitySummary:
+        """A real :class:`ActivitySummary` for results leaving the worker."""
+        if isinstance(summary, ActivitySummary):
+            return summary
+        return summary.materialize()
 
     def _ships_result(
         self, source: str, destination: str, result: DetectionResult
@@ -99,18 +144,29 @@ class BeaconingDetectionJob(MapReduceJob):
         return self._detector
 
     def __getstate__(self) -> dict:
-        """Drop the per-process detector when pickling to workers."""
+        """Drop the per-process detector/arena when pickling to workers.
+
+        The arena *handle* stays in the state — workers re-attach from
+        it — but the mapping itself is process-local.
+        """
         state = dict(self.__dict__)
         state["_detector"] = None
+        state["_arena"] = None
         return state
 
-    def map(self, key: Any, value: ActivitySummary) -> Iterator[KeyValue]:
-        """Separate pairs; drop whitelisted and trivially short ones."""
-        if value.destination in self.skip_destinations:
+    def map(self, key: Any, value: Any) -> Iterator[KeyValue]:
+        """Separate pairs; drop whitelisted and trivially short ones.
+
+        In arena mode ``value`` is an integer index: filters run on the
+        zero-copy view, but the *index* stays the shuffled value so
+        reduce tasks pay no summary serialization either.
+        """
+        summary = self._resolve(value)
+        if summary.destination in self.skip_destinations:
             return
-        if value.event_count < self.min_events:
+        if summary.event_count < self.min_events:
             return
-        yield value.pair, value
+        yield summary.pair, value
 
     def reduce(
         self, key: Tuple[str, str], values: Iterable[ActivitySummary]
@@ -126,22 +182,25 @@ class BeaconingDetectionJob(MapReduceJob):
         from repro.stages import detect_pairs
 
         detector = self._get_detector()
+        resolved = [self._resolve(value) for value in values]
         with span("detect"):
             if self.provenance_policy is None:
                 output = [
-                    (key, DetectionCase(summary=summary, detection=result))
-                    for summary, result in detect_pairs(detector, values)
+                    (key, DetectionCase(summary=self._materialize(summary),
+                                        detection=result))
+                    for summary, result in detect_pairs(detector, resolved)
                 ]
             else:
                 output = []
-                for summary in values:
+                for summary in resolved:
                     result = detector.detect_summary(summary)
                     if self._ships_result(
                         summary.source, summary.destination, result
                     ):
                         output.append(
-                            (key, DetectionCase(summary=summary,
-                                                detection=result))
+                            (key, DetectionCase(
+                                summary=self._materialize(summary),
+                                detection=result))
                         )
         return iter(output)
 
@@ -162,10 +221,10 @@ class BeaconingDetectionJob(MapReduceJob):
             return
         from repro.core.batch import BatchedDetector
 
-        flat: List[Tuple[Any, ActivitySummary]] = [
-            (key, summary)
+        flat: List[Tuple[Any, Any]] = [
+            (key, self._resolve(value))
             for key, values in grouped
-            for summary in values
+            for value in values
         ]
         if not flat:
             return
@@ -178,4 +237,6 @@ class BeaconingDetectionJob(MapReduceJob):
             )
         for (key, summary), result in zip(flat, results):
             if self._ships_result(summary.source, summary.destination, result):
-                yield key, DetectionCase(summary=summary, detection=result)
+                yield key, DetectionCase(
+                    summary=self._materialize(summary), detection=result
+                )

@@ -475,6 +475,13 @@ class BaywatchRunner:
         verdict chains without re-running detection.  The provenance
         keywords are only passed when the policy is set, keeping custom
         ``detection_job_factory`` seams that predate them working.
+
+        With ``config.use_shared_memory`` the batch is packed into a
+        :class:`~repro.mapreduce.shm.SummaryArena` and the engine sees
+        ``(pair, index)`` inputs; this process owns the segment and
+        always unlinks it on the way out — worker deaths mid-run cannot
+        leak it (workers never own the segment; see
+        :mod:`repro.mapreduce.shm`).
         """
         kwargs: Dict[str, Any] = {}
         if self.config.provenance is not None:
@@ -489,9 +496,28 @@ class BaywatchRunner:
             batch_size=self.config.detection_batch_size,
             **kwargs,
         )
-        output = self.engine.run(
-            job, [(summary.pair, summary) for summary in summaries]
-        )
+        arena = None
+        if (
+            self.config.use_shared_memory
+            and summaries
+            and hasattr(job, "bind_arena")
+        ):
+            from repro.mapreduce.shm import SummaryArena
+
+            arena = SummaryArena.pack(summaries)
+            job.bind_arena(arena)
+            inputs = [
+                (summary.pair, index)
+                for index, summary in enumerate(summaries)
+            ]
+        else:
+            inputs = [(summary.pair, summary) for summary in summaries]
+        try:
+            output = self.engine.run(job, inputs)
+        finally:
+            if arena is not None:
+                arena.close()
+                arena.unlink()
         return [case for _pair, case in output]
 
     def rank(
@@ -661,6 +687,49 @@ class BaywatchRunner:
             with span("extract"):
                 summaries = records_to_summaries(
                     records, time_scale=self.config.time_scale
+                )
+            if analysis_time_scale is not None:
+                summaries = self.rescale_merge(summaries, analysis_time_scale)
+            return self.run_summaries_sharded(
+                summaries,
+                shard_size=shard_size,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+                max_shards=max_shards,
+                on_shard_complete=on_shard_complete,
+                run_id=run_id,
+                journal_dir=journal_dir,
+            )
+
+    def run_chunks_sharded(
+        self,
+        chunks: Iterable[Any],
+        *,
+        analysis_time_scale: Optional[float] = None,
+        shard_size: int = 256,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        max_shards: Optional[int] = None,
+        on_shard_complete: Optional[Callable[[int, int], None]] = None,
+        run_id: Optional[str] = None,
+        journal_dir: Optional[str] = None,
+    ) -> PipelineReport:
+        """:meth:`run_sharded` over columnar record chunks.
+
+        Ingestion folds :class:`~repro.sources.columnar.RecordChunk`
+        batches through the vectorized accumulator instead of streaming
+        per-record objects; the resulting summaries — and therefore the
+        shard fingerprint, checkpoints, and final report — are
+        bit-identical to the per-record path over the same events, so a
+        checkpoint written by one ingestion plane resumes under the
+        other.
+        """
+        from repro.sources.columnar import summaries_from_chunks
+
+        with span("runner.sharded"):
+            with span("extract"):
+                summaries = summaries_from_chunks(
+                    chunks, time_scale=self.config.time_scale
                 )
             if analysis_time_scale is not None:
                 summaries = self.rescale_merge(summaries, analysis_time_scale)

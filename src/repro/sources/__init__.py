@@ -6,9 +6,23 @@ BlueCoat web-proxy logs, with streaming record-to-summary grouping —
 while the DNS and NetFlow modules (paper Section X) adapt resolver
 logs and flow records into the same stream, including the
 source-specific caveats the paper discusses (DNS caching, NetFlow's
-lack of names/content).
+lack of names/content).  :mod:`repro.sources.columnar` is the
+high-throughput twin of the proxy path: the same logs parsed into
+numpy chunk arrays and folded vectorized, bit-identical to the object
+path.
 """
 
+from repro.sources.columnar import (
+    CHUNK_DTYPE,
+    ColumnarAccumulator,
+    ColumnTables,
+    RecordChunk,
+    StringTable,
+    chunks_to_records,
+    read_log_chunks,
+    records_to_chunks,
+    summaries_from_chunks,
+)
 from repro.sources.dns import (
     DnsLogRecord,
     dns_records_to_summaries,
@@ -31,6 +45,15 @@ from repro.sources.proxy import (
 )
 
 __all__ = [
+    "CHUNK_DTYPE",
+    "ColumnTables",
+    "ColumnarAccumulator",
+    "RecordChunk",
+    "StringTable",
+    "chunks_to_records",
+    "read_log_chunks",
+    "records_to_chunks",
+    "summaries_from_chunks",
     "DnsLogRecord",
     "dns_records_to_summaries",
     "dns_view_of_proxy",

@@ -1,0 +1,562 @@
+"""Columnar proxy-log chunks: the zero-copy ingestion data plane.
+
+The paper's operational story is explicitly big-data (Section VII): a
+13-node Hadoop cluster extracts summaries *once* so later analyses
+never reprocess raw logs.  At that scale the record path cannot afford
+one Python object per log line.  This module provides the columnar
+alternative to :mod:`repro.sources.proxy`'s object path:
+
+- :class:`StringTable` — append-only string interning, so endpoint and
+  URL columns are small integer ids instead of repeated strings,
+- :class:`RecordChunk` — a bounded slice of the log as one numpy
+  structured array (``timestamp/f8`` plus ``i4`` ids into the chunk's
+  :class:`ColumnTables`),
+- :func:`read_log_chunks` / :func:`records_to_chunks` /
+  :func:`chunks_to_records` — the converters between the TSV log
+  format, object records, and chunks,
+- :class:`ColumnarAccumulator` / :func:`summaries_from_chunks` — the
+  vectorized per-pair fold: whole chunks are grouped with one
+  ``argsort`` and per-pair slot histograms are built with
+  ``np.unique``/``searchsorted``-style run-length passes instead of a
+  Python-level loop per event.
+
+The columnar fold is **bit-identical** to the streaming object path
+(:class:`~repro.sources.proxy.SummaryAccumulator`): timestamps quantize
+through the same float64 expressions, per-slot counts merge to the same
+histograms, and the capped URL sample keeps the same earliest-k
+``(timestamp, arrival)`` observations.  ``tests/sources/test_columnar.py``
+and the 4-way parity suite enforce this.
+"""
+
+from __future__ import annotations
+
+import gzip
+from dataclasses import dataclass, field
+from itertools import islice
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.timeseries import ActivitySummary
+from repro.sources.proxy import PairConfig, ProxyLogRecord
+from repro.utils.validation import require, require_positive
+
+__all__ = [
+    "CHUNK_DTYPE",
+    "ColumnTables",
+    "ColumnarAccumulator",
+    "RecordChunk",
+    "StringTable",
+    "chunks_to_records",
+    "read_log_chunks",
+    "records_to_chunks",
+    "summaries_from_chunks",
+]
+
+#: One parsed log line as a structured-array row.  Strings live in the
+#: chunk's :class:`ColumnTables`; the row stores only interned ids.
+CHUNK_DTYPE = np.dtype(
+    [
+        ("timestamp", "f8"),
+        ("source_mac", "i4"),
+        ("source_ip", "i4"),
+        ("destination", "i4"),
+        ("url", "i4"),
+        ("status", "i4"),
+        ("bytes_sent", "i8"),
+    ]
+)
+
+
+class StringTable:
+    """Append-only string interning table (id == insertion order)."""
+
+    __slots__ = ("_ids", "_values")
+
+    def __init__(self, values: Iterable[str] = ()) -> None:
+        self._ids: Dict[str, int] = {}
+        self._values: List[str] = []
+        for value in values:
+            self.intern(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getitem__(self, index: int) -> str:
+        return self._values[index]
+
+    @property
+    def values(self) -> List[str]:
+        """The interned strings, id order (a live reference; don't mutate)."""
+        return self._values
+
+    def intern(self, value: str) -> int:
+        """The id of ``value``, interning it on first sight."""
+        ident = self._ids.get(value)
+        if ident is None:
+            ident = self._ids[value] = len(self._values)
+            self._values.append(value)
+        return ident
+
+    def intern_many(self, values: Iterable[str]) -> np.ndarray:
+        """Intern a column of strings; returns their ids as ``i4``."""
+        intern = self.intern
+        return np.fromiter(
+            (intern(value) for value in values), dtype=np.int32
+        )
+
+    def intern_column(self, values: Sequence[str]) -> np.ndarray:
+        """Intern a materialized column; Python work is O(distinct).
+
+        ``np.unique`` collapses the column at C speed, only the distinct
+        values pass through the Python-level dict, and a small lookup
+        table fans the ids back out — the workhorse of the columnar TSV
+        parser, where a 64k-row batch typically holds a few hundred
+        distinct endpoints.
+        """
+        uniques, inverse = np.unique(np.asarray(values), return_inverse=True)
+        lut = np.empty(len(uniques), dtype=np.int32)
+        for index, value in enumerate(uniques.tolist()):
+            lut[index] = self.intern(value)
+        return lut[inverse]
+
+    def decode(self, ids: np.ndarray) -> List[str]:
+        """The strings behind an id array, in order."""
+        values = self._values
+        return [values[i] for i in ids.tolist()]
+
+
+@dataclass
+class ColumnTables:
+    """The interning tables shared by every chunk of one log stream."""
+
+    macs: StringTable = field(default_factory=StringTable)
+    ips: StringTable = field(default_factory=StringTable)
+    domains: StringTable = field(default_factory=StringTable)
+    urls: StringTable = field(default_factory=StringTable)
+
+
+@dataclass
+class RecordChunk:
+    """A bounded run of proxy-log records in columnar form.
+
+    ``data`` is a :data:`CHUNK_DTYPE` structured array; ``tables`` maps
+    the id columns back to strings (shared across every chunk of one
+    stream, so ids are stable stream-wide); ``base_sequence`` is the
+    global arrival index of row 0, preserving the arrival order the URL
+    sample tie-breaks on.
+    """
+
+    data: np.ndarray
+    tables: ColumnTables
+    base_sequence: int = 0
+
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """The ``f8`` timestamp column (a view, not a copy)."""
+        return self.data["timestamp"]
+
+    def sequences(self) -> np.ndarray:
+        """Global arrival index of every row."""
+        return self.base_sequence + np.arange(len(self), dtype=np.int64)
+
+    def to_records(self) -> Iterator[ProxyLogRecord]:
+        """Rehydrate object records (the compatibility shim)."""
+        tables = self.tables
+        for row in self.data:
+            yield ProxyLogRecord(
+                timestamp=float(row["timestamp"]),
+                source_mac=tables.macs[int(row["source_mac"])],
+                source_ip=tables.ips[int(row["source_ip"])],
+                destination=tables.domains[int(row["destination"])],
+                url=tables.urls[int(row["url"])],
+                status=int(row["status"]),
+                bytes_sent=int(row["bytes_sent"]),
+            )
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[ProxyLogRecord],
+        *,
+        tables: Optional[ColumnTables] = None,
+        base_sequence: int = 0,
+    ) -> "RecordChunk":
+        """Columnarize a materialized batch of object records."""
+        tables = tables if tables is not None else ColumnTables()
+        data = np.empty(len(records), dtype=CHUNK_DTYPE)
+        data["timestamp"] = [r.timestamp for r in records]
+        data["source_mac"] = tables.macs.intern_column(
+            [r.source_mac for r in records]
+        )
+        data["source_ip"] = tables.ips.intern_column(
+            [r.source_ip for r in records]
+        )
+        data["destination"] = tables.domains.intern_column(
+            [r.destination for r in records]
+        )
+        data["url"] = tables.urls.intern_column([r.url for r in records])
+        data["status"] = [r.status for r in records]
+        data["bytes_sent"] = [r.bytes_sent for r in records]
+        return cls(data=data, tables=tables, base_sequence=base_sequence)
+
+
+def records_to_chunks(
+    records: Iterable[ProxyLogRecord],
+    *,
+    chunk_size: int = 65_536,
+    tables: Optional[ColumnTables] = None,
+) -> Iterator[RecordChunk]:
+    """Batch an object-record stream into columnar chunks."""
+    require_positive(chunk_size, "chunk_size")
+    tables = tables if tables is not None else ColumnTables()
+    buffer: List[ProxyLogRecord] = []
+    sequence = 0
+    for record in records:
+        buffer.append(record)
+        if len(buffer) >= chunk_size:
+            yield RecordChunk.from_records(
+                buffer, tables=tables, base_sequence=sequence
+            )
+            sequence += len(buffer)
+            buffer = []
+    if buffer:
+        yield RecordChunk.from_records(
+            buffer, tables=tables, base_sequence=sequence
+        )
+
+
+def chunks_to_records(
+    chunks: Iterable[RecordChunk],
+) -> Iterator[ProxyLogRecord]:
+    """Flatten chunks back into an object-record stream."""
+    for chunk in chunks:
+        yield from chunk.to_records()
+
+
+def read_log_chunks(
+    path: Union[str, Path],
+    *,
+    chunk_size: int = 65_536,
+    tables: Optional[ColumnTables] = None,
+) -> Iterator[RecordChunk]:
+    """Parse a (possibly gzipped) TSV log straight into columnar chunks.
+
+    The parser never builds :class:`ProxyLogRecord` objects: each batch
+    of lines is split once and written column by column into one
+    structured array, with endpoint/URL strings interned as they are
+    first seen.
+    """
+    require_positive(chunk_size, "chunk_size")
+    path = Path(path)
+    tables = tables if tables is not None else ColumnTables()
+    opener = gzip.open if path.suffix == ".gz" else open
+    sequence = 0
+    with opener(path, "rt", encoding="utf-8") as handle:
+        while True:
+            lines = list(islice(handle, chunk_size))
+            if not lines:
+                break
+            fields = _batch_fields(lines)
+            if len(fields) != _N_FIELDS * len(lines):
+                # Blank or malformed lines in this batch: fall back to
+                # the per-line parser, which skips blanks and points at
+                # the offending line.
+                fields = _fields_per_line(lines)
+            chunk = _chunk_from_fields(fields, tables, sequence)
+            sequence += len(chunk)
+            if len(chunk):
+                yield chunk
+
+
+_N_FIELDS = 7
+
+
+def _batch_fields(lines: List[str]) -> List[str]:
+    """Flatten a batch of TSV lines into one field list, C-speed.
+
+    One ``join``/``replace``/``split`` turns the whole batch into a flat
+    field list without touching individual lines from Python; the caller
+    validates the count and falls back to :func:`_fields_per_line` when
+    it does not divide evenly (blank or malformed lines).
+    """
+    text = "".join(lines)
+    if text.endswith("\n"):
+        text = text[:-1]
+    return text.replace("\n", "\t").split("\t")
+
+
+def _fields_per_line(lines: List[str]) -> List[str]:
+    """Per-line fallback: skip blanks, reject malformed lines."""
+    fields: List[str] = []
+    for line in lines:
+        if not line.strip():
+            continue
+        parts = line.rstrip("\n").split("\t")
+        require(len(parts) == _N_FIELDS, f"malformed log line: {line!r}")
+        fields.extend(parts)
+    return fields
+
+
+def _chunk_from_fields(
+    fields: List[str], tables: ColumnTables, base_sequence: int
+) -> RecordChunk:
+    data = np.empty(len(fields) // _N_FIELDS, dtype=CHUNK_DTYPE)
+    data["timestamp"] = np.array(fields[0::_N_FIELDS], dtype=np.float64)
+    data["source_mac"] = tables.macs.intern_column(fields[1::_N_FIELDS])
+    data["source_ip"] = tables.ips.intern_column(fields[2::_N_FIELDS])
+    data["destination"] = tables.domains.intern_column(fields[3::_N_FIELDS])
+    data["url"] = tables.urls.intern_column(fields[4::_N_FIELDS])
+    data["status"] = np.array(fields[5::_N_FIELDS], dtype=np.int64)
+    data["bytes_sent"] = np.array(fields[6::_N_FIELDS], dtype=np.int64)
+    return RecordChunk(data=data, tables=tables, base_sequence=base_sequence)
+
+
+class _ColumnarPairState:
+    """One pair's slot histogram and URL sample, as packed arrays."""
+
+    __slots__ = ("slots", "counts", "url_ts", "url_seq", "urls", "max_urls")
+
+    def __init__(self, max_urls: int) -> None:
+        self.slots = np.empty(0, dtype=np.int64)
+        self.counts = np.empty(0, dtype=np.int64)
+        self.url_ts = np.empty(0, dtype=np.float64)
+        self.url_seq = np.empty(0, dtype=np.int64)
+        self.urls: List[str] = []
+        self.max_urls = max_urls
+
+    def merge_counts(self, slots: np.ndarray, counts: np.ndarray) -> None:
+        """Fold a sorted (slot, count) run into the histogram."""
+        if self.slots.size == 0:
+            self.slots, self.counts = slots, counts
+            return
+        # Fast append path: a later chunk of the same stream usually
+        # extends the window, so the new run often lands entirely past
+        # the existing slots (searchsorted beats a full re-sort there).
+        if np.searchsorted(slots, self.slots[-1], side="right") == 0:
+            self.slots = np.concatenate([self.slots, slots])
+            self.counts = np.concatenate([self.counts, counts])
+            return
+        merged = np.concatenate([self.slots, slots])
+        weights = np.concatenate([self.counts, counts])
+        order = np.argsort(merged, kind="stable")
+        merged = merged[order]
+        weights = weights[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], merged[1:] != merged[:-1]))
+        )
+        self.slots = merged[starts]
+        self.counts = np.add.reduceat(weights, starts)
+
+    def merge_urls(
+        self, ts: np.ndarray, seq: np.ndarray, urls: List[str]
+    ) -> None:
+        """Keep the ``max_urls`` earliest (timestamp, arrival) URLs."""
+        if self.max_urls <= 0 or not urls:
+            return
+        all_ts = np.concatenate([self.url_ts, ts])
+        all_seq = np.concatenate([self.url_seq, seq])
+        all_urls = self.urls + urls
+        keep = np.lexsort((all_seq, all_ts))[: self.max_urls]
+        self.url_ts = all_ts[keep]
+        self.url_seq = all_seq[keep]
+        self.urls = [all_urls[int(i)] for i in keep]
+
+    def finalize(
+        self, source: str, destination: str, time_scale: float
+    ) -> ActivitySummary:
+        # Same float64 expressions as _PairState.finalize, so the two
+        # data planes produce bit-identical summaries.
+        quantized = np.repeat(
+            self.slots.astype(float) * time_scale, self.counts
+        )
+        order = np.lexsort((self.url_seq, self.url_ts))
+        return ActivitySummary(
+            source=source,
+            destination=destination,
+            time_scale=time_scale,
+            first_timestamp=float(quantized[0]),
+            intervals=np.diff(quantized),
+            urls=tuple(self.urls[i] for i in order.tolist()),
+        )
+
+
+class ColumnarAccumulator:
+    """Fold columnar chunks into per-pair activity summaries.
+
+    The vectorized sibling of
+    :class:`~repro.sources.proxy.SummaryAccumulator`: whole chunks fold
+    in one pass — slot quantization, pair grouping, and per-slot counts
+    are numpy array operations; Python-level work is one short loop per
+    *distinct pair per chunk*, not per event.  Peak memory stays bounded
+    by per-pair state exactly like the streaming object path.
+    """
+
+    def __init__(
+        self,
+        *,
+        time_scale: float = 1.0,
+        keep_urls: bool = True,
+        max_urls_per_pair: int = 64,
+        aggregate_entities: bool = False,
+        pair_config: Optional[PairConfig] = None,
+    ) -> None:
+        require_positive(time_scale, "time_scale")
+        require(max_urls_per_pair >= 0, "max_urls_per_pair must be non-negative")
+        if pair_config is None:
+            pair_config = PairConfig(
+                destination_feature=(
+                    "registered_domain" if aggregate_entities else "domain"
+                )
+            )
+        self.time_scale = time_scale
+        self.pair_config = pair_config
+        self._max_urls = max_urls_per_pair if keep_urls else 0
+        self._pairs: Dict[Tuple[str, str], _ColumnarPairState] = {}
+        self._sequence = 0
+        # domain-id -> registered-domain string, memoized per (table
+        # identity, consumed length) so entity aggregation stays
+        # vectorizable: the mapping array simply extends as the stream's
+        # shared table grows.
+        self._registered: Dict[int, Tuple[StringTable, List[str]]] = {}
+
+    def __len__(self) -> int:
+        """Number of distinct pairs accumulated so far."""
+        return len(self._pairs)
+
+    # -- column resolution -------------------------------------------------
+
+    def _source_column(
+        self, chunk: RecordChunk
+    ) -> Tuple[np.ndarray, StringTable]:
+        if self.pair_config.source_feature == "mac":
+            return chunk.data["source_mac"], chunk.tables.macs
+        return chunk.data["source_ip"], chunk.tables.ips
+
+    def _destination_column(
+        self, chunk: RecordChunk
+    ) -> Tuple[np.ndarray, List[str]]:
+        """Destination ids plus the id -> string decode list."""
+        ids = chunk.data["destination"]
+        table = chunk.tables.domains
+        if self.pair_config.destination_feature != "registered_domain":
+            return ids, table.values
+        from repro.lm.domains import registered_domain
+
+        entry = self._registered.get(id(table))
+        if entry is None or entry[0] is not table:
+            entry = (table, [])
+            self._registered[id(table)] = entry
+        _table, mapped = entry
+        while len(mapped) < len(table):
+            mapped.append(registered_domain(table[len(mapped)]))
+        return ids, mapped
+
+    # -- folding -----------------------------------------------------------
+
+    def observe_chunk(self, chunk: RecordChunk) -> None:
+        """Fold one columnar chunk into the per-pair state."""
+        n = len(chunk)
+        if n == 0:
+            return
+        ts = chunk.data["timestamp"]
+        src_ids, src_table = self._source_column(chunk)
+        dst_ids, dst_decode = self._destination_column(chunk)
+        slots = np.floor(ts / self.time_scale).astype(np.int64)
+        seq = self._sequence + np.arange(n, dtype=np.int64)
+        self._sequence += n
+
+        # Order the chunk by (pair, slot); run-length boundaries then
+        # give every pair's slot histogram as a slice — no per-group
+        # sort or np.unique call.  Log streams are normally already
+        # time-ordered, in which case one stable sort by pair leaves
+        # each group in (timestamp, arrival) order, serving both the
+        # histogram runs and the URL sample; otherwise fall back to two
+        # explicit lexsorts.
+        keys = (src_ids.astype(np.int64) << 32) | dst_ids.astype(np.int64)
+        max_urls = self._max_urls
+        if n < 2 or not np.any(np.diff(ts) < 0):
+            order = np.argsort(keys, kind="stable")
+            url_order = order
+        else:
+            order = np.lexsort((slots, keys))
+            # By (pair, timestamp, arrival), so each group's earliest-k
+            # URL sample is its leading slice; group boundaries
+            # coincide with the histogram ordering's (both sort
+            # primarily by key).
+            url_order = np.lexsort((seq, ts, keys)) if max_urls > 0 else order
+        sorted_keys = keys[order]
+        sorted_slots = slots[order]
+        key_break = sorted_keys[1:] != sorted_keys[:-1]
+        group_starts = np.flatnonzero(np.concatenate(([True], key_break)))
+        group_bounds = np.append(group_starts, n)
+        run_starts = np.flatnonzero(
+            np.concatenate(
+                ([True], key_break | (sorted_slots[1:] != sorted_slots[:-1]))
+            )
+        )
+        run_slots = sorted_slots[run_starts]
+        run_counts = np.diff(np.append(run_starts, n))
+        # Each group's runs are a contiguous range of run_starts, and
+        # every group start is itself a run start.
+        group_runs = np.searchsorted(run_starts, group_starts)
+        run_bounds = np.append(group_runs, len(run_starts))
+
+        url_ids = chunk.data["url"]
+        url_table = chunk.tables.urls
+        for index in range(len(group_starts)):
+            key_value = int(sorted_keys[group_starts[index]])
+            pair = (
+                src_table[key_value >> 32],
+                dst_decode[key_value & 0xFFFFFFFF],
+            )
+            state = self._pairs.get(pair)
+            if state is None:
+                state = self._pairs[pair] = _ColumnarPairState(max_urls)
+            runs = slice(run_bounds[index], run_bounds[index + 1])
+            state.merge_counts(run_slots[runs], run_counts[runs])
+            if max_urls > 0:
+                begin = group_bounds[index]
+                end = min(begin + max_urls, group_bounds[index + 1])
+                pick = url_order[begin:end]
+                state.merge_urls(
+                    ts[pick], seq[pick], url_table.decode(url_ids[pick])
+                )
+
+    def summaries(self) -> List[ActivitySummary]:
+        """Finalize every pair, ordered deterministically by pair."""
+        return [
+            self._pairs[pair].finalize(pair[0], pair[1], self.time_scale)
+            for pair in sorted(self._pairs)
+        ]
+
+
+def summaries_from_chunks(
+    chunks: Iterable[RecordChunk],
+    *,
+    time_scale: float = 1.0,
+    keep_urls: bool = True,
+    max_urls_per_pair: int = 64,
+    aggregate_entities: bool = False,
+    pair_config: Optional[PairConfig] = None,
+) -> List[ActivitySummary]:
+    """Group a columnar chunk stream into per-pair activity summaries.
+
+    The chunked counterpart of
+    :func:`repro.sources.proxy.records_to_summaries`, producing
+    bit-identical output for the same event stream.
+    """
+    accumulator = ColumnarAccumulator(
+        time_scale=time_scale,
+        keep_urls=keep_urls,
+        max_urls_per_pair=max_urls_per_pair,
+        aggregate_entities=aggregate_entities,
+        pair_config=pair_config,
+    )
+    for chunk in chunks:
+        accumulator.observe_chunk(chunk)
+    return accumulator.summaries()

@@ -220,7 +220,7 @@ class _PairState:
             destination=destination,
             time_scale=time_scale,
             first_timestamp=float(quantized[0]),
-            intervals=tuple(np.diff(quantized)),
+            intervals=np.diff(quantized),
             urls=tuple(url for _ts, _seq, url in ordered),
         )
 

@@ -67,6 +67,33 @@ class TestBinSeries:
         signal = bin_series([0.0, 10.0], time_scale=1.0, span=(0.0, 2.0))
         assert signal.sum() == 1.0
 
+    def test_span_oob_raise_rejects_outside_events(self):
+        with pytest.raises(ValueError, match="outside the span"):
+            bin_series(
+                [0.0, 10.0], time_scale=1.0, span=(0.0, 2.0), oob="raise"
+            )
+
+    def test_span_oob_raise_accepts_in_span_events(self):
+        signal = bin_series(
+            [0.0, 1.0, 2.0], time_scale=1.0, span=(0.0, 2.0), oob="raise"
+        )
+        assert signal.tolist() == [1.0, 1.0, 1.0]
+
+    def test_invalid_oob_policy(self):
+        with pytest.raises(ValueError):
+            bin_series([1.0], time_scale=1.0, oob="fold")
+
+    def test_slot_boundary_is_half_open(self):
+        # An event exactly on a slot boundary belongs to the upper slot.
+        signal = bin_series([1.0], time_scale=1.0, span=(0.0, 3.5))
+        assert signal.tolist() == [0.0, 1.0, 0.0, 0.0]
+
+    def test_end_boundary_event_lands_in_final_slot(self):
+        # The covered window is the closed [start, end]: an event at
+        # exactly ``end`` counts (it is not folded or dropped).
+        signal = bin_series([2.0], time_scale=1.0, span=(0.0, 2.0))
+        assert signal.tolist() == [0.0, 0.0, 1.0]
+
     def test_empty_without_span(self):
         assert bin_series([], time_scale=1.0).size == 0
 

@@ -8,6 +8,7 @@ from repro.filtering.case import BeaconingCase
 from repro.filtering.ranking import (
     RankingWeights,
     lm_anomaly,
+    percentile_cutoff,
     periodicity_strength,
     rank_cases,
     rank_score,
@@ -135,3 +136,22 @@ class TestRankCases:
     def test_invalid_percentile(self):
         with pytest.raises(ValueError):
             rank_cases([make_case()], percentile=1.5)
+
+
+class TestPercentileCutoff:
+    def test_plain_distribution(self):
+        assert percentile_cutoff([0.0, 1.0], 0.5) == pytest.approx(0.5)
+
+    def test_single_score_is_vacuous(self):
+        assert percentile_cutoff([0.7], 0.9) == float("-inf")
+
+    def test_nan_score_rejected(self):
+        """One NaN used to poison np.quantile into a NaN threshold,
+        against which every ``score >= cutoff`` comparison is False —
+        the report came back silently empty instead of failing."""
+        with pytest.raises(ValueError, match="NaN"):
+            percentile_cutoff([0.5, float("nan"), 0.9], 0.9)
+
+    def test_nan_rejected_even_with_one_score(self):
+        with pytest.raises(ValueError, match="NaN"):
+            percentile_cutoff([float("nan")], 0.9)

@@ -116,3 +116,159 @@ class TestSummaryStore:
     def test_negative_day_rejected(self, store):
         with pytest.raises(ValueError):
             store.append_day(-1, [day_summary(0)])
+
+    def test_has_day_does_not_scan_the_day_listing(self, store, monkeypatch):
+        """The probe must stay O(1): no enumeration of every day dir."""
+        store.append_day(0, [day_summary(0)])
+        monkeypatch.setattr(
+            store, "days",
+            lambda: pytest.fail("has_day must not enumerate days"),
+        )
+        assert store.has_day(0)
+        assert not store.has_day(1)
+
+
+class TestPackedCodec:
+    def summaries(self):
+        return [
+            day_summary(0),
+            day_summary(0, pair=("mac2", "ünïcødé.example")),
+            # Single-event summary: empty interval tuple.
+            ActivitySummary("m", "d", 1.0, 123.456, (), ("http://d/x?y=1",)),
+        ]
+
+    def test_pack_unpack_roundtrip(self):
+        from repro.jobs.summary_store import pack_summaries, unpack_summaries
+
+        originals = self.summaries()
+        restored = unpack_summaries(pack_summaries(originals))
+        assert restored == originals
+        # Same concrete field types as a normally constructed summary.
+        assert all(type(v) is float for v in restored[0].intervals)
+        assert isinstance(restored[0].urls, tuple)
+
+    def test_pack_empty_batch(self):
+        from repro.jobs.summary_store import pack_summaries, unpack_summaries
+
+        assert unpack_summaries(pack_summaries([])) == []
+
+    def test_unknown_pack_version_rejected(self):
+        import struct
+
+        from repro.jobs.summary_store import unpack_summaries
+
+        with pytest.raises(ValueError, match="version"):
+            unpack_summaries(struct.pack("<HQQ", 99, 0, 0))
+
+    def test_packed_store_reads_legacy_pickle_day(self, tmp_path):
+        """Stores written before the packed codec must load unchanged."""
+        legacy = SummaryStore(tmp_path / "s", codec="pickle")
+        legacy.append_day(0, [day_summary(0)])
+        assert SummaryStore(tmp_path / "s").load_day(0) == [day_summary(0)]
+
+    def test_day_appended_under_both_codecs_loads_fully(self, tmp_path):
+        SummaryStore(tmp_path / "s", codec="pickle").append_day(
+            0, [day_summary(0, pair=("mac1", "a.com"))]
+        )
+        SummaryStore(tmp_path / "s").append_day(
+            0, [day_summary(0, pair=("mac2", "b.com"))]
+        )
+        loaded = SummaryStore(tmp_path / "s").load_day(0)
+        assert sorted(s.pair for s in loaded) == [
+            ("mac1", "a.com"), ("mac2", "b.com"),
+        ]
+
+    def test_packed_and_pickle_days_load_identically(self, tmp_path):
+        summaries = self.summaries()
+        packed = SummaryStore(tmp_path / "p")
+        pickled = SummaryStore(tmp_path / "l", codec="pickle")
+        packed.append_day(0, summaries)
+        pickled.append_day(0, summaries)
+        key = lambda s: s.pair  # noqa: E731
+        assert sorted(packed.load_day(0), key=key) == sorted(
+            pickled.load_day(0), key=key
+        )
+
+    def test_invalid_codec_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="codec"):
+            SummaryStore(tmp_path / "s", codec="msgpack")
+
+
+class TestResumedExtractionIdempotency:
+    """Interrupt mid-``append_day``, resume with ``replace=True``.
+
+    Whichever ingestion plane produced the summaries — the per-record
+    object path or the columnar fold — a resumed extraction must not
+    double interval counts: the partial day left by the interrupt is
+    cleared before the full day lands.
+    """
+
+    @staticmethod
+    def make_records(n=240):
+        from repro.sources.proxy import ProxyLogRecord
+
+        return [
+            ProxyLogRecord(
+                timestamp=float(30 * i),
+                source_mac=f"aa:bb:cc:00:00:{i % 3:02x}",
+                source_ip=f"10.0.0.{i % 3}",
+                destination=f"site{i % 5}.example.com",
+                url=f"http://site{i % 5}.example.com/p?q={i}",
+                status=200,
+                bytes_sent=100,
+            )
+            for i in range(n)
+        ]
+
+    @staticmethod
+    def summarize(records, plane):
+        if plane == "object":
+            from repro.sources.proxy import records_to_summaries
+
+            return records_to_summaries(records)
+        from repro.sources.columnar import (
+            records_to_chunks,
+            summaries_from_chunks,
+        )
+
+        return summaries_from_chunks(records_to_chunks(records, chunk_size=64))
+
+    @pytest.mark.parametrize("plane", ["object", "columnar"])
+    def test_resume_with_replace_does_not_double_counts(self, store, plane):
+        records = self.make_records()
+        summaries = self.summarize(records, plane)
+        # First attempt dies mid-append: only a prefix of the day's
+        # summaries made it to disk before the interrupt.
+        store.append_day(0, summaries[: len(summaries) // 2])
+        assert store.has_day(0)
+        # Resume re-extracts the same day and replaces it.
+        written = store.append_day(0, summaries, replace=True)
+        assert written == len(summaries)
+        loaded = store.load_day(0)
+        assert sorted(loaded, key=lambda s: s.pair) == sorted(
+            summaries, key=lambda s: s.pair
+        )
+        total_events = sum(s.event_count for s in loaded)
+        assert total_events == len(records)
+
+    @pytest.mark.parametrize("plane", ["object", "columnar"])
+    def test_blind_reappend_would_double_counts(self, store, plane):
+        # The hazard replace=True exists to prevent: re-appending an
+        # already-ingested day doubles every pair's history.
+        summaries = self.summarize(self.make_records(), plane)
+        store.append_day(0, summaries)
+        store.append_day(0, summaries)
+        merged = store.load_window(end_day=0, window_days=1)
+        doubled = sum(s.event_count for s in merged)
+        assert doubled > sum(s.event_count for s in summaries)
+
+    def test_object_and_columnar_days_are_interchangeable(self, tmp_path):
+        records = self.make_records()
+        a = SummaryStore(tmp_path / "a")
+        b = SummaryStore(tmp_path / "b")
+        a.append_day(0, self.summarize(records, "object"))
+        b.append_day(0, self.summarize(records, "columnar"))
+        key = lambda s: s.pair  # noqa: E731
+        assert sorted(a.load_day(0), key=key) == sorted(
+            b.load_day(0), key=key
+        )

@@ -161,15 +161,47 @@ class TestTimeouts:
 
 
 class TestBackoff:
-    def test_backoff_is_exponential_and_capped(self, marker):
+    @staticmethod
+    def _slept_delays(marker, seed):
         engine = MapReduceEngine(
-            max_retries=3, retry_backoff=1.0, max_backoff=3.0
+            max_retries=3, retry_backoff=1.0, max_backoff=3.0,
+            backoff_seed=seed,
         )
         slept = []
         engine._sleep = slept.append
         with pytest.raises(RuntimeError):
             engine.run(PoisonPillJob(marker, fail_in="reduce"), INPUTS)
-        assert slept == [1.0, 2.0, 3.0]  # 1, 2, then capped at 3
+        return slept
+
+    def test_backoff_jitter_stays_within_exponential_envelope(self, marker):
+        slept = self._slept_delays(marker, seed=0)
+        # Envelopes are 1, 2, then capped at 3; jitter draws uniformly
+        # inside each so synchronized failures don't retry in lockstep.
+        assert len(slept) == 3
+        for delay, envelope in zip(slept, [1.0, 2.0, 3.0]):
+            assert 0.0 <= delay <= envelope
+
+    def test_backoff_is_deterministic_under_seed(self, marker):
+        assert self._slept_delays(marker, 7) == self._slept_delays(marker, 7)
+        assert self._slept_delays(marker, 7) != self._slept_delays(marker, 8)
+
+    def test_backoff_delay_is_journalled(self, marker, tmp_path):
+        from repro.obs.journal import EventJournal, read_events, scoped_journal
+
+        journal = EventJournal.in_dir(tmp_path / "journal")
+        engine = MapReduceEngine(
+            max_retries=1, retry_backoff=0.5, backoff_seed=3,
+        )
+        slept = []
+        engine._sleep = slept.append
+        with scoped_journal(journal):
+            with pytest.raises(RuntimeError):
+                engine.run(PoisonPillJob(marker, fail_in="reduce"), INPUTS)
+        events = [
+            e for e in read_events(journal.path) if e["event"] == "backoff"
+        ]
+        assert [e["delay"] for e in events] == [round(d, 6) for d in slept]
+        assert all(e["envelope"] == 0.5 for e in events)
 
     def test_zero_backoff_never_sleeps(self, marker):
         engine = MapReduceEngine(max_retries=2, quarantine=True)

@@ -228,3 +228,67 @@ def test_batched_sharded_run_with_persisted_cache_matches_pipeline(
         resume=True,
     )
     assert report_signature(report) == report_signature(pipeline_report)
+
+
+def test_columnar_pipeline_matches_pipeline(records, scorer, pipeline_report):
+    # The columnar ingestion plane feeds the same stage graph through
+    # the vectorized fold; the report must be bit-identical to the
+    # per-record object path.
+    from repro.sources.columnar import records_to_chunks
+
+    columnar = BaywatchPipeline(
+        PipelineConfig(**CONFIG), scorer=scorer
+    ).run_chunks(records_to_chunks(records, chunk_size=256))
+    assert report_signature(columnar) == report_signature(pipeline_report)
+
+
+def test_columnar_shm_sharded_run_matches_pipeline(
+    records, scorer, pipeline_report, tmp_path
+):
+    # Columnar ingestion + shared-memory detection payloads across a
+    # 2-worker engine: still the same report, and no /dev/shm residue.
+    import os
+
+    from repro.mapreduce.shm import SEGMENT_PREFIX
+    from repro.sources.columnar import records_to_chunks
+
+    with MapReduceEngine(n_workers=2, min_parallel_records=16) as engine:
+        report = BaywatchRunner(
+            PipelineConfig(**CONFIG, use_shared_memory=True),
+            engine=engine,
+            scorer=scorer,
+        ).run_chunks_sharded(
+            records_to_chunks(records, chunk_size=256),
+            shard_size=4,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+        )
+    assert report_signature(report) == report_signature(pipeline_report)
+    if os.path.isdir("/dev/shm"):
+        assert not [
+            n for n in os.listdir("/dev/shm") if n.startswith(SEGMENT_PREFIX)
+        ]
+
+
+def test_checkpoint_resumes_across_data_planes(
+    records, scorer, pipeline_report, tmp_path
+):
+    # Both ingestion planes produce bit-identical summaries, so their
+    # sharded-run fingerprints agree: a checkpoint written by the
+    # object plane must resume under the columnar plane (and finish
+    # with the canonical report).
+    from repro.sources.columnar import records_to_chunks
+
+    checkpoint = str(tmp_path / "ckpt")
+    with pytest.raises(IncompleteRunError):
+        BaywatchRunner(PipelineConfig(**CONFIG), scorer=scorer).run_sharded(
+            records, shard_size=4, checkpoint_dir=checkpoint, max_shards=2
+        )
+    report = BaywatchRunner(
+        PipelineConfig(**CONFIG), scorer=scorer
+    ).run_chunks_sharded(
+        records_to_chunks(records, chunk_size=128),
+        shard_size=4,
+        checkpoint_dir=checkpoint,
+        resume=True,
+    )
+    assert report_signature(report) == report_signature(pipeline_report)
