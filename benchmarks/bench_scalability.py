@@ -10,6 +10,14 @@ At laptop scale we measure the same relationship on the end-to-end
 MapReduce runner: a "weekend" workload vs a "weekday" workload with ~4x
 the connection pairs, plus the parallel-engine behaviour that stands in
 for the cluster.
+
+The executor-dispatch side of this experiment is promoted into the CI
+bench harness as ``repro bench --suite scalability``
+(:func:`repro.obs.bench_suites.build_scalability_suite`): one batched
+detection workload priced under serial / threads / processes, gated in
+perf-smoke against ``BENCH_scalability.json``.  This module keeps the
+paper-facing pairs-vs-runtime experiment; the suite owns the
+backend-vs-backend numbers.
 """
 
 import time

@@ -49,6 +49,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
 import sys
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -159,6 +160,19 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="print at most this many ranked cases")
     runp.add_argument("--workers", type=int, default=1,
                       help="worker processes for the MapReduce engine")
+    runp.add_argument(
+        "--executor", default=None, metavar="BACKEND",
+        choices=("serial", "threads", "processes", "shard-queue"),
+        help="execution backend: serial, threads (GIL-releasing FFT "
+             "kernels scale in one process), processes (default when "
+             "--workers > 1), or shard-queue (tasks are drained by "
+             "'repro worker' processes sharing --checkpoint-dir)",
+    )
+    runp.add_argument(
+        "--claim-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="shard-queue worker lease: a claim not refreshed for this "
+             "long is requeued to another worker (default 30)",
+    )
     runp.add_argument("--shard-size", type=int, default=256,
                       help="pairs per detection shard (default 256)")
     runp.add_argument(
@@ -301,6 +315,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print one status snapshot and exit",
     )
 
+    worker = sub.add_parser(
+        "worker",
+        help="drain shard-queue tasks from a run's checkpoint directory",
+    )
+    worker.add_argument(
+        "--checkpoint-dir", type=Path, required=True, metavar="DIR",
+        help="the coordinator run's --checkpoint-dir (the task queue "
+             "lives under DIR/queue)",
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.2, metavar="SECONDS",
+        help="how often to look for new tasks when idle (default 0.2)",
+    )
+    worker.add_argument(
+        "--claim-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="lease refresh base: claims are touched every ttl/4 so the "
+             "coordinator can tell a crash from slow work (default 30; "
+             "match the coordinator's --claim-ttl)",
+    )
+    worker.add_argument(
+        "--idle-exit", type=float, default=None, metavar="SECONDS",
+        help="exit after this long with no tasks (default: wait until "
+             "the coordinator's stop sentinel)",
+    )
+    worker.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N",
+        help="exit after processing N tasks (chaos/maintenance drills)",
+    )
+
     explain = sub.add_parser(
         "explain",
         help="show the verdict chain for one (host, destination) pair",
@@ -344,7 +387,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--suite", default="micro", metavar="NAME",
         help="suite to run: micro, pipeline, mapreduce, ingestion, "
-             "detection_batch, or 'all' (default: micro)",
+             "detection_batch, scalability, or 'all' (default: micro)",
     )
     bench.add_argument("--repeats", type=int, default=5,
                        help="timed iterations per benchmark (default 5)")
@@ -515,12 +558,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
         use_shared_memory=args.shared_memory,
         provenance=_provenance_policy(args),
     )
+    if args.executor == "shard-queue" and args.checkpoint_dir is None:
+        print(
+            "error: --executor shard-queue needs --checkpoint-dir (the "
+            "task queue the 'repro worker' fleet drains lives there)",
+            file=sys.stderr,
+        )
+        return 2
+    executor = None
+    if args.executor is not None:
+        from repro.mapreduce.executors import make_executor
+
+        executor = make_executor(
+            args.executor,
+            n_workers=args.workers,
+            claim_ttl=args.claim_ttl,
+        )
     engine = MapReduceEngine(
         n_workers=args.workers,
         max_retries=args.max_retries,
         task_timeout=args.task_timeout,
         retry_backoff=args.retry_backoff,
         quarantine=not args.no_quarantine,
+        executor=executor,
     )
     runner = BaywatchRunner(config, engine=engine)
     checkpoint_dir = (
@@ -891,11 +951,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.mapreduce.executors import run_worker
+    from repro.obs.journal import EventJournal
+
+    queue_dir = args.checkpoint_dir / "queue"
+    journal = EventJournal.in_dir(str(args.checkpoint_dir))
+    print(f"worker {os.getpid()} draining {queue_dir}")
+    journal.append("worker_start")
+    try:
+        processed = run_worker(
+            str(queue_dir),
+            poll_interval=args.poll_interval,
+            idle_exit=args.idle_exit,
+            max_tasks=args.max_tasks,
+            claim_ttl=args.claim_ttl,
+            journal=journal,
+        )
+    finally:
+        journal.append("worker_exit")
+        journal.close()
+    print(f"worker {os.getpid()} exiting: {processed} task(s) processed")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "detect": _cmd_detect,
     "pipeline": _cmd_pipeline,
     "run": _cmd_run,
+    "worker": _cmd_worker,
     "score": _cmd_score,
     "report": _cmd_report,
     "stats": _cmd_stats,

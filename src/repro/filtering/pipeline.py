@@ -84,6 +84,15 @@ class PipelineConfig:
     #: run fingerprint: a checkpoint cannot silently resume with a
     #: different provenance setting.
     provenance: Optional[ProvenancePolicy] = None
+    #: Execution backend for the MapReduce front end: one of
+    #: ``"serial"``, ``"threads"``, ``"processes"``, ``"shard-queue"``,
+    #: or None to keep the engine's own default.  Deliberately excluded
+    #: from ``repr`` — and therefore from the sharded run fingerprint —
+    #: because every backend produces bit-identical reports: a run
+    #: started under ``processes`` may legitimately resume under
+    #: ``shard-queue``.  Only the MapReduce runner consults this (the
+    #: in-process pipeline has no workers).
+    executor: Optional[str] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         require_probability(
@@ -94,6 +103,15 @@ class PipelineConfig:
         require(
             self.detection_batch_size >= 0,
             "detection_batch_size must be non-negative (0 = serial)",
+        )
+        # Literal tuple rather than an import: the filtering layer must
+        # not depend on the mapreduce layer (repro.mapreduce.executors
+        # re-validates via make_executor when the engine is built).
+        require(
+            self.executor in (None, "serial", "threads", "processes",
+                              "shard-queue"),
+            f"unknown executor {self.executor!r}; known: serial, threads, "
+            "processes, shard-queue",
         )
 
 

@@ -22,6 +22,7 @@ the report's quarantine list instead of aborting the batch.
 from __future__ import annotations
 
 import logging
+import os
 import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -388,7 +389,15 @@ class BaywatchRunner:
         :class:`~repro.jobs.detection.BeaconingDetectionJob` — the seam
         fault-injection tests and custom deployments hook into."""
         self.config = config or PipelineConfig()
-        self.engine = engine or MapReduceEngine()
+        if engine is None:
+            if self.config.executor is not None:
+                engine = MapReduceEngine(
+                    n_workers=max(os.cpu_count() or 1, 2),
+                    executor=self.config.executor,
+                )
+            else:
+                engine = MapReduceEngine()
+        self.engine = engine
         self.global_whitelist = (
             global_whitelist if global_whitelist is not None else GlobalWhitelist()
         )
@@ -461,6 +470,28 @@ class BaywatchRunner:
                 summaries, skip_destinations=skip_destinations
             )
 
+    def _bind_shard_queue(self, checkpoint_dir: Optional[str]) -> None:
+        """Point a shard-queue backend at ``<checkpoint-dir>/queue``.
+
+        The queue lives under the checkpoint directory so the same
+        shared filesystem that carries shard checkpoints also carries
+        tasks, claims, and results for the ``repro worker`` fleet.  A
+        queue already bound (e.g. directly by a test) is left alone;
+        other backends ignore this entirely.
+        """
+        from repro.mapreduce.executors import ShardQueueExecutor
+
+        executor = getattr(self.engine, "executor", None)
+        if not isinstance(executor, ShardQueueExecutor) or executor.bound:
+            return
+        if checkpoint_dir is None:
+            raise ValueError(
+                "the shard-queue executor needs a checkpoint directory to "
+                "host its task queue; pass checkpoint_dir (CLI: "
+                "--checkpoint-dir)"
+            )
+        executor.bind(os.path.join(checkpoint_dir, "queue"))
+
     def _detect_batch(
         self,
         summaries: List[ActivitySummary],
@@ -481,7 +512,10 @@ class BaywatchRunner:
         ``(pair, index)`` inputs; this process owns the segment and
         always unlinks it on the way out — worker deaths mid-run cannot
         leak it (workers never own the segment; see
-        :mod:`repro.mapreduce.shm`).
+        :mod:`repro.mapreduce.shm`).  Under an in-process backend
+        (serial, threads) the arena would be pure overhead — workers
+        already share this interpreter's heap — so the flag degrades to
+        plain direct references.
         """
         kwargs: Dict[str, Any] = {}
         if self.config.provenance is not None:
@@ -496,9 +530,12 @@ class BaywatchRunner:
             batch_size=self.config.detection_batch_size,
             **kwargs,
         )
+        executor = getattr(self.engine, "executor", None)
+        workers_share_heap = executor is not None and executor.in_process
         arena = None
         if (
             self.config.use_shared_memory
+            and not workers_share_heap
             and summaries
             and hasattr(job, "bind_arena")
         ):
@@ -797,6 +834,7 @@ class BaywatchRunner:
             )
         if run_id is None:
             run_id = new_run_id()
+        self._bind_shard_queue(checkpoint_dir)
         journal: Optional[EventJournal] = None
         journal_home = journal_dir if journal_dir is not None else checkpoint_dir
         if journal_home is not None:

@@ -1,14 +1,28 @@
 """Local MapReduce substrate (replaces the paper's Hadoop cluster).
 
 Same programming model — modular jobs with hash-partitioned shuffles —
-executed in-process or over a multiprocessing pool, plus a partitioned
-on-disk store standing in for HDFS and a shared-memory arena
-(:mod:`repro.mapreduce.shm`) that hands workers zero-copy pair
-payloads instead of pickled summaries.
+executed behind a pluggable :class:`TaskExecutor` (serial inline,
+worker threads for GIL-releasing kernels, a process pool, or a
+multi-host shard queue drained by ``repro worker`` processes), plus a
+partitioned on-disk store standing in for HDFS and a shared-memory
+arena (:mod:`repro.mapreduce.shm`) that hands process workers
+zero-copy pair payloads instead of pickled summaries.
 """
 
 from repro.mapreduce.job import KeyValue, MapReduceJob, stable_hash
 from repro.mapreduce.engine import JobStats, MapReduceEngine, QuarantinedTask
+from repro.mapreduce.executors import (
+    EXECUTOR_NAMES,
+    ProcessPoolTaskExecutor,
+    SerialExecutor,
+    ShardQueueExecutor,
+    TaskExecutor,
+    TaskTimeout,
+    ThreadPoolTaskExecutor,
+    WorkerCrash,
+    make_executor,
+    run_worker,
+)
 from repro.mapreduce.shm import ArenaHandle, SummaryArena, SummaryView
 from repro.mapreduce.store import PartitionedStore
 
@@ -19,6 +33,16 @@ __all__ = [
     "JobStats",
     "MapReduceEngine",
     "QuarantinedTask",
+    "EXECUTOR_NAMES",
+    "TaskExecutor",
+    "TaskTimeout",
+    "WorkerCrash",
+    "make_executor",
+    "run_worker",
+    "SerialExecutor",
+    "ThreadPoolTaskExecutor",
+    "ProcessPoolTaskExecutor",
+    "ShardQueueExecutor",
     "ArenaHandle",
     "SummaryArena",
     "SummaryView",

@@ -1,21 +1,27 @@
-"""Local MapReduce engine: serial and multiprocess execution.
+"""Local MapReduce engine over pluggable execution backends.
 
 Substitutes the paper's 13-node Hadoop cluster with a faithful local
 model of the same computation: map over input records, shuffle by the
 job's partitioner, group values per key (sorted for determinism), and
-reduce partition by partition.  ``n_workers > 1`` distributes both map
-chunks and reduce partitions over a process pool — jobs and records must
-then be picklable, exactly as Hadoop requires them to be serializable.
+reduce partition by partition.  *Where* tasks run is delegated to a
+:class:`~repro.mapreduce.executors.TaskExecutor` — serial inline,
+worker threads (for the GIL-releasing batched FFT kernels), a process
+pool, or a multi-host shard queue drained by ``repro worker``
+processes; jobs and records must be picklable for the out-of-process
+backends, exactly as Hadoop requires them to be serializable.
 
 Fault tolerance mirrors Hadoop's task-level story (paper Section VII: a
 multi-hour batch over millions of pairs must survive individual task
-failures):
+failures) and is *executor-agnostic* — every backend inherits it:
 
 - a task that *raises* is retried up to ``max_retries`` times with
   exponential backoff (``retry_backoff``);
-- a task whose worker *dies* (``BrokenProcessPool``) or *hangs*
-  (``task_timeout``) triggers a pool restart and a re-run of the lost
-  tasks, against the same retry budget;
+- a task whose worker *dies*
+  (:class:`~repro.mapreduce.executors.WorkerCrash`) or *hangs*
+  (``task_timeout`` on a backend that can reap) triggers a backend
+  restart and a re-run of the lost tasks, against the same retry
+  budget; on backends that cannot kill a straggler (serial, threads)
+  the deadline downgrades to a warn-and-journal soft breach;
 - with ``quarantine=True`` a task that fails every attempt is split
   into its individual records/key-groups, each run in isolation, and
   only the genuinely poisonous units are dropped — recorded as
@@ -30,9 +36,6 @@ import logging
 import os
 import random
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeout
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -45,6 +48,12 @@ from typing import (
     Tuple,
 )
 
+from repro.mapreduce.executors import (
+    TaskExecutor,
+    TaskTimeout,
+    WorkerCrash,
+    make_executor,
+)
 from repro.mapreduce.job import KeyValue, MapReduceJob
 from repro.obs import (
     MetricsRegistry,
@@ -76,6 +85,7 @@ class JobStats:
     task_retries: int = 0
     pool_restarts: int = 0
     task_timeouts: int = 0
+    task_deadline_misses: int = 0
     tasks_quarantined: int = 0
 
 
@@ -164,6 +174,35 @@ def _run_task_with_telemetry(
     )
 
 
+def _run_task_in_thread(
+    func,
+    job: MapReduceJob,
+    task,
+    trace: Optional[Dict[str, Optional[str]]] = None,
+    journal=None,
+    phase: str = "",
+):
+    """In-process counterpart of :func:`_run_task_with_telemetry`.
+
+    Worker *threads* share the parent's metrics registry (its
+    instruments are lock-protected), and the current-registry pointer
+    is a module-level global — swapping it from a worker thread would
+    race the parent — so no child registry is installed and nothing is
+    shipped back.  The trace context *is* installed (it is
+    thread-local), so spans opened inside the task land in the shared
+    record buffer already stitched under the parent's tree, and the
+    journal gets the same per-task heartbeat the process wrapper emits.
+    """
+    context = TraceContext(**trace) if trace is not None else None
+    with scoped_trace(context):
+        if journal is not None:
+            journal.append(
+                "heartbeat", worker=os.getpid(), phase=phase or None
+            )
+        with span(f"task.{phase}" if phase else "task"):
+            return func(job, task)
+
+
 def _chunked(items: Sequence, n_chunks: int) -> List[Sequence]:
     """Split ``items`` into at most ``n_chunks`` contiguous chunks."""
     if not items:
@@ -173,14 +212,18 @@ def _chunked(items: Sequence, n_chunks: int) -> List[Sequence]:
 
 
 class MapReduceEngine:
-    """Executes :class:`MapReduceJob` instances locally.
+    """Executes :class:`MapReduceJob` instances over a task executor.
 
-    With ``n_workers > 1`` a single process pool is created lazily and
+    ``executor`` picks the backend: an executor name (see
+    :data:`~repro.mapreduce.executors.EXECUTOR_NAMES`), a ready
+    :class:`~repro.mapreduce.executors.TaskExecutor` instance, or None
+    for the legacy mapping — ``"processes"`` when ``n_workers > 1``,
+    ``"serial"`` otherwise.  Backend resources are created lazily and
     reused across runs (workers are where Hadoop's task JVMs would be);
     phases too small to amortize dispatch overhead
     (< ``min_parallel_records`` inputs) fall back to serial execution.
 
-    Fault-tolerance knobs:
+    Fault-tolerance knobs (all executor-agnostic):
 
     ``max_retries``
         Re-runs a failed map chunk or reduce partition, the local
@@ -188,11 +231,14 @@ class MapReduceEngine:
         fail on every attempt re-raise the final exception (unless
         quarantined, below).
     ``task_timeout``
-        Seconds a *parallel* task may run before its worker is presumed
-        hung; the pool is restarted (killing the worker) and the task
-        retried.  ``None`` disables the watchdog.  Serial execution has
-        no enforcement point, so the timeout only applies when a pool
-        is in play.
+        Seconds a task may run before it is considered late.  On a
+        backend that reaps (processes, shard-queue) the straggler is
+        presumed hung: the backend restarts — killing it — and the task
+        is retried.  On serial/thread backends nothing can kill a
+        running task, so the breach is *soft*: a WARNING plus a
+        ``task_deadline`` journal event and the
+        ``mapreduce.task_deadline_misses`` counter, then the result is
+        awaited anyway.  ``None`` disables the watchdog.
     ``retry_backoff``
         Base of the exponential backoff envelope between retry rounds:
         the sleep is drawn uniformly from ``[0, min(max_backoff,
@@ -214,6 +260,7 @@ class MapReduceEngine:
         self,
         n_workers: int = 1,
         *,
+        executor: Optional[Any] = None,
         min_parallel_records: int = 64,
         max_retries: int = 0,
         task_timeout: Optional[float] = None,
@@ -248,7 +295,19 @@ class MapReduceEngine:
         # they line up with the event journal.
         self.run_id: Optional[str] = None
         self.shard: Optional[int] = None
-        self._pool: Optional[ProcessPoolExecutor] = None
+        if executor is None:
+            executor = "processes" if n_workers > 1 else "serial"
+        if isinstance(executor, str):
+            executor = make_executor(executor, n_workers=n_workers)
+        if not isinstance(executor, TaskExecutor):
+            raise TypeError(
+                "executor must be an executor name or a TaskExecutor, "
+                f"got {executor!r}"
+            )
+        self.executor: TaskExecutor = executor
+        # Keep the worker-count gauge honest when the executor instance
+        # (not n_workers) carries the concurrency.
+        self.n_workers = max(n_workers, executor.parallelism)
         self._sleep: Callable[[float], None] = time.sleep
 
     # -- run context -------------------------------------------------------
@@ -274,18 +333,35 @@ class MapReduceEngine:
 
     # -- retry / backoff machinery -----------------------------------------
 
-    def _attempt(self, func, *args, retries_left: Optional[int] = None):
+    def _attempt(
+        self,
+        func,
+        *args,
+        retries_left: Optional[int] = None,
+        phase: Optional[str] = None,
+    ):
         """Run a task serially, retrying up to the remaining budget.
 
         The budget is passed explicitly (default: the full
         ``max_retries``) so concurrent or nested runs never share
-        mutable retry state.
+        mutable retry state.  Inline execution has no enforcement point
+        for ``task_timeout``, so a breach is detected after the fact
+        and reported as a soft deadline miss (warn + journal) instead
+        of being silently ignored.
         """
         budget = self.max_retries if retries_left is None else retries_left
         failures = 0
         while True:
             try:
-                return func(*args)
+                started = time.monotonic()
+                result = func(*args)
+                elapsed = time.monotonic() - started
+                if (
+                    self.task_timeout is not None
+                    and elapsed > self.task_timeout
+                ):
+                    self._note_deadline_miss(phase=phase, elapsed=elapsed)
+                return result
             except Exception as exc:
                 failures += 1
                 if failures > budget:
@@ -333,37 +409,72 @@ class MapReduceEngine:
         )
         self._sleep(delay)
 
-    # -- pool lifecycle ----------------------------------------------------
-
-    def _get_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
-        return self._pool
+    # -- backend lifecycle ---------------------------------------------------
 
     def _restart_pool(self, reason: str) -> None:
-        """Tear down a broken/hung pool and count the restart.
+        """Restart the backend (killing stragglers where it can) and
+        count the restart.
 
-        Workers still running (a hung task) are terminated explicitly —
-        ``shutdown`` alone would wait on them forever.
+        The kill-children mechanics live behind
+        :meth:`~repro.mapreduce.executors.TaskExecutor.restart` — a
+        public, per-backend contract — while the accounting (stats,
+        counter, journal event, operator log line) stays here so every
+        backend reports restarts identically.
         """
-        if self._pool is not None:
-            processes = list(getattr(self._pool, "_processes", {}).values())
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            for process in processes:
-                if process.is_alive():
-                    process.terminate()
-            self._pool = None
-        logger.warning("%sworker pool restarted: %s", self._log_ctx(), reason)
+        self.executor.restart(reason)
+        logger.warning(
+            "%s%s backend restarted: %s",
+            self._log_ctx(), self.executor.name, reason,
+        )
         if self.last_stats is not None:
             self.last_stats.pool_restarts += 1
         get_registry().counter("mapreduce.pool_restarts").inc()
-        journal_emit("pool_restart", reason=reason, shard=self.shard)
+        journal_emit(
+            "pool_restart",
+            reason=reason,
+            shard=self.shard,
+            executor=self.executor.name,
+        )
+
+    def _note_deadline_miss(
+        self,
+        *,
+        phase: Optional[str],
+        index: Optional[int] = None,
+        elapsed: Optional[float] = None,
+    ) -> None:
+        """Record a soft ``task_timeout`` breach (non-reaping backends).
+
+        Nothing can kill the late task, so the contract is
+        warn-and-journal: operators see the breach in the log and the
+        event journal (``task_deadline``) while the run keeps waiting
+        for the genuine result.
+        """
+        if self.last_stats is not None:
+            self.last_stats.task_deadline_misses += 1
+        get_registry().counter("mapreduce.task_deadline_misses").inc()
+        journal_emit(
+            "task_deadline",
+            phase=phase or None,
+            shard=self.shard,
+            task=index,
+            elapsed=round(elapsed, 6) if elapsed is not None else None,
+            timeout=self.task_timeout,
+            executor=self.executor.name,
+        )
+        logger.warning(
+            "%s%s task%s exceeded task_timeout=%.4gs on the %s backend "
+            "(no enforcement point; letting it finish)",
+            self._log_ctx(),
+            phase or "engine",
+            f" {index}" if index is not None else "",
+            self.task_timeout or 0.0,
+            self.executor.name,
+        )
 
     def close(self) -> None:
-        """Shut down the worker pool (no-op for serial engines)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Release the backend's resources (no-op when never used)."""
+        self.executor.close()
 
     def __enter__(self) -> "MapReduceEngine":
         return self
@@ -404,20 +515,28 @@ class MapReduceEngine:
     ) -> List:
         """Run each unit of an exhausted task alone; quarantine failures.
 
-        ``use_pool=True`` isolates on the worker pool (one unit per
-        task) so a unit that kills or hangs its worker cannot take the
-        parent down with it; the pool is restarted after each casualty.
+        ``use_pool=True`` isolates on the executor backend (one unit
+        per task) so a unit that kills or hangs its worker cannot take
+        the parent down with it; a backend that can reap is restarted
+        after each casualty.  During isolation a deadline is treated as
+        poison on *every* backend — a unit a thread cannot abandon
+        would otherwise wedge the quarantine pass itself.
         """
         outputs: List = []
         for key, unit_task in units:
             try:
                 if use_pool:
-                    future = self._get_pool().submit(func, job, unit_task)
-                    outputs.extend(future.result(timeout=self.task_timeout))
+                    handle = self.executor.submit(func, job, unit_task)
+                    outputs.extend(
+                        self.executor.result(handle, timeout=self.task_timeout)
+                    )
                 else:
                     outputs.extend(func(job, unit_task))
-            except (BrokenProcessPool, FuturesTimeout) as exc:
-                self._restart_pool(f"isolating poisoned {phase} unit {key!r}")
+            except (WorkerCrash, TaskTimeout) as exc:
+                if self.executor.reaps_hung_tasks:
+                    self._restart_pool(
+                        f"isolating poisoned {phase} unit {key!r}"
+                    )
                 self._record_quarantine(phase, key, exc, attempts)
             except Exception as exc:
                 self._record_quarantine(phase, key, exc, attempts)
@@ -435,7 +554,9 @@ class MapReduceEngine:
     ) -> List:
         """Serial task execution with retries and optional quarantine."""
         try:
-            return self._attempt(func, job, task, retries_left=retries_left)
+            return self._attempt(
+                func, job, task, retries_left=retries_left, phase=phase
+            )
         except Exception as exc:
             if not self.quarantine:
                 raise
@@ -467,7 +588,8 @@ class MapReduceEngine:
         self.last_quarantine = []
         job_name = type(job).__name__
         parallel = (
-            self.n_workers > 1 and len(records) >= self.min_parallel_records
+            self.executor.parallelism > 1
+            and len(records) >= self.min_parallel_records
         )
 
         with span(f"mapreduce.{job_name}"):
@@ -556,66 +678,102 @@ class MapReduceEngine:
         if stats.task_retries:
             registry.counter(f"{prefix}.task_retries").inc(stats.task_retries)
 
+    def _await_result(self, handle, *, phase: str, index: int):
+        """Await one handle under the engine's deadline policy.
+
+        A :class:`TaskTimeout` from a backend that reaps is re-raised —
+        the task is lost and the caller restarts the backend.  From a
+        non-reaping backend (threads) it is downgraded to a soft
+        breach: warn-and-journal, then block for the real result.
+        """
+        try:
+            return self.executor.result(handle, timeout=self.task_timeout)
+        except TaskTimeout:
+            if self.executor.reaps_hung_tasks:
+                raise
+            self._note_deadline_miss(phase=phase, index=index)
+            return self.executor.result(handle, None)
+
     def _parallel_tasks(
         self, func, job: MapReduceJob, tasks: Sequence, *, phase: str, split
     ) -> List:
-        """Dispatch tasks on the pool; survive failed and lost workers.
+        """Dispatch tasks on the executor; survive failed/lost workers.
 
         Tasks run in retry *rounds*: every still-pending task is
         submitted, results are collected, and failures carry into the
         next round until their budget is spent.  A worker death
-        (``BrokenProcessPool``) or hang (``task_timeout``) restarts the
-        pool and charges an attempt to the task it was observed on; the
-        other in-flight tasks are re-run without charge, like Hadoop's
-        re-execution of tasks lost with a dead TaskTracker.
+        (:class:`WorkerCrash`) or hang (``task_timeout`` on a reaping
+        backend) restarts the backend and charges an attempt to the
+        task it was observed on; the other in-flight tasks are re-run
+        without charge, like Hadoop's re-execution of tasks lost with a
+        dead TaskTracker.
 
-        When the parent collects telemetry, each task runs under a fresh
-        child registry in its worker and returns a snapshot that is
-        merged here — so detector timers and cache counters recorded
-        inside worker processes are not lost.  When a trace context is
-        active, its ``(trace_id, parent_span_id)`` rides in the task
-        payload and the worker's span records are merged back
-        (:func:`repro.obs.record_spans`), stitching worker-side spans
-        under this engine's span tree; when a journal is active, it is
-        shipped to the workers for per-task heartbeats.
+        Telemetry crosses the backend boundary in the right way for
+        each backend.  Out-of-process workers run each task under a
+        fresh child registry and ship back a snapshot that is merged
+        here (plus completed span records, stitched under this engine's
+        span tree, and per-task journal heartbeats) — the local
+        analogue of Hadoop counters flowing to the job tracker.
+        In-process workers (threads) see the parent's lock-protected
+        registry, span buffer, and journal directly, so only the
+        thread-local trace context and the heartbeat need installing.
         """
         registry = get_registry()
-        collect = registry.enabled
         trace_payload = task_trace_payload()
         journal = get_journal()
-        wrap = collect or trace_payload is not None or journal is not None
+        # ``ship``: wrap tasks so workers return (result, registry
+        # snapshot, spans) for the parent to merge.  ``ambient``: wrap
+        # only to install the thread-local trace + heartbeat.
+        ship = not self.executor.in_process and (
+            registry.enabled
+            or trace_payload is not None
+            or journal is not None
+        )
+        ambient = self.executor.in_process and (
+            trace_payload is not None or journal is not None
+        )
         n_tasks = len(tasks)
         results: Dict[int, List] = {}
         attempts = [0] * n_tasks
         pending: List[int] = list(range(n_tasks))
         failure_rounds = 0
         while pending:
-            pool = self._get_pool()
-            if wrap:
+            if ship:
                 submitted = {
-                    i: pool.submit(
+                    i: self.executor.submit(
                         _run_task_with_telemetry, func, job, tasks[i],
+                        trace_payload, journal, phase,
+                    )
+                    for i in pending
+                }
+            elif ambient:
+                submitted = {
+                    i: self.executor.submit(
+                        _run_task_in_thread, func, job, tasks[i],
                         trace_payload, journal, phase,
                     )
                     for i in pending
                 }
             else:
                 submitted = {
-                    i: pool.submit(func, job, tasks[i]) for i in pending
+                    i: self.executor.submit(func, job, tasks[i])
+                    for i in pending
                 }
             next_pending: List[int] = []
-            pool_broken = False
+            backend_broken = False
             for i in pending:
-                if pool_broken:
-                    # Lost with the pool through no fault of their own:
-                    # re-run without charging an attempt.
+                if backend_broken:
+                    # Lost with the backend through no fault of their
+                    # own: re-run without charging an attempt.
                     next_pending.append(i)
                     continue
                 try:
-                    outcome = submitted[i].result(timeout=self.task_timeout)
-                except (BrokenProcessPool, FuturesTimeout) as exc:
-                    pool_broken = True
-                    timed_out = isinstance(exc, FuturesTimeout)
+                    outcome = self._await_result(
+                        submitted[i], phase=phase, index=i
+                    )
+                except (WorkerCrash, TaskTimeout) as exc:
+                    backend_broken = True
+                    timed_out = isinstance(exc, TaskTimeout)
                     if timed_out:
                         if self.last_stats is not None:
                             self.last_stats.task_timeouts += 1
@@ -639,7 +797,7 @@ class MapReduceEngine:
                     ):
                         next_pending.append(i)
                     continue
-                if wrap:
+                if ship:
                     result, snapshot, worker_spans = outcome
                     registry.merge(snapshot)
                     record_spans(worker_spans)

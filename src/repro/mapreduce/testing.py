@@ -17,14 +17,21 @@ deterministically:
 Failure state that must survive process boundaries (how many times has
 the fault fired?) lives in a :class:`FaultMarker` file, the idiom the
 engine's own retry tests established.
+
+:class:`WorkerFleet` rounds the kit out for the shard-queue backend: a
+miniature "cluster" of ``run_worker`` processes draining one queue
+directory, with SIGKILL and respawn controls so tests can prove claim
+expiry and crash recovery against real worker processes.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import signal
+import threading
 import time
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, List, Optional
 
 from repro.mapreduce.job import KeyValue, MapReduceJob
 
@@ -162,3 +169,95 @@ class HangingJob(_IdentityJob):
             time.sleep(self.hang_seconds)
         for value in values:
             yield key, value
+
+
+def _fleet_worker_main(queue_dir: str, poll_interval: float, claim_ttl: float) -> None:
+    """Entry point of one fleet worker process (module-level: picklable)."""
+    from repro.mapreduce.executors.shardqueue import run_worker
+
+    run_worker(queue_dir, poll_interval=poll_interval, claim_ttl=claim_ttl)
+
+
+class WorkerFleet:
+    """N shard-queue worker processes, the test stand-in for N hosts.
+
+    Each worker is a real OS process running
+    :func:`~repro.mapreduce.executors.shardqueue.run_worker` against
+    ``queue_dir``, so SIGKILLing one (:meth:`kill_one`) leaves a live
+    claim behind exactly as a crashed remote host would.  With
+    ``respawn=True`` a monitor thread replaces dead workers, modelling
+    an operator (or supervisor) keeping the fleet at strength — the
+    mode jobs that repeatedly kill their worker need in order to ever
+    finish.  Use as a context manager; exit terminates the fleet.
+    """
+
+    def __init__(
+        self,
+        queue_dir: str,
+        n_workers: int = 2,
+        *,
+        poll_interval: float = 0.02,
+        claim_ttl: float = 1.0,
+        respawn: bool = False,
+    ) -> None:
+        self.queue_dir = str(queue_dir)
+        self.n_workers = n_workers
+        self.poll_interval = poll_interval
+        self.claim_ttl = claim_ttl
+        self.respawn = respawn
+        self._procs: List[multiprocessing.Process] = []
+        self._stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+
+    def _spawn(self) -> multiprocessing.Process:
+        proc = multiprocessing.Process(
+            target=_fleet_worker_main,
+            args=(self.queue_dir, self.poll_interval, self.claim_ttl),
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    def start(self) -> "WorkerFleet":
+        self._procs = [self._spawn() for _ in range(self.n_workers)]
+        if self.respawn:
+            self._monitor = threading.Thread(
+                target=self._keep_at_strength, daemon=True
+            )
+            self._monitor.start()
+        return self
+
+    def _keep_at_strength(self) -> None:
+        while not self._stop.wait(0.05):
+            for index, proc in enumerate(self._procs):
+                if not proc.is_alive():
+                    self._procs[index] = self._spawn()
+
+    def pids(self) -> List[int]:
+        return [proc.pid for proc in self._procs if proc.is_alive()]
+
+    def kill_one(self) -> int:
+        """SIGKILL one live worker; returns its pid (the crashed host)."""
+        for proc in self._procs:
+            if proc.is_alive():
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.join(timeout=5.0)
+                return proc.pid
+        raise RuntimeError("no live worker to kill")
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=2.0)
+            self._monitor = None
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+        self._procs = []
+
+    def __enter__(self) -> "WorkerFleet":
+        return self.start()
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.stop()

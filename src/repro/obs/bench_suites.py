@@ -1,6 +1,6 @@
 """Named benchmark suites for ``repro bench``.
 
-Five suites cover the pipeline's cost structure:
+Six suites cover the pipeline's cost structure:
 
 - ``micro`` — the detector's hot paths in isolation: periodogram DFT
   (scalar and batched), permutation thresholding (cold and through the
@@ -16,6 +16,10 @@ Five suites cover the pipeline's cost structure:
   (:mod:`repro.core.batch`) against the per-pair baseline on a seeded
   1k-pair workload, with and without a warm shared
   :class:`~repro.core.permutation.ThresholdCache`.
+- ``scalability`` — one batched-FFT detection workload through the
+  MapReduce engine under each local execution backend (serial inline,
+  2- and 4-thread pools, a 2-process pool), pricing dispatch overhead
+  against the GIL-releasing kernels' thread scaling.
 - ``ingestion`` — both ingestion planes at 1x and 4x the record count
   over a fixed pair population: streaming record-to-summary grouping
   (:func:`repro.sources.proxy.records_to_summaries`) against the
@@ -480,6 +484,66 @@ def build_detection_batch_suite() -> List[Benchmark]:
     ]
 
 
+def build_scalability_suite() -> List[Benchmark]:
+    """One batched-FFT detection workload under every local backend.
+
+    The same 512-pair detection job (shape-grouped FFT/ACF kernels, one
+    warm shared :class:`~repro.core.permutation.ThresholdCache`) runs
+    through the MapReduce engine under each executor:
+
+    - ``scalability.serial`` — the inline baseline;
+    - ``scalability.threads_2`` / ``scalability.threads_4`` — worker
+      threads.  The batched kernels spend their time in scipy.fft and
+      numpy linalg calls that release the GIL, so threads scale them
+      across cores with zero pickling — the perf-smoke gate requires
+      ``threads_2`` to hold ≥1.5x ``serial`` events/sec on multi-core
+      machines;
+    - ``scalability.processes_2`` — the process pool, which pays
+      job/summary pickling per task in exchange for full isolation.
+
+    Reports across backends are bit-identical (the parity suite owns
+    that guarantee); this suite prices the dispatch mechanisms.  The
+    multi-host shard queue is deliberately absent — its cost is
+    filesystem round-trips, meaningless on a single-machine bench.
+    """
+    from repro.core.detector import DetectorConfig
+    from repro.core.permutation import ThresholdCache
+    from repro.jobs.detection import BeaconingDetectionJob
+    from repro.mapreduce.engine import MapReduceEngine
+
+    summaries = _detection_workload(512)
+    config = DetectorConfig(seed=0, use_gmm=False)
+    warm_cache = ThresholdCache()
+    warm_cache.precompute(_threshold_grid(summaries, config))
+    job = BeaconingDetectionJob(
+        config,
+        batch_size=64,
+        use_threshold_cache=True,
+        threshold_cache=warm_cache,
+    )
+    inputs = [(summary.pair, summary) for summary in summaries]
+
+    def bench(name: str, executor: str, n_workers: int) -> Benchmark:
+        engine = MapReduceEngine(
+            n_workers=n_workers,
+            executor=executor,
+            min_parallel_records=64,
+        )
+
+        def run() -> int:
+            engine.run(job, inputs)
+            return len(inputs)
+
+        return Benchmark(f"scalability.{name}", run, cleanup=engine.close)
+
+    return [
+        bench("serial", "serial", 1),
+        bench("threads_2", "threads", 2),
+        bench("threads_4", "threads", 4),
+        bench("processes_2", "processes", 2),
+    ]
+
+
 #: Suite name -> builder.  Builders are lazy: heavy imports and workload
 #: construction happen only when a suite is actually requested.
 SUITES: Dict[str, Callable[[], List[Benchmark]]] = {
@@ -488,6 +552,7 @@ SUITES: Dict[str, Callable[[], List[Benchmark]]] = {
     "mapreduce": build_mapreduce_suite,
     "ingestion": build_ingestion_suite,
     "detection_batch": build_detection_batch_suite,
+    "scalability": build_scalability_suite,
 }
 
 

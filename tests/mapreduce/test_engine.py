@@ -80,7 +80,7 @@ class TestParallelEngine:
         engine = MapReduceEngine(n_workers=4, min_parallel_records=1000)
         output = dict(engine.run(WordCountJob(), LINES))
         assert output["the"] == 3
-        assert engine._pool is None  # never spun up
+        assert not engine.executor.active  # never spun up
 
     def test_invalid_workers(self):
         with pytest.raises(ValueError):

@@ -1,13 +1,22 @@
-"""Fault-injection tests: quarantine, pool recovery, timeouts."""
+"""Fault-injection tests: quarantine, pool recovery, timeouts.
+
+``TestFaultMatrix`` at the bottom runs the whole fault menagerie over
+every execution backend — the engine's recovery logic is supposed to be
+executor-agnostic, and the matrix is what holds it to that.
+"""
+
+from contextlib import contextmanager
 
 import pytest
 
 from repro.mapreduce.engine import MapReduceEngine, QuarantinedTask
+from repro.mapreduce.executors import ShardQueueExecutor
 from repro.mapreduce.testing import (
     POISON_KEY,
     HangingJob,
     PoisonPillJob,
     TransientFaultJob,
+    WorkerFleet,
     WorkerKillerJob,
 )
 from repro.obs import MetricsRegistry, scoped_registry
@@ -108,12 +117,12 @@ class TestPoolRecovery:
         assert dict(registry.counters())["mapreduce.pool_restarts"] >= 1
 
     def test_persistent_killer_without_quarantine_raises(self, marker):
-        from concurrent.futures.process import BrokenProcessPool
+        from repro.mapreduce.executors import WorkerCrash
 
         with MapReduceEngine(
             n_workers=2, min_parallel_records=8, max_retries=1
         ) as engine:
-            with pytest.raises(BrokenProcessPool):
+            with pytest.raises(WorkerCrash):
                 engine.run(
                     WorkerKillerJob(marker, kill_times=100), PARALLEL_INPUTS
                 )
@@ -207,3 +216,105 @@ class TestBackoff:
         engine = MapReduceEngine(max_retries=2, quarantine=True)
         engine._sleep = lambda _d: pytest.fail("slept with retry_backoff=0")
         engine.run(PoisonPillJob(marker, fail_in="reduce"), INPUTS)
+
+
+EXECUTORS = ["serial", "threads", "processes", "shard-queue"]
+
+
+@contextmanager
+def _engine_for(executor, tmp_path, **engine_kwargs):
+    """An engine on the requested backend — plus, for the shard queue,
+    a live two-worker fleet draining its task directory."""
+    if executor == "shard-queue":
+        queue = str(tmp_path / "queue")
+        backend = ShardQueueExecutor(queue, claim_ttl=1.0, poll_interval=0.02)
+        with WorkerFleet(queue, 2, claim_ttl=1.0, respawn=True):
+            with MapReduceEngine(
+                n_workers=2, min_parallel_records=8, executor=backend,
+                **engine_kwargs,
+            ) as engine:
+                yield engine
+    else:
+        with MapReduceEngine(
+            n_workers=2, min_parallel_records=8, executor=executor,
+            **engine_kwargs,
+        ) as engine:
+            yield engine
+
+
+class TestFaultMatrix:
+    """Identical fault handling on every backend (the executor contract)."""
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_poison_pill_quarantined(self, executor, marker, tmp_path):
+        with _engine_for(
+            executor, tmp_path, max_retries=1, quarantine=True
+        ) as engine:
+            output = engine.run(
+                PoisonPillJob(marker, fail_in="reduce"), PARALLEL_INPUTS
+            )
+        assert len(output) == 3 * 30
+        assert [e.key for e in engine.last_quarantine] == [POISON_KEY]
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_transient_fault_retried_to_success(
+        self, executor, marker, tmp_path
+    ):
+        with _engine_for(executor, tmp_path, max_retries=2) as engine:
+            output = engine.run(
+                TransientFaultJob(marker, fail_times=1), PARALLEL_INPUTS
+            )
+        assert len(output) == len(PARALLEL_INPUTS)
+        assert engine.last_stats.task_retries >= 1
+        assert engine.last_quarantine == []
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_worker_killer(self, executor, marker, tmp_path):
+        with _engine_for(executor, tmp_path, max_retries=2) as engine:
+            output = engine.run(
+                WorkerKillerJob(marker, kill_times=1), PARALLEL_INPUTS
+            )
+        assert len(output) == len(PARALLEL_INPUTS)
+        if executor in ("serial", "threads"):
+            # The kill guard refuses to fire in the coordinator's own
+            # process; in-process backends see a clean run.
+            assert engine.last_stats.pool_restarts == 0
+        elif executor == "processes":
+            # A dead pool worker forces a backend restart.
+            assert engine.last_stats.pool_restarts >= 1
+        else:
+            # The shard queue absorbs a dead worker as one expired
+            # lease: the task moves to the surviving worker and the
+            # backend is never restarted.
+            assert engine.last_stats.pool_restarts == 0
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_hanging_task(self, executor, marker, tmp_path):
+        hard = executor in ("processes", "shard-queue")
+        with _engine_for(
+            executor,
+            tmp_path,
+            max_retries=2,
+            task_timeout=1.0 if hard else 0.05,
+        ) as engine:
+            output = engine.run(
+                HangingJob(
+                    marker,
+                    hang_seconds=60.0 if hard else 0.3,
+                    hang_times=1,
+                ),
+                PARALLEL_INPUTS,
+            )
+        assert len(output) == len(PARALLEL_INPUTS)
+        if hard:
+            # Reaping backends treat the deadline as fatal: restart,
+            # then retry the lost task.
+            assert engine.last_stats.task_timeouts >= 1
+            assert engine.last_stats.pool_restarts >= 1
+            assert engine.last_stats.task_deadline_misses == 0
+        else:
+            # Non-reaping backends warn-and-journal, then wait the
+            # straggler out — nothing is killed or charged.
+            assert engine.last_stats.task_deadline_misses >= 1
+            assert engine.last_stats.pool_restarts == 0
+            assert engine.last_stats.task_timeouts == 0

@@ -324,6 +324,68 @@ class TestRun:
         ])
         assert code == 0
 
+    def test_run_with_threads_executor(self, trace_path, capsys):
+        out, _truth = trace_path
+        code = main([
+            "run", str(out), "--executor", "threads", "--workers", "2",
+            "--shard-size", "8", "--percentile", "0.5",
+        ])
+        assert code == 0
+        assert "periodicity detection" in capsys.readouterr().out
+
+    def test_shard_queue_requires_checkpoint_dir(self, trace_path, capsys):
+        out, _truth = trace_path
+        code = main(["run", str(out), "--executor", "shard-queue"])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_unknown_executor_rejected(self, trace_path, capsys):
+        out, _truth = trace_path
+        with pytest.raises(SystemExit):
+            main(["run", str(out), "--executor", "mainframe"])
+
+
+class TestWorker:
+    def test_worker_drains_queue_and_journals(self, tmp_path, capsys):
+        from repro.mapreduce.executors import ShardQueueExecutor
+        from repro.obs.journal import read_events
+
+        ckpt = tmp_path / "ckpt"
+        executor = ShardQueueExecutor(
+            str(ckpt / "queue"), poll_interval=0.01
+        )
+        handle = executor.submit(divmod, 17, 5)
+        code = main([
+            "worker", "--checkpoint-dir", str(ckpt),
+            "--poll-interval", "0.01", "--max-tasks", "1",
+        ])
+        assert code == 0
+        assert executor.result(handle, timeout=5.0) == (3, 2)
+        output = capsys.readouterr().out
+        assert "1 task(s) processed" in output
+        events = [e["event"] for e in read_events(ckpt / "events.jsonl")]
+        assert events == ["worker_start", "worker_task", "worker_exit"]
+
+    def test_worker_exits_on_stop_sentinel(self, tmp_path, capsys):
+        from repro.mapreduce.executors import ShardQueueExecutor
+
+        ckpt = tmp_path / "ckpt"
+        ShardQueueExecutor(str(ckpt / "queue")).close()  # raises sentinel
+        code = main([
+            "worker", "--checkpoint-dir", str(ckpt),
+            "--poll-interval", "0.01",
+        ])
+        assert code == 0
+        assert "0 task(s) processed" in capsys.readouterr().out
+
+    def test_worker_idle_exit(self, tmp_path, capsys):
+        (tmp_path / "ckpt" / "queue" / "tasks").mkdir(parents=True)
+        code = main([
+            "worker", "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--poll-interval", "0.01", "--idle-exit", "0.1",
+        ])
+        assert code == 0
+
 
 class TestObservability:
     def test_run_journals_and_trace_renders(self, trace_path, tmp_path,

@@ -87,6 +87,89 @@ def test_two_worker_engine_matches_pipeline(records, scorer, pipeline_report):
     assert report_signature(runner_report) == report_signature(pipeline_report)
 
 
+def test_thread_engine_matches_pipeline(records, scorer, pipeline_report):
+    # Worker threads instead of worker processes: same stage graph, no
+    # pickling, still bit-identical output.
+    with MapReduceEngine(
+        n_workers=2, executor="threads", min_parallel_records=16
+    ) as engine:
+        runner_report = BaywatchRunner(
+            PipelineConfig(**CONFIG), engine=engine, scorer=scorer
+        ).run(records)
+    assert report_signature(runner_report) == report_signature(pipeline_report)
+
+
+def test_executor_config_matches_pipeline(records, scorer, pipeline_report):
+    # The PipelineConfig.executor knob alone (no explicit engine) must
+    # select the backend and leave the report untouched.
+    runner = BaywatchRunner(
+        PipelineConfig(**CONFIG, executor="threads"), scorer=scorer
+    )
+    assert runner.engine.executor.name == "threads"
+    with runner.engine:
+        runner_report = runner.run(records)
+    assert report_signature(runner_report) == report_signature(pipeline_report)
+
+
+def test_shard_queue_engine_matches_pipeline(
+    records, scorer, pipeline_report, tmp_path
+):
+    # The multi-host backend: the coordinator never computes a task
+    # itself, two real worker processes drain the queue — and the
+    # report is still bit-identical to the in-process pipeline.
+    from repro.mapreduce.executors import ShardQueueExecutor
+    from repro.mapreduce.testing import WorkerFleet
+
+    queue = str(tmp_path / "ckpt" / "queue")
+    executor = ShardQueueExecutor(queue, claim_ttl=5.0, poll_interval=0.02)
+    with WorkerFleet(queue, 2, claim_ttl=5.0):
+        with MapReduceEngine(
+            n_workers=2, executor=executor, min_parallel_records=16
+        ) as engine:
+            report = BaywatchRunner(
+                PipelineConfig(**CONFIG), engine=engine, scorer=scorer
+            ).run_sharded(
+                records,
+                shard_size=4,
+                checkpoint_dir=str(tmp_path / "ckpt"),
+            )
+    assert report_signature(report) == report_signature(pipeline_report)
+
+
+def test_processes_checkpoint_resumes_under_shard_queue(
+    records, scorer, pipeline_report, tmp_path
+):
+    # The executor is a mechanism, not an input: a run interrupted on
+    # the process pool must resume on the shard queue (same checkpoint
+    # fingerprint) and finish with the canonical report.
+    from repro.mapreduce.testing import WorkerFleet
+
+    checkpoint = str(tmp_path / "ckpt")
+    interrupted = BaywatchRunner(
+        PipelineConfig(**CONFIG, executor="processes"), scorer=scorer
+    )
+    with interrupted.engine, pytest.raises(IncompleteRunError):
+        interrupted.run_sharded(
+            records,
+            shard_size=4,
+            checkpoint_dir=checkpoint,
+            max_shards=2,
+        )
+    resumed = BaywatchRunner(
+        PipelineConfig(**CONFIG, executor="shard-queue"), scorer=scorer
+    )
+    queue = str(tmp_path / "ckpt" / "queue")
+    with WorkerFleet(queue, 2, claim_ttl=5.0):
+        with resumed.engine:
+            report = resumed.run_sharded(
+                records,
+                shard_size=4,
+                checkpoint_dir=checkpoint,
+                resume=True,
+            )
+    assert report_signature(report) == report_signature(pipeline_report)
+
+
 def test_interrupted_resumed_sharded_run_matches_pipeline(
     records, scorer, pipeline_report, tmp_path
 ):
