@@ -309,6 +309,56 @@ class PeriodicityDetector:
             summary.timestamps()
         )
 
+    def screen_plan(self, timestamps: Sequence[float]) -> _PairPlan:
+        """A pair plan for :meth:`probe_prebinned` — no GMM, no scales.
+
+        Incremental screening maintains binned signals and spectra
+        externally (sliding-DFT states on a fixed day grid) and only
+        needs the pair-level interval statistics to run candidate
+        pruning and ACF verification against them.  Skipping the GMM
+        fit keeps the probe cheap; the full detector re-runs on
+        whatever the probe lets through, so the fit is only ever paid
+        for genuine survivors.
+        """
+        ts = np.asarray(timestamps, dtype=float)
+        duration = float(ts[-1] - ts[0]) if ts.size >= 2 else 0.0
+        intervals = intervals_from_timestamps(ts)
+        return _PairPlan(
+            ts=ts,
+            duration=duration,
+            scales=[],
+            intervals=intervals,
+            positive=intervals[intervals > 0],
+            mixture=None,
+            gmm_periods=[],
+            rng=np.random.default_rng(self.config.seed),
+        )
+
+    def probe_prebinned(
+        self,
+        plan: _PairPlan,
+        scale: float,
+        signal: np.ndarray,
+        spectrum: np.ndarray,
+        threshold: float,
+    ) -> List[CandidatePeriod]:
+        """Steps 2-3 on an externally binned signal and spectrum.
+
+        Runs candidate extraction, pruning, and ACF verification
+        exactly as :meth:`_detect_at_scale` does, but on a caller-
+        provided ``signal``/``spectrum``/``threshold`` triple (e.g. a
+        grid-anchored sliding-DFT state) instead of re-binning and
+        re-transforming the timestamps.  Returns the verified
+        candidates at this scale; ``plan`` accumulates the usual
+        provenance counters (``n_raw``, ``n_pruned``).
+        """
+        work = self._analyze_scale(plan, scale, signal, spectrum, threshold)
+        if work is None:
+            return []
+        with get_registry().timer("detector.acf.seconds"):
+            acf = autocorrelation(signal)
+        return self._verify_scale(plan, work, acf)
+
     def for_time_scale(self, time_scale: float) -> "PeriodicityDetector":
         """A detector whose analysis ladder starts at ``time_scale``.
 

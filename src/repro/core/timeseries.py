@@ -12,7 +12,12 @@ inter-request intervals.  This module provides:
   consumed by the periodogram,
 - :func:`rescale` / :func:`merge` — the rescaling-and-merging phase
   (paper Section VII-B) that lets long windows be analyzed at coarse
-  granularity without reprocessing raw logs.
+  granularity without reprocessing raw logs,
+- :func:`merge_rescaled` — the fused fast path of the two: the cadence
+  hot loop (weekly/monthly windows re-merged every tick) pays one
+  array pipeline and one output summary instead of an intermediate
+  rescaled :class:`ActivitySummary` — and its interval-tuple
+  conversion — per input day.
 """
 
 from __future__ import annotations
@@ -272,4 +277,86 @@ def merge(summaries: Sequence[ActivitySummary]) -> ActivitySummary:
         first_timestamp=float(all_ts[0]),
         intervals=tuple(np.diff(np.asarray(all_ts))),
         urls=tuple(all_urls),
+    )
+
+
+def merge_rescaled(
+    summaries: Sequence[ActivitySummary],
+    time_scale: float,
+    *,
+    out: Optional[np.ndarray] = None,
+) -> ActivitySummary:
+    """Fused ``merge([rescale(s, time_scale) for s in summaries])``.
+
+    Bit-identical to the copying composition (the floating-point
+    operations run in the same order on the same values) but without
+    materializing a rescaled :class:`ActivitySummary` — and its
+    interval-tuple conversion — per input.  This is the cadence hot
+    loop: a weekly/monthly tick re-merges every pair's trailing window
+    of per-day summaries, so the per-day object churn dominates.
+
+    ``out`` optionally provides a reusable timestamp workspace (a 1-D
+    float array of at least the total event count); when it is missing
+    or too small a fresh buffer is allocated.  The workspace is
+    clobbered.
+    """
+    require(len(summaries) > 0, "summaries must not be empty")
+    require_positive(time_scale, "time_scale")
+    head = summaries[0]
+    for other in summaries:
+        if other.pair != head.pair:
+            raise ValueError(
+                f"cannot merge different pairs: {other.pair} != {head.pair}"
+            )
+        if other.time_scale > time_scale:
+            raise ValueError(
+                "cannot rescale to a finer granularity: "
+                f"{time_scale} < {other.time_scale}"
+            )
+    if len(summaries) == 1:
+        return (
+            head if head.time_scale == time_scale
+            else rescale(head, time_scale)
+        )
+    total = sum(s.event_count for s in summaries)
+    if out is not None and out.ndim == 1 and out.size >= total:
+        buffer = out[:total]
+    else:
+        buffer = np.empty(total, dtype=float)
+    position = 0
+    urls: List[str] = []
+    for summary in summaries:
+        count = summary.event_count
+        segment = buffer[position:position + count]
+        # summary.timestamps(), written into the workspace: 0-prefixed
+        # interval cumsum plus the first timestamp.
+        segment[0] = 0.0
+        if count > 1:
+            ivals = np.asarray(summary.intervals, dtype=float)
+            np.cumsum(ivals, out=segment[1:])
+        np.add(segment, summary.first_timestamp, out=segment)
+        if summary.time_scale < time_scale:
+            # rescale(): quantize, then round-trip through the interval
+            # representation exactly as merge() re-reads a rescaled
+            # summary — diff followed by 0-prefixed cumsum — so the
+            # fused result stays bit-identical to the composition.
+            np.divide(segment, time_scale, out=segment)
+            np.floor(segment, out=segment)
+            np.multiply(segment, time_scale, out=segment)
+            if count > 1:
+                deltas = np.diff(segment)
+                first = segment[0]
+                segment[0] = 0.0
+                np.cumsum(deltas, out=segment[1:])
+                np.add(segment, first, out=segment)
+        urls.extend(summary.urls)
+        position += count
+    buffer.sort(kind="stable")
+    return ActivitySummary(
+        source=head.source,
+        destination=head.destination,
+        time_scale=time_scale,
+        first_timestamp=float(buffer[0]),
+        intervals=tuple(np.diff(buffer).tolist()),
+        urls=tuple(urls),
     )

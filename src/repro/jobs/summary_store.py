@@ -22,13 +22,14 @@ writing the legacy format.
 
 from __future__ import annotations
 
+import shutil
 import struct
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.timeseries import ActivitySummary, merge, rescale
+from repro.core.timeseries import ActivitySummary, merge, merge_rescaled, rescale
 from repro.mapreduce.store import PartitionedStore, RecordPacker
 from repro.utils.validation import require, require_positive
 
@@ -273,15 +274,57 @@ class SummaryStore:
         grouped: Dict[Tuple[str, str], List[ActivitySummary]] = {}
         for day in wanted:
             for summary in self.load_day(day):
-                if time_scale is not None and summary.time_scale < time_scale:
-                    summary = rescale(summary, time_scale)
                 grouped.setdefault(summary.pair, []).append(summary)
-        merged = [
-            merge(sorted(group, key=lambda s: s.first_timestamp))
-            for group in grouped.values()
-        ]
+        workspace: Optional[np.ndarray] = None
+        merged: List[ActivitySummary] = []
+        for group in grouped.values():
+            if time_scale is not None and all(
+                s.time_scale <= time_scale for s in group
+            ):
+                # Fused rescale-and-merge: sort by the timestamp each
+                # summary would start at after quantization so segment
+                # order matches the copying composition.
+                group.sort(
+                    key=lambda s: (
+                        float(np.floor(s.first_timestamp / time_scale) * time_scale)
+                        if s.time_scale < time_scale
+                        else s.first_timestamp
+                    )
+                )
+                total = sum(s.event_count for s in group)
+                if workspace is None or workspace.size < total:
+                    workspace = np.empty(total, dtype=float)
+                merged.append(merge_rescaled(group, time_scale, out=workspace))
+            else:
+                if time_scale is not None:
+                    group = [
+                        rescale(s, time_scale) if s.time_scale < time_scale else s
+                        for s in group
+                    ]
+                group.sort(key=lambda s: s.first_timestamp)
+                merged.append(merge(group))
         merged.sort(key=lambda s: s.pair)
         return merged
+
+    # -- maintenance -----------------------------------------------------------
+
+    def evict_before(self, day: int) -> int:
+        """Drop every stored day strictly older than ``day``.
+
+        Returns the number of days removed.  This is the rolling-window
+        maintenance hook: an operator appending day ``d`` evicts
+        ``d - window_days + 1`` so disk usage stays bounded by the
+        longest cadence window instead of growing with run length.
+        """
+        removed = 0
+        for stored in self.days():
+            if stored < day:
+                self._day_store(stored).clear()
+                # clear() unlinks partition files but keeps the day
+                # directory, which has_day() probes — remove it too.
+                shutil.rmtree(self.root / f"day-{stored:05d}", ignore_errors=True)
+                removed += 1
+        return removed
 
     def clear(self) -> None:
         """Remove every stored day."""

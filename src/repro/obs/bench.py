@@ -117,13 +117,17 @@ class Benchmark:
     processed (pairs analyzed, records mapped, ...) so the runner can
     derive throughput; returning None falls back to ``events``.
     ``cleanup`` (if given) runs once after all iterations — e.g. to shut
-    down a worker pool.
+    down a worker pool.  ``metrics`` (if given) runs once after the
+    timing repeats and returns named domain numbers — pairs/sec, window
+    days, state-cache hit rate — that land in the result's ``metrics``
+    map alongside the generic timing figures.
     """
 
     name: str
     func: Callable[[], Optional[int]]
     events: int = 1
     cleanup: Optional[Callable[[], None]] = None
+    metrics: Optional[Callable[[], Dict[str, float]]] = None
 
 
 @dataclass
@@ -140,6 +144,9 @@ class BenchResult:
     peak_tracemalloc_kb: Optional[float] = None
     max_rss_kb: Optional[float] = None
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Named domain measurements (pairs/sec, window days, speedup, ...)
+    #: a suite attaches beyond the generic timing/throughput figures.
+    metrics: Dict[str, float] = field(default_factory=dict)
     hotspots: Optional[List[Dict[str, Any]]] = None
 
     def to_dict(self) -> Dict[str, Any]:
@@ -156,6 +163,8 @@ class BenchResult:
         }
         if self.counters:
             payload["counters"] = dict(self.counters)
+        if self.metrics:
+            payload["metrics"] = dict(self.metrics)
         if self.hotspots is not None:
             payload["hotspots"] = list(self.hotspots)
         return payload
@@ -174,6 +183,9 @@ class BenchResult:
             max_rss_kb=payload.get("max_rss_kb"),
             counters={
                 k: int(v) for k, v in payload.get("counters", {}).items()
+            },
+            metrics={
+                k: float(v) for k, v in payload.get("metrics", {}).items()
             },
             hotspots=payload.get("hotspots"),
         )
@@ -318,6 +330,11 @@ class BenchRunner:
                         events = int(returned)
                 peak_kb = self._memory_probe(bench)
                 hotspots = self._profile_probe(bench)
+                metrics = (
+                    {k: float(v) for k, v in bench.metrics().items()}
+                    if bench.metrics is not None
+                    else {}
+                )
         finally:
             if bench.cleanup is not None:
                 bench.cleanup()
@@ -339,6 +356,11 @@ class BenchRunner:
             for name, value in registry.counters()
             if not name.startswith("bench.")
         }
+        # Convention: a suite that reports how many *pairs* one
+        # iteration analyzed gets its pairs/sec derived here, from the
+        # same mean the timing table shows.
+        if "pairs" in metrics and "pairs_per_second" not in metrics and mean > 0:
+            metrics["pairs_per_second"] = metrics["pairs"] / mean
         return BenchResult(
             name=bench.name,
             repeats=self.repeats,
@@ -350,6 +372,7 @@ class BenchRunner:
             peak_tracemalloc_kb=peak_kb,
             max_rss_kb=_max_rss_kb(),
             counters=counters,
+            metrics=metrics,
             hotspots=hotspots,
         )
 
@@ -538,6 +561,12 @@ def render_bench_report(report: BenchReport) -> str:
             f"{_fmt_ms(result.seconds.get('p95'))} "
             f"{result.events_per_second:12.0f} {peak}"
         )
+        if result.metrics:
+            rendered = ", ".join(
+                f"{key}={value:g}"
+                for key, value in sorted(result.metrics.items())
+            )
+            lines.append(f"    metrics: {rendered}")
         if result.hotspots:
             for row in result.hotspots[:3]:
                 if "tottime" in row:

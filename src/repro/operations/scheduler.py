@@ -19,11 +19,15 @@ import logging
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.timeseries import ActivitySummary, merge, rescale
+import numpy as np
+
+from repro.core.timeseries import ActivitySummary, merge, merge_rescaled, rescale
 from repro.filtering.novelty import NoveltyStore
 from repro.filtering.pipeline import BaywatchPipeline, PipelineConfig, PipelineReport
+from repro.jobs.summary_store import SummaryStore
 from repro.obs import get_registry, span
-from repro.sources.proxy import ProxyLogRecord, records_to_summaries
+from repro.sources.columnar import ColumnTables, records_to_chunks, summaries_from_chunks
+from repro.sources.proxy import ProxyLogRecord
 from repro.utils.validation import require, require_positive
 
 logger = logging.getLogger(__name__)
@@ -63,12 +67,27 @@ class MultiTimescaleOperator:
         *,
         cadences: Tuple[Cadence, ...] = DEFAULT_CADENCES,
         novelty: Optional[NoveltyStore] = None,
+        store: Optional[SummaryStore] = None,
+        chunk_size: int = 65_536,
     ) -> None:
         require(len(cadences) >= 1, "at least one cadence is required")
+        require_positive(chunk_size, "chunk_size")
         self.config = config or PipelineConfig()
         self.cadences = cadences
         self.novelty = novelty if novelty is not None else NoveltyStore()
+        self.store = store
+        self.chunk_size = chunk_size
+        # In-memory window buffer, bounded by the longest cadence
+        # window (before this bound, _daily_summaries grew with run
+        # length; a quarter of monthly operation held 90 days of
+        # summaries that no cadence could ever read again).
+        self._retain_days = max(c.window_days for c in cadences)
         self._daily_summaries: List[List[ActivitySummary]] = []
+        self._days_fed = 0
+        # String-interning tables shared across days so the columnar
+        # ingest path does not re-intern the same hosts every day.
+        self._tables = ColumnTables()
+        self._merge_workspace: Optional[np.ndarray] = None
         self._pipelines: Dict[str, BaywatchPipeline] = {
             cadence.name: BaywatchPipeline(self.config, novelty=self.novelty)
             for cadence in cadences
@@ -78,21 +97,38 @@ class MultiTimescaleOperator:
     @property
     def days_fed(self) -> int:
         """How many days of traffic have been ingested."""
-        return len(self._daily_summaries)
+        return self._days_fed
 
     def _window_summaries(self, cadence: Cadence) -> List[ActivitySummary]:
         """Rescale and merge the cadence's trailing window of summaries."""
         window = self._daily_summaries[-cadence.window_days:]
-        merged: Dict[Tuple[str, str], List[ActivitySummary]] = {}
+        grouped: Dict[Tuple[str, str], List[ActivitySummary]] = {}
         for day in window:
             for summary in day:
-                coarse = (
-                    rescale(summary, cadence.time_scale)
-                    if summary.time_scale < cadence.time_scale
-                    else summary
+                grouped.setdefault(summary.pair, []).append(summary)
+        merged: List[ActivitySummary] = []
+        for group in grouped.values():
+            if any(s.time_scale > cadence.time_scale for s in group):
+                # Already-coarser summaries cannot be fused down;
+                # keep the copying composition for this (rare) shape.
+                merged.append(
+                    merge([
+                        rescale(s, cadence.time_scale)
+                        if s.time_scale < cadence.time_scale
+                        else s
+                        for s in group
+                    ])
                 )
-                merged.setdefault(summary.pair, []).append(coarse)
-        return [merge(group) for group in merged.values()]
+                continue
+            total = sum(s.event_count for s in group)
+            if self._merge_workspace is None or self._merge_workspace.size < total:
+                self._merge_workspace = np.empty(total, dtype=float)
+            merged.append(
+                merge_rescaled(
+                    group, cadence.time_scale, out=self._merge_workspace
+                )
+            )
+        return merged
 
     def ingest_day(
         self, records: Iterable[ProxyLogRecord]
@@ -100,16 +136,30 @@ class MultiTimescaleOperator:
         """Feed one day of records; returns the cadence runs it fired.
 
         Raw records are extracted into summaries exactly once (the
-        paper's no-reprocessing property); coarser cadences consume
-        rescaled merges of the stored summaries.
+        paper's no-reprocessing property) through the columnar chunk
+        path; coarser cadences consume fused rescale-merges of the
+        buffered summaries.  When a :class:`SummaryStore` was supplied,
+        each day is also persisted (``replace=True``, so re-feeding a
+        day after a crash is idempotent) and days older than the
+        longest cadence window are evicted.
         """
         registry = get_registry()
         with span("operations.ingest_day"):
-            summaries = records_to_summaries(
-                records, time_scale=self.config.time_scale
+            summaries = summaries_from_chunks(
+                records_to_chunks(
+                    records, chunk_size=self.chunk_size, tables=self._tables
+                ),
+                time_scale=self.config.time_scale,
             )
+        day_index0 = self._days_fed  # 0-based index of the day just fed
         self._daily_summaries.append(summaries)
-        day_index = self.days_fed
+        if len(self._daily_summaries) > self._retain_days:
+            del self._daily_summaries[: -self._retain_days]
+        if self.store is not None:
+            self.store.append_day(day_index0, summaries, replace=True)
+            self.store.evict_before(day_index0 - self._retain_days + 1)
+        self._days_fed += 1
+        day_index = self._days_fed
         registry.gauge("operations.days_fed").set(day_index)
         fired: List[Tuple[str, PipelineReport]] = []
         for cadence in self.cadences:

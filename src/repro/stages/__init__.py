@@ -21,6 +21,7 @@ from repro.stages.base import Stage, run_stages
 from repro.stages.context import PopularityIndex, StageContext, build_report
 from repro.stages.detection import (
     BatchedDetection,
+    IncrementalDetection,
     InProcessDetection,
     PeriodicityDetectionStage,
     build_case,
@@ -45,6 +46,7 @@ __all__ = [
     "StageContext",
     "build_report",
     "BatchedDetection",
+    "IncrementalDetection",
     "InProcessDetection",
     "PeriodicityDetectionStage",
     "build_case",

@@ -10,6 +10,7 @@ from repro.core.timeseries import (
     bin_series,
     intervals_from_timestamps,
     merge,
+    merge_rescaled,
     rescale,
     timestamps_from_intervals,
 )
@@ -228,3 +229,52 @@ class TestMerge:
         a = ActivitySummary.from_timestamps("s", "d", [0.0, 60.0], urls=["/a"])
         b = ActivitySummary.from_timestamps("s", "d", [120.0, 180.0], urls=["/b"])
         assert merge([a, b]).urls == ("/a", "/b")
+
+
+class TestMergeRescaled:
+    """The fused cadence fast path must equal rescale-then-merge exactly."""
+
+    def _days(self, seed=0, n_days=4, time_scale=60.0):
+        rng = np.random.default_rng(seed)
+        day = 86_400.0
+        return [
+            ActivitySummary.from_timestamps(
+                "mac1", "evil.com",
+                np.sort(rng.uniform(index * day, (index + 1) * day, size=50)),
+                time_scale=time_scale,
+                urls=[f"/d{index}"],
+            )
+            for index in range(n_days)
+        ]
+
+    def test_bitwise_matches_composed_path(self):
+        days = self._days()
+        fused = merge_rescaled(days, 600.0)
+        composed = merge([rescale(s, 600.0) for s in days])
+        # Frozen-dataclass equality compares every field, so this is a
+        # bit-exact check on the interval tuples too.
+        assert fused == composed
+
+    def test_out_workspace_is_reused_and_result_unchanged(self):
+        days = self._days(seed=1)
+        workspace = np.empty(1024)
+        fused = merge_rescaled(days, 600.0, out=workspace)
+        assert fused == merge_rescaled(days, 600.0)
+
+    def test_undersized_workspace_still_correct(self):
+        days = self._days(seed=2)
+        fused = merge_rescaled(days, 600.0, out=np.empty(3))
+        assert fused == merge([rescale(s, 600.0) for s in days])
+
+    def test_single_summary_matches_plain_rescale(self):
+        day = self._days(n_days=1)[0]
+        assert merge_rescaled([day], 600.0) == rescale(day, 600.0)
+
+    def test_rejects_coarser_inputs(self):
+        day = self._days(n_days=1, time_scale=600.0)[0]
+        with pytest.raises(ValueError, match="finer"):
+            merge_rescaled([day], 60.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_rescaled([], 60.0)

@@ -79,6 +79,48 @@ class TestSummaryStore:
         store.clear()
         assert store.load_day(0) == []
 
+    def test_evict_before_drops_old_days(self, store):
+        for day in range(4):
+            store.append_day(day, [day_summary(day)])
+        assert store.evict_before(2) == 2
+        assert store.days() == [2, 3]
+        assert store.load_day(0) == []
+        assert store.load_day(1) == []
+        # Surviving days are intact.
+        assert store.load_day(2)[0].event_count == 20
+
+    def test_evict_before_is_idempotent(self, store):
+        store.append_day(0, [day_summary(0)])
+        store.append_day(1, [day_summary(1)])
+        assert store.evict_before(1) == 1
+        assert store.evict_before(1) == 0
+        assert store.days() == [1]
+
+    def test_fused_window_matches_composed_rescale(self, store):
+        from repro.core.timeseries import merge, rescale
+
+        for day in range(3):
+            store.append_day(day, [
+                day_summary(day),
+                day_summary(day, pair=("mac2", "b.com"), period=450.0),
+            ])
+        fused = store.load_window(end_day=2, window_days=3, time_scale=600.0)
+        composed = {}
+        for day in range(3):
+            for summary in store.load_day(day):
+                composed.setdefault(summary.pair, []).append(summary)
+        expected = sorted(
+            (
+                merge([
+                    rescale(s, 600.0)
+                    for s in sorted(group, key=lambda s: s.first_timestamp)
+                ])
+                for group in composed.values()
+            ),
+            key=lambda s: s.pair,
+        )
+        assert fused == expected
+
     def test_empty_store_window(self, store):
         assert store.load_window() == []
 

@@ -124,6 +124,38 @@ class TestBenchRunner:
         with pytest.raises(ValueError):
             BenchRunner(profile="perf")
 
+    def test_metrics_hook_derives_pairs_per_second(self):
+        bench = Benchmark(
+            "unit.metrics",
+            lambda: 1,
+            metrics=lambda: {"pairs": 100.0, "window_days": 30.0},
+        )
+        runner = BenchRunner(
+            repeats=2, warmup=0, clock=FakeClock(0.5), trace_memory=False
+        )
+        result = runner.run("unit", [bench]).results[0]
+        assert result.metrics["pairs"] == 100.0
+        assert result.metrics["window_days"] == 30.0
+        # mean is 0.5 s with the fake clock, so 100 pairs -> 200/s.
+        assert result.metrics["pairs_per_second"] == pytest.approx(200.0)
+
+    def test_metrics_hook_does_not_override_explicit_rate(self):
+        bench = Benchmark(
+            "unit.rate",
+            lambda: 1,
+            metrics=lambda: {"pairs": 10.0, "pairs_per_second": 42.0},
+        )
+        runner = BenchRunner(
+            repeats=1, warmup=0, clock=FakeClock(0.5), trace_memory=False
+        )
+        result = runner.run("unit", [bench]).results[0]
+        assert result.metrics["pairs_per_second"] == 42.0
+
+    def test_no_metrics_hook_leaves_map_empty(self):
+        runner = BenchRunner(repeats=1, warmup=0, trace_memory=False)
+        report = runner.run("unit", [Benchmark("unit.plain", lambda: 1)])
+        assert report.results[0].metrics == {}
+
 
 class TestBenchReport:
     def test_round_trip_through_file(self, tmp_path):
@@ -149,6 +181,27 @@ class TestBenchReport:
         text = render_bench_report(_report("unit", {"a": 0.5}))
         assert "bench suite 'unit'" in text
         assert "a" in text
+
+    def test_metrics_round_trip_through_file(self, tmp_path):
+        report = _report("unit", {"a": 0.5})
+        report.results[0].metrics.update(
+            {"pairs": 1000.0, "state_cache_hit_rate": 0.75}
+        )
+        loaded = BenchReport.load(report.write(tmp_path))
+        assert loaded.result("a").metrics == {
+            "pairs": 1000.0,
+            "state_cache_hit_rate": 0.75,
+        }
+
+    def test_empty_metrics_omitted_from_envelope(self, tmp_path):
+        path = _report("unit", {"a": 0.5}).write(tmp_path)
+        payload = json.loads(path.read_text())
+        assert "metrics" not in payload["results"][0]
+
+    def test_render_shows_metrics_line(self):
+        report = _report("unit", {"a": 0.5})
+        report.results[0].metrics["pairs_per_second"] = 123.0
+        assert "pairs_per_second" in render_bench_report(report)
 
 
 class TestHostFingerprint:
@@ -226,7 +279,7 @@ class TestSuites:
 
         assert set(suite_names()) == {
             "micro", "pipeline", "mapreduce", "ingestion",
-            "detection_batch", "scalability",
+            "detection_batch", "scalability", "incremental",
         }
         benchmarks = build_suite("micro")
         names = [bench.name for bench in benchmarks]

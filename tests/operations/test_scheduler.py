@@ -102,3 +102,68 @@ class TestMultiTimescaleOperator:
     def test_requires_a_cadence(self):
         with pytest.raises(ValueError):
             MultiTimescaleOperator(cadences=())
+
+
+def _toy_day(day, period=600.0):
+    from repro.sources.proxy import ProxyLogRecord
+
+    start = day * DAY
+    return [
+        ProxyLogRecord(
+            timestamp=start + i * period,
+            source_mac="mac1",
+            source_ip="10.0.0.1",
+            destination="c2.example.net",
+            url="/poll",
+        )
+        for i in range(int(DAY / period))
+    ]
+
+
+class TestRollingStore:
+    """The operator persists each day and evicts beyond its window."""
+
+    def _operator(self, tmp_path, window_days=2):
+        from repro.jobs import SummaryStore
+
+        store = SummaryStore(tmp_path / "summaries")
+        operator = MultiTimescaleOperator(
+            PipelineConfig(ranking_percentile=0.0),
+            cadences=(
+                Cadence(
+                    "daily",
+                    every_days=1,
+                    window_days=window_days,
+                    time_scale=60.0,
+                ),
+            ),
+            store=store,
+        )
+        return operator, store
+
+    def test_each_day_lands_in_the_store(self, tmp_path):
+        operator, store = self._operator(tmp_path)
+        operator.ingest_day(_toy_day(0))
+        assert store.days() == [0]
+        assert store.load_day(0)[0].pair == ("mac1", "c2.example.net")
+
+    def test_old_days_are_evicted(self, tmp_path):
+        operator, store = self._operator(tmp_path, window_days=2)
+        for day in range(4):
+            operator.ingest_day(_toy_day(day))
+        assert store.days() == [2, 3]
+        assert operator.days_fed == 4
+
+    def test_refed_day_is_idempotent(self, tmp_path):
+        operator, store = self._operator(tmp_path)
+        operator.ingest_day(_toy_day(0))
+        before = store.load_day(0)[0].event_count
+        # A crash-replayed day overwrites rather than doubles.
+        store.append_day(0, store.load_day(0), replace=True)
+        assert store.load_day(0)[0].event_count == before
+
+    def test_in_memory_buffer_stays_bounded(self, tmp_path):
+        operator, _store = self._operator(tmp_path, window_days=2)
+        for day in range(5):
+            operator.ingest_day(_toy_day(day))
+        assert len(operator._daily_summaries) == 2
